@@ -1,0 +1,165 @@
+package connectit
+
+// Analysis benchmarks: Figures 6-10 (TPL/MPL and memory-traffic proxies vs
+// running time), Table 6 / Table 7 (sampling quality), Figures 19-21 (the
+// LDD beta sweep), Figures 22-24 (the k-out variant sweep), and Figure 12
+// (Liu-Tarjan alter-option split).
+
+import (
+	"fmt"
+	"testing"
+
+	"connectit/internal/core"
+	"connectit/internal/ldd"
+	"connectit/internal/liutarjan"
+	"connectit/internal/sample"
+	"connectit/internal/unionfind"
+)
+
+// BenchmarkFigure6PathLengths regenerates Figures 6-8a: instrumented
+// union-find runs reporting the Total and Max Path Length alongside ns/op.
+// The paper's finding — TPL correlates with running time (r=0.738), MPL
+// does not — is recomputed by cmd/experiments from these metrics.
+func BenchmarkFigure6PathLengths(b *testing.B) {
+	g := benchPanel(b)["social"]
+	variants := []unionfind.Variant{
+		{Union: unionfind.UnionAsync, Find: unionfind.FindNaive},
+		{Union: unionfind.UnionAsync, Find: unionfind.FindCompress},
+		{Union: unionfind.UnionHooks, Find: unionfind.FindNaive},
+		{Union: unionfind.UnionEarly, Find: unionfind.FindNaive},
+		{Union: unionfind.UnionRemCAS, Splice: unionfind.SplitAtomicOne},
+		{Union: unionfind.UnionRemCAS, Splice: unionfind.SpliceAtomic},
+		{Union: unionfind.UnionRemLock, Splice: unionfind.SplitAtomicOne},
+		{Union: unionfind.UnionJTB, Find: unionfind.FindTwoTrySplit},
+	}
+	for _, v := range variants {
+		b.Run(ufName(v), func(b *testing.B) {
+			var stats Stats
+			cfg := Config{Algorithm: Algorithm{Kind: core.FinishUnionFind, UF: v}, Stats: &stats}
+			for i := 0; i < b.N; i++ {
+				stats.Reset()
+				if _, err := Connectivity(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(stats.TotalPathLength()), "TPL")
+			b.ReportMetric(float64(stats.MaxPathLength()), "MPL")
+		})
+	}
+}
+
+// BenchmarkFigure12LiuTarjanAlter regenerates Figure 12's split: Liu-Tarjan
+// variants grouped by whether they use Alter, whose edge-rewriting dominates
+// their memory traffic.
+func BenchmarkFigure12LiuTarjanAlter(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, v := range liutarjan.Variants() {
+		group := "no_alter"
+		if v.Alter == liutarjan.Alter {
+			group = "alter"
+		}
+		cfg := Config{Algorithm: Algorithm{Kind: core.FinishLiuTarjan, LT: v}}
+		b.Run(fmt.Sprintf("%s/%s", group, v.Code()), func(b *testing.B) {
+			b.ReportAllocs()
+			runConnectivity(b, g, cfg)
+		})
+	}
+}
+
+// BenchmarkTable6SamplingQuality regenerates Table 6: BFS and LDD sampling
+// time plus coverage and inter-component edge fraction as metrics.
+func BenchmarkTable6SamplingQuality(b *testing.B) {
+	panel := benchPanel(b)
+	for _, gname := range benchGraphNames {
+		g := panel[gname]
+		b.Run("BFS/"+gname, func(b *testing.B) {
+			var r *sample.Result
+			for i := 0; i < b.N; i++ {
+				r = sample.BFS(g, 3, 5, false)
+			}
+			reportQuality(b, g, r)
+		})
+		b.Run("LDD/"+gname, func(b *testing.B) {
+			var r *sample.Result
+			for i := 0; i < b.N; i++ {
+				r = sample.LDD(g, 0.2, false, 5, false)
+			}
+			reportQuality(b, g, r)
+		})
+	}
+}
+
+// BenchmarkTable7KOutQuality regenerates Table 7: the default k-out hybrid
+// scheme's time, coverage, and inter-component fraction.
+func BenchmarkTable7KOutQuality(b *testing.B) {
+	panel := benchPanel(b)
+	for _, gname := range benchGraphNames {
+		g := panel[gname]
+		b.Run("KOutHybrid/"+gname, func(b *testing.B) {
+			var r *sample.Result
+			for i := 0; i < b.N; i++ {
+				r = sample.KOut(g, 2, sample.KOutHybrid, 5, false)
+			}
+			reportQuality(b, g, r)
+		})
+	}
+}
+
+func reportQuality(b *testing.B, g *Graph, r *sample.Result) {
+	b.Helper()
+	freq := sample.MostFrequent(r.Labels, 1)
+	b.ReportMetric(sample.Coverage(r.Labels, freq)*100, "%coverage")
+	inter := sample.InterComponentEdges(g, r.Labels)
+	b.ReportMetric(float64(inter)/float64(g.NumDirectedEdges())*100, "%intercomp")
+}
+
+// BenchmarkFigure19To21LDDSweep regenerates Figures 19-21: the LDD beta
+// sweep with and without permutation, reporting time plus quality metrics.
+func BenchmarkFigure19To21LDDSweep(b *testing.B) {
+	g := benchPanel(b)["web"]
+	road := benchPanel(b)["road"]
+	for _, beta := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		for _, permute := range []bool{false, true} {
+			for gname, gg := range map[string]*Graph{"web": g, "road": road} {
+				b.Run(fmt.Sprintf("beta=%.2f/permute=%v/%s", beta, permute, gname), func(b *testing.B) {
+					var r *sample.Result
+					for i := 0; i < b.N; i++ {
+						r = sample.LDD(gg, beta, permute, 5, false)
+					}
+					reportQuality(b, gg, r)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure22To24KOutSweep regenerates Figures 22-24: the four k-out
+// variants swept over k, reporting time plus quality metrics.
+func BenchmarkFigure22To24KOutSweep(b *testing.B) {
+	g := benchPanel(b)["web"]
+	variants := []sample.KOutVariant{sample.KOutHybrid, sample.KOutAfforest, sample.KOutPure, sample.KOutMaxDeg}
+	for _, k := range []int{1, 2, 3, 5} {
+		for _, variant := range variants {
+			b.Run(fmt.Sprintf("k=%d/%s", k, variant), func(b *testing.B) {
+				var r *sample.Result
+				for i := 0; i < b.N; i++ {
+					r = sample.KOut(g, k, variant, 5, false)
+				}
+				reportQuality(b, g, r)
+			})
+		}
+	}
+}
+
+// BenchmarkLDDDecomposition benches the raw LDD substrate (used by both
+// LDD sampling and WorkEfficientCC).
+func BenchmarkLDDDecomposition(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, beta := range []float64{0.1, 0.5} {
+		b.Run(fmt.Sprintf("beta=%.1f", beta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ldd.Decompose(g, ldd.Options{Beta: beta, Permute: true, Seed: 3})
+			}
+		})
+	}
+}

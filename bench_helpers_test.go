@@ -1,0 +1,81 @@
+package connectit
+
+// Shared fixtures for the benchmark harness (bench_*.go). Each benchmark
+// regenerates one table or figure of the paper's evaluation; DESIGN.md §6
+// maps experiment IDs to bench targets, and EXPERIMENTS.md records the
+// paper-shape vs measured-shape comparison.
+
+import (
+	"sync"
+	"testing"
+
+	"connectit/internal/core"
+	"connectit/internal/liutarjan"
+	"connectit/internal/unionfind"
+)
+
+// benchGraphs lazily builds and caches the benchmark graph panel: class
+// analogs of the paper's inputs at container scale (DESIGN.md §8).
+var benchGraphs struct {
+	once sync.Once
+	m    map[string]*Graph
+}
+
+func benchPanel(b *testing.B) map[string]*Graph {
+	b.Helper()
+	benchGraphs.once.Do(func() {
+		benchGraphs.m = map[string]*Graph{
+			// road_usa analog: high diameter, degree <= 4.
+			"road": NewGrid2D(200, 200),
+			// LiveJournal/Orkut analog: skewed social graph.
+			"social": NewRMAT(15, 16*(1<<15), 42),
+			// Friendster analog: preferential attachment.
+			"ba": NewBarabasiAlbert(1<<15, 10, 43),
+			// ClueWeb/Hyperlink analog: many components, skewed.
+			"web": NewWebLike(15, 8*(1<<15), 0.05, 44),
+		}
+	})
+	return benchGraphs.m
+}
+
+// benchGraphNames fixes the report ordering.
+var benchGraphNames = []string{"road", "social", "ba", "web"}
+
+// familyAlgorithms returns the per-family representative algorithms whose
+// rows Table 3 reports (the paper lists the fastest option combination per
+// family; we use the combinations §4.1 identifies as fastest).
+func familyAlgorithms() []Algorithm {
+	lt, _ := LiuTarjanAlgorithm("PRF") // among the fastest LT variants (§C.1.1)
+	return []Algorithm{
+		UnionFindAlgorithm(UnionEarly, FindNaive, SplitAtomicOne),
+		UnionFindAlgorithm(UnionHooks, FindNaive, SplitAtomicOne),
+		UnionFindAlgorithm(UnionAsync, FindNaive, SplitAtomicOne),
+		UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
+		UnionFindAlgorithm(UnionRemLock, FindNaive, SplitAtomicOne),
+		UnionFindAlgorithm(UnionJTB, FindTwoTrySplit, SplitAtomicOne),
+		lt,
+		ShiloachVishkinAlgorithm(),
+		LabelPropagationAlgorithm(),
+	}
+}
+
+func samplingModesForBench() []core.SamplingMode {
+	return []core.SamplingMode{core.NoSampling, core.KOutSampling, core.BFSSampling, core.LDDSampling}
+}
+
+// runConnectivity is the timed inner loop shared by static benches.
+func runConnectivity(b *testing.B, g *Graph, cfg Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Connectivity(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ufName shortens a union-find variant for sub-benchmark names.
+func ufName(v unionfind.Variant) string { return v.Name() }
+
+// ltName shortens a Liu-Tarjan variant for sub-benchmark names.
+func ltName(v liutarjan.Variant) string { return v.Code() }

@@ -1,0 +1,180 @@
+package connectit
+
+// Static connectivity benchmarks: Table 3 (the central running-time matrix),
+// Figure 3 and Figures 13-15 (union-find variant heatmaps per sampling
+// scheme), Figure 11 (Liu-Tarjan variant heatmap), Table 1 (largest-graph
+// shootout vs the baseline systems), Table 8 (MapEdges/GatherEdges lower
+// bounds), and the §4 spanning-forest overhead measurement.
+
+import (
+	"fmt"
+	"testing"
+
+	"connectit/internal/baseline"
+	"connectit/internal/core"
+	"connectit/internal/liutarjan"
+	"connectit/internal/unionfind"
+)
+
+// BenchmarkTable3Static regenerates Table 3: the per-family fastest
+// algorithms crossed with the four sampling schemes on every panel graph,
+// plus the baseline systems' rows.
+func BenchmarkTable3Static(b *testing.B) {
+	panel := benchPanel(b)
+	for _, mode := range samplingModesForBench() {
+		for _, alg := range familyAlgorithms() {
+			for _, gname := range benchGraphNames {
+				g := panel[gname]
+				// Unsampled Label-Propagation on the road graph is the
+				// paper's 355x pathology; keep it but only on the smallest
+				// graph (it is the point of the row).
+				cfg := Config{Sampling: mode, Algorithm: alg, Seed: 1}
+				b.Run(fmt.Sprintf("%s/%s/%s", mode, alg.Name(), gname), func(b *testing.B) {
+					runConnectivity(b, g, cfg)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTable3OtherSystems regenerates the "Other Systems" rows of
+// Table 3 (BFSCC, WorkefficientCC, MultiStep, GAPBS-SV, Afforest,
+// PatwaryRM; Galois' reported-fastest algorithm is label propagation, which
+// appears in BenchmarkTable3Static).
+func BenchmarkTable3OtherSystems(b *testing.B) {
+	panel := benchPanel(b)
+	systems := []struct {
+		name string
+		run  func(*Graph) []uint32
+	}{
+		{"BFSCC", baseline.BFSCC},
+		{"WorkefficientCC", func(g *Graph) []uint32 { return baseline.WorkEfficientCC(g, 0.2, 3) }},
+		{"MultiStep", baseline.MultiStep},
+		{"GAPBS-SV", baseline.GAPBSShiloachVishkin},
+		{"GAPBS-Afforest", func(g *Graph) []uint32 { return baseline.Afforest(g, 2, 3) }},
+		{"PatwaryRM", baseline.PatwaryRM},
+	}
+	for _, sys := range systems {
+		for _, gname := range benchGraphNames {
+			g := panel[gname]
+			b.Run(fmt.Sprintf("%s/%s", sys.name, gname), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys.run(g)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3UnionFindMatrix regenerates Figure 3: all 36 union-find
+// variants in the no-sampling setting (relative slowdowns are computed from
+// the reported ns/op by cmd/experiments).
+func BenchmarkFigure3UnionFindMatrix(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, v := range unionfind.Variants() {
+		cfg := Config{Algorithm: Algorithm{Kind: core.FinishUnionFind, UF: v}}
+		b.Run(ufName(v), func(b *testing.B) { runConnectivity(b, g, cfg) })
+	}
+}
+
+// BenchmarkFigure13To15SampledUF regenerates Figures 13-15: the union-find
+// variant matrix under each sampling scheme.
+func BenchmarkFigure13To15SampledUF(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, mode := range []core.SamplingMode{core.KOutSampling, core.BFSSampling, core.LDDSampling} {
+		for _, v := range unionfind.Variants() {
+			cfg := Config{Sampling: mode, Algorithm: Algorithm{Kind: core.FinishUnionFind, UF: v}, Seed: 2}
+			b.Run(fmt.Sprintf("%s/%s", mode, ufName(v)), func(b *testing.B) { runConnectivity(b, g, cfg) })
+		}
+	}
+}
+
+// BenchmarkFigure11LiuTarjanMatrix regenerates Figure 11: all sixteen
+// Liu-Tarjan variants in the no-sampling setting.
+func BenchmarkFigure11LiuTarjanMatrix(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, v := range liutarjan.Variants() {
+		cfg := Config{Algorithm: Algorithm{Kind: core.FinishLiuTarjan, LT: v}}
+		b.Run(ltName(v), func(b *testing.B) { runConnectivity(b, g, cfg) })
+	}
+}
+
+// BenchmarkTable1LargeGraph regenerates Table 1's shape at container scale:
+// the fastest ConnectIt algorithm against each baseline system on the
+// largest graph in the harness (the Hyperlink stand-in).
+func BenchmarkTable1LargeGraph(b *testing.B) {
+	scale := 18
+	if testing.Short() {
+		scale = 15
+	}
+	g := NewWebLike(scale, 8*(1<<scale), 0.05, 7)
+	b.Logf("large graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	b.Run("ConnectIt-kout-RemCAS", func(b *testing.B) {
+		runConnectivity(b, g, DefaultConfig())
+	})
+	b.Run("GBBS-WorkefficientCC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.WorkEfficientCC(g, 0.2, 3)
+		}
+	})
+	b.Run("BFSCC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.BFSCC(g)
+		}
+	})
+	b.Run("GAPBS-Afforest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.Afforest(g, 2, 3)
+		}
+	})
+}
+
+// BenchmarkTable8MapGather regenerates Table 8: the MapEdges read-everything
+// baseline, the GatherEdges indirect-read lower bound, and ConnectIt with
+// and without sampling on the same graphs.
+func BenchmarkTable8MapGather(b *testing.B) {
+	panel := benchPanel(b)
+	for _, gname := range benchGraphNames {
+		g := panel[gname]
+		data := make([]uint32, g.NumVertices())
+		b.Run("MapEdges/"+gname, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MapEdges(g)
+			}
+		})
+		b.Run("GatherEdges/"+gname, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GatherEdges(g, data)
+			}
+		})
+		b.Run("ConnectIt-NoSample/"+gname, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Sampling = core.NoSampling
+			runConnectivity(b, g, cfg)
+		})
+		b.Run("ConnectIt-Sample/"+gname, func(b *testing.B) {
+			runConnectivity(b, g, DefaultConfig())
+		})
+	}
+}
+
+// BenchmarkSpanningForestOverhead measures the §4 claim that spanning
+// forest costs on average ~24% more than connectivity for the same
+// algorithm.
+func BenchmarkSpanningForestOverhead(b *testing.B) {
+	panel := benchPanel(b)
+	cfg := DefaultConfig()
+	for _, gname := range benchGraphNames {
+		g := panel[gname]
+		b.Run("Connectivity/"+gname, func(b *testing.B) { runConnectivity(b, g, cfg) })
+		b.Run("SpanningForest/"+gname, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SpanningForest(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+// Command connectit runs a ConnectIt algorithm combination on a generated
+// or loaded graph and reports components and timing.
+//
+// Examples:
+//
+//	connectit -graph rmat -scale 18 -sampling kout -union rem-cas
+//	connectit -graph grid -n 1000 -sampling ldd -algo sv
+//	connectit -graph file -path web.el -algo lt -lt-variant CRFA
+//	connectit -graph ba -n 100000 -forest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"connectit"
+	"connectit/internal/unionfind"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("connectit: ")
+
+	var (
+		graphKind = flag.String("graph", "rmat", "graph source: rmat|ba|er|grid|web|file")
+		scale     = flag.Int("scale", 16, "log2 vertex count for rmat/web")
+		n         = flag.Int("n", 1<<16, "vertex count for ba/er, side length for grid")
+		mPerN     = flag.Int("degree", 10, "average degree (edges = degree*n)")
+		path      = flag.String("path", "", "edge list file for -graph file")
+		seed      = flag.Uint64("seed", 1, "random seed")
+
+		samplingName = flag.String("sampling", "kout", "sampling: none|kout|bfs|ldd")
+		k            = flag.Int("k", 2, "k-out parameter")
+		beta         = flag.Float64("beta", 0.2, "LDD beta parameter")
+
+		algo      = flag.String("algo", "uf", "finish algorithm: uf|sv|lt|stergiou|lp")
+		union     = flag.String("union", "rem-cas", "union rule: async|hooks|early|rem-cas|rem-lock|jtb")
+		find      = flag.String("find", "naive", "find rule: naive|split|halve|compress|two-try")
+		splice    = flag.String("splice", "split-one", "Rem splice rule: split-one|halve-one|splice")
+		ltVariant = flag.String("lt-variant", "CRFA", "Liu-Tarjan variant code")
+
+		forest    = flag.Bool("forest", false, "compute spanning forest instead of components")
+		withStats = flag.Bool("stats", false, "report union-find path-length statistics")
+	)
+	flag.Parse()
+
+	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	cfg, err := makeConfig(*samplingName, *k, *beta, *algo, *union, *find, *splice, *ltVariant, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats connectit.Stats
+	if *withStats {
+		cfg.Stats = &stats
+	}
+
+	if *forest {
+		start := time.Now()
+		edges, err := connectit.SpanningForest(g, cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spanning forest: %d edges in %v\n", len(edges), elapsed)
+		return
+	}
+
+	start := time.Now()
+	labels, err := connectit.Connectivity(g, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comps := connectit.NumComponents(labels)
+	_, largest := connectit.LargestComponent(labels)
+	fmt.Printf("components: %d (largest %d vertices, %.1f%%) in %v\n",
+		comps, largest, 100*float64(largest)/float64(len(labels)), elapsed)
+	fmt.Printf("throughput: %.1fM edges/s\n", float64(g.NumEdges())/elapsed.Seconds()/1e6)
+	if *withStats {
+		fmt.Printf("stats: unions=%d TPL=%d MPL=%d\n", stats.Unions(), stats.TotalPathLength(), stats.MaxPathLength())
+	}
+}
+
+func makeGraph(kind string, scale, n, deg int, path string, seed uint64) (*connectit.Graph, error) {
+	switch kind {
+	case "rmat":
+		return connectit.NewRMAT(scale, deg*(1<<scale), seed), nil
+	case "ba":
+		return connectit.NewBarabasiAlbert(n, deg, seed), nil
+	case "er":
+		return connectit.NewErdosRenyi(n, deg*n/2, seed), nil
+	case "grid":
+		return connectit.NewGrid2D(n, n), nil
+	case "web":
+		return connectit.NewWebLike(scale, deg*(1<<scale), 0.05, seed), nil
+	case "file":
+		if path == "" {
+			return nil, fmt.Errorf("-graph file requires -path")
+		}
+		return connectit.LoadEdgeListFile(path)
+	}
+	return nil, fmt.Errorf("unknown graph kind %q", kind)
+}
+
+func makeConfig(sampling string, k int, beta float64, algo, union, find, splice, ltVariant string, seed uint64) (connectit.Config, error) {
+	var cfg connectit.Config
+	cfg.Seed = seed
+	cfg.K = k
+	cfg.Beta = beta
+
+	switch sampling {
+	case "none":
+		cfg.Sampling = connectit.NoSampling
+	case "kout":
+		cfg.Sampling = connectit.KOutSampling
+	case "bfs":
+		cfg.Sampling = connectit.BFSSampling
+	case "ldd":
+		cfg.Sampling = connectit.LDDSampling
+	default:
+		return cfg, fmt.Errorf("unknown sampling %q", sampling)
+	}
+
+	switch algo {
+	case "uf":
+		u, ok := unionOptions[union]
+		if !ok {
+			return cfg, fmt.Errorf("unknown union rule %q", union)
+		}
+		f, ok := findOptions[find]
+		if !ok {
+			return cfg, fmt.Errorf("unknown find rule %q", find)
+		}
+		s, ok := spliceOptions[splice]
+		if !ok {
+			return cfg, fmt.Errorf("unknown splice rule %q", splice)
+		}
+		cfg.Algorithm = connectit.UnionFindAlgorithm(u, f, s)
+	case "sv":
+		cfg.Algorithm = connectit.ShiloachVishkinAlgorithm()
+	case "lt":
+		a, ok := connectit.LiuTarjanAlgorithm(strings.ToUpper(ltVariant))
+		if !ok {
+			return cfg, fmt.Errorf("unknown Liu-Tarjan variant %q", ltVariant)
+		}
+		cfg.Algorithm = a
+	case "stergiou":
+		cfg.Algorithm = connectit.StergiouAlgorithm()
+	case "lp":
+		cfg.Algorithm = connectit.LabelPropagationAlgorithm()
+	default:
+		return cfg, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return cfg, nil
+}
+
+var unionOptions = map[string]unionfind.UnionOption{
+	"async":    connectit.UnionAsync,
+	"hooks":    connectit.UnionHooks,
+	"early":    connectit.UnionEarly,
+	"rem-cas":  connectit.UnionRemCAS,
+	"rem-lock": connectit.UnionRemLock,
+	"jtb":      connectit.UnionJTB,
+}
+
+var findOptions = map[string]unionfind.FindOption{
+	"naive":    connectit.FindNaive,
+	"split":    connectit.FindSplit,
+	"halve":    connectit.FindHalve,
+	"compress": connectit.FindCompress,
+	"two-try":  connectit.FindTwoTrySplit,
+}
+
+var spliceOptions = map[string]unionfind.SpliceOption{
+	"split-one": connectit.SplitAtomicOne,
+	"halve-one": connectit.HalveAtomicOne,
+	"splice":    connectit.SpliceAtomic,
+}
+
+// usage is wired for -h output clarity.
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: connectit [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+}

@@ -1,0 +1,197 @@
+// Package connectit is a Go implementation of the ConnectIt framework for
+// static and incremental parallel graph connectivity (Dhulipala, Hong, Shun;
+// VLDB 2020).
+//
+// ConnectIt composes a sampling phase (k-out, BFS, or LDD sampling) with a
+// finish phase drawn from a large family of min-based concurrent
+// connectivity algorithms — 36 union-find variants, Shiloach-Vishkin, the
+// sixteen Liu-Tarjan framework algorithms, Stergiou's algorithm, and
+// Label-Propagation — yielding several hundred distinct parallel
+// connectivity algorithms, most of which extend to spanning forest and to
+// batch-incremental (streaming) connectivity.
+//
+// # Quick start
+//
+//	g := connectit.BuildGraph(5, []connectit.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+//	labels, err := connectit.Connectivity(g, connectit.DefaultConfig())
+//	// labels[0] == labels[2], labels[3] == labels[4], labels[0] != labels[3]
+//
+// Pick specific algorithm combinations with Config:
+//
+//	cfg := connectit.Config{
+//	    Sampling:  connectit.KOutSampling,
+//	    Algorithm: connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
+//	}
+//	labels, err := connectit.Connectivity(g, cfg)
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package connectit
+
+import (
+	"connectit/internal/core"
+	"connectit/internal/graph"
+	"connectit/internal/liutarjan"
+	"connectit/internal/unionfind"
+)
+
+// Graph is an undirected graph in compressed sparse row form. Build one
+// with BuildGraph or the generators (NewRMAT, NewGrid2D, ...).
+type Graph = graph.Graph
+
+// Edge is an undirected edge (COO form).
+type Edge = graph.Edge
+
+// Vertex identifies a vertex (0-based).
+type Vertex = graph.Vertex
+
+// Config selects a complete ConnectIt algorithm: a sampling strategy plus a
+// finish algorithm (Figure 1 of the paper).
+type Config = core.Config
+
+// Algorithm identifies a finish algorithm instantiation.
+type Algorithm = core.Algorithm
+
+// Stats collects union-find path-length instrumentation (TPL/MPL).
+type Stats = unionfind.Stats
+
+// Incremental maintains connectivity under batches of edge insertions mixed
+// with connectivity queries.
+type Incremental = core.Incremental
+
+// Sampling modes (§3.2 of the paper).
+const (
+	NoSampling   = core.NoSampling
+	KOutSampling = core.KOutSampling
+	BFSSampling  = core.BFSSampling
+	LDDSampling  = core.LDDSampling
+)
+
+// Union-find union rules (§3.3.1).
+const (
+	UnionAsync   = unionfind.UnionAsync
+	UnionHooks   = unionfind.UnionHooks
+	UnionEarly   = unionfind.UnionEarly
+	UnionRemCAS  = unionfind.UnionRemCAS
+	UnionRemLock = unionfind.UnionRemLock
+	UnionJTB     = unionfind.UnionJTB
+)
+
+// Union-find find rules (Algorithm 8).
+const (
+	FindNaive       = unionfind.FindNaive
+	FindSplit       = unionfind.FindSplit
+	FindHalve       = unionfind.FindHalve
+	FindCompress    = unionfind.FindCompress
+	FindTwoTrySplit = unionfind.FindTwoTrySplit
+)
+
+// Rem's algorithm splice rules (Algorithm 9).
+const (
+	SplitAtomicOne = unionfind.SplitAtomicOne
+	HalveAtomicOne = unionfind.HalveAtomicOne
+	SpliceAtomic   = unionfind.SpliceAtomic
+)
+
+// ErrUnsupported reports a framework combination the paper excludes (e.g.
+// Rem + SpliceAtomic + FindCompress, or spanning forest with a
+// non-root-based algorithm).
+var ErrUnsupported = core.ErrUnsupported
+
+// DefaultConfig returns the paper's recommended robust configuration:
+// k-out sampling (hybrid, k = 2) finished by Union-Rem-CAS with
+// SplitAtomicOne and no extra find compression (§4.2 takeaways).
+func DefaultConfig() Config {
+	return Config{
+		Sampling:  core.KOutSampling,
+		Algorithm: UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
+	}
+}
+
+// UnionFindAlgorithm selects a union-find finish algorithm.
+func UnionFindAlgorithm(u unionfind.UnionOption, f unionfind.FindOption, s unionfind.SpliceOption) Algorithm {
+	return Algorithm{
+		Kind: core.FinishUnionFind,
+		UF:   unionfind.Variant{Union: u, Find: f, Splice: s},
+	}
+}
+
+// ShiloachVishkinAlgorithm selects the Shiloach-Vishkin finish algorithm.
+func ShiloachVishkinAlgorithm() Algorithm {
+	return Algorithm{Kind: core.FinishShiloachVishkin}
+}
+
+// LiuTarjanAlgorithm selects a Liu-Tarjan framework variant by its
+// four-letter code (e.g. "CRFA", "PUS"); see liutarjan variant naming in
+// the paper's Appendix D.
+func LiuTarjanAlgorithm(code string) (Algorithm, bool) {
+	for _, v := range liutarjan.Variants() {
+		if v.Code() == code {
+			return Algorithm{Kind: core.FinishLiuTarjan, LT: v}, true
+		}
+	}
+	return Algorithm{}, false
+}
+
+// StergiouAlgorithm selects Stergiou et al.'s algorithm.
+func StergiouAlgorithm() Algorithm {
+	return Algorithm{Kind: core.FinishStergiou}
+}
+
+// LabelPropagationAlgorithm selects the folklore Label-Propagation
+// algorithm.
+func LabelPropagationAlgorithm() Algorithm {
+	return Algorithm{Kind: core.FinishLabelProp}
+}
+
+// Algorithms enumerates every finish algorithm in the framework: the 36
+// union-find variants, Shiloach-Vishkin, the 16 Liu-Tarjan variants,
+// Stergiou, and Label-Propagation. Crossed with the four sampling modes,
+// these are the paper's several hundred connectivity implementations.
+func Algorithms() []Algorithm {
+	var out []Algorithm
+	for _, v := range unionfind.Variants() {
+		out = append(out, Algorithm{Kind: core.FinishUnionFind, UF: v})
+	}
+	out = append(out, ShiloachVishkinAlgorithm())
+	for _, v := range liutarjan.Variants() {
+		out = append(out, Algorithm{Kind: core.FinishLiuTarjan, LT: v})
+	}
+	out = append(out, StergiouAlgorithm(), LabelPropagationAlgorithm())
+	return out
+}
+
+// Connectivity computes the connected components of g: the returned
+// labeling satisfies labels[u] == labels[v] iff u and v are connected.
+func Connectivity(g *Graph, cfg Config) ([]uint32, error) {
+	return core.Connectivity(g, cfg)
+}
+
+// SpanningForest computes a spanning forest of g using a root-based finish
+// algorithm (any union-find variant except Rem+SpliceAtomic,
+// Shiloach-Vishkin, or a RootUp Liu-Tarjan variant).
+func SpanningForest(g *Graph, cfg Config) ([]Edge, error) {
+	raw, err := core.SpanningForest(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Edge, len(raw))
+	for i, e := range raw {
+		out[i] = Edge{U: e[0], V: e[1]}
+	}
+	return out, nil
+}
+
+// NewIncremental creates a streaming connectivity structure over n
+// initially isolated vertices (§3.5).
+func NewIncremental(n int, cfg Config) (*Incremental, error) {
+	return core.NewIncremental(n, cfg)
+}
+
+// NumComponents counts the distinct components in a labeling returned by
+// Connectivity.
+func NumComponents(labels []uint32) int { return core.NumComponents(labels) }
+
+// LargestComponent returns the most frequent label in a labeling and the
+// number of vertices carrying it.
+func LargestComponent(labels []uint32) (uint32, int) { return core.LargestComponent(labels) }

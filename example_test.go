@@ -1,0 +1,78 @@
+package connectit_test
+
+import (
+	"fmt"
+
+	"connectit"
+)
+
+// The minimal workflow: build a graph, compute components with the paper's
+// recommended default algorithm (k-out sampling + Union-Rem-CAS).
+func ExampleConnectivity() {
+	g := connectit.BuildGraph(5, []connectit.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	labels, err := connectit.Connectivity(g, connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(connectit.NumComponents(labels))
+	fmt.Println(labels[0] == labels[2])
+	fmt.Println(labels[0] == labels[3])
+	// Output:
+	// 2
+	// true
+	// false
+}
+
+// Selecting a specific algorithm combination: LDD sampling finished by the
+// Liu-Tarjan CRFA variant.
+func ExampleLiuTarjanAlgorithm() {
+	g := connectit.BuildGraph(4, []connectit.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	crfa, ok := connectit.LiuTarjanAlgorithm("CRFA")
+	if !ok {
+		panic("unknown variant")
+	}
+	labels, err := connectit.Connectivity(g, connectit.Config{
+		Sampling:  connectit.LDDSampling,
+		Algorithm: crfa,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(connectit.NumComponents(labels))
+	// Output:
+	// 2
+}
+
+// Spanning forest via a root-based algorithm: |F| = n - #components.
+func ExampleSpanningForest() {
+	g := connectit.BuildGraph(5, []connectit.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, // a triangle (one redundant edge)
+		{U: 3, V: 4},
+	})
+	forest, err := connectit.SpanningForest(g, connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(forest))
+	// Output:
+	// 3
+}
+
+// Batch-incremental connectivity: insertions and queries in one batch.
+func ExampleNewIncremental() {
+	inc, err := connectit.NewIncremental(4, connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	answers := inc.ProcessBatch(
+		[]connectit.Edge{{U: 0, V: 1}},
+		[][2]uint32{{2, 3}},
+	)
+	fmt.Println(answers[0])
+	fmt.Println(inc.Connected(0, 1))
+	// Output:
+	// false
+	// true
+}

@@ -1,0 +1,63 @@
+package connectit
+
+import (
+	"io"
+
+	"connectit/internal/graph"
+)
+
+// This file re-exports the graph construction surface of the library:
+// builders, file IO, and the synthetic generators used by the paper's
+// evaluation.
+
+// BuildGraph constructs a symmetric CSR graph with n vertices from an
+// undirected edge list, dropping self loops and duplicate edges.
+func BuildGraph(n int, edges []Edge) *Graph { return graph.Build(n, edges) }
+
+// LoadEdgeListFile reads a whitespace-separated edge-list file ("u v" per
+// line, '#'/'%' comments) and builds a symmetric graph.
+func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// ReadEdgeList parses an edge list from r and returns the edges plus the
+// implied vertex count.
+func ReadEdgeList(r io.Reader) ([]Edge, int, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g's undirected edge list to w.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// NewRMAT generates an RMAT power-law graph with 2^scale vertices and about
+// m undirected edges — the analog of the paper's social/web inputs.
+func NewRMAT(scale, m int, seed uint64) *Graph {
+	return graph.RMAT(scale, m, 0.57, 0.19, 0.19, seed)
+}
+
+// RMATEdges generates a raw RMAT edge stream with the paper's streaming
+// parameters (a, b, c) = (0.5, 0.1, 0.1) for batch-incremental experiments.
+func RMATEdges(scale, m int, seed uint64) []Edge {
+	return graph.RMATEdges(scale, m, 0.5, 0.1, 0.1, seed)
+}
+
+// NewBarabasiAlbert generates a preferential-attachment graph with n
+// vertices and about k·n edges.
+func NewBarabasiAlbert(n, k int, seed uint64) *Graph {
+	return graph.BarabasiAlbert(n, k, seed)
+}
+
+// BarabasiAlbertEdges generates a raw Barabási–Albert edge stream.
+func BarabasiAlbertEdges(n, k int, seed uint64) []Edge {
+	return graph.BarabasiAlbertEdges(n, k, seed)
+}
+
+// NewErdosRenyi generates a uniform random graph with n vertices and m
+// edges.
+func NewErdosRenyi(n, m int, seed uint64) *Graph { return graph.ErdosRenyi(n, m, seed) }
+
+// NewGrid2D generates a rows×cols mesh: the high-diameter road-network
+// analog (road_usa in the paper).
+func NewGrid2D(rows, cols int) *Graph { return graph.Grid2D(rows, cols) }
+
+// NewWebLike generates an RMAT-style graph with a fraction of isolated
+// vertices, mimicking the component structure of the Hyperlink web crawls.
+func NewWebLike(scale, m int, isolatedFrac float64, seed uint64) *Graph {
+	return graph.WebLike(scale, m, isolatedFrac, seed)
+}

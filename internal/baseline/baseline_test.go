@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"testing"
+
+	"connectit/internal/graph"
+	"connectit/internal/testutil"
+)
+
+func TestBaselinesMatchOracleOnPanel(t *testing.T) {
+	type system struct {
+		name string
+		run  func(*graph.Graph) []uint32
+	}
+	systems := []system{
+		{"BFSCC", BFSCC},
+		{"WorkEfficientCC", func(g *graph.Graph) []uint32 { return WorkEfficientCC(g, 0.2, 11) }},
+		{"MultiStep", MultiStep},
+		{"GAPBS-SV", GAPBSShiloachVishkin},
+		{"Afforest", func(g *graph.Graph) []uint32 { return Afforest(g, 2, 5) }},
+		{"PatwaryRM", PatwaryRM},
+	}
+	for name, g := range testutil.Panel() {
+		want := testutil.Components(g)
+		for _, sys := range systems {
+			got := sys.run(g)
+			testutil.CheckPartition(t, sys.name+"/"+name, got, want)
+		}
+	}
+}
+
+func TestWorkEfficientCCHighBeta(t *testing.T) {
+	// beta = 1 stresses the degenerate-decomposition fallback.
+	g := graph.Grid2D(15, 15)
+	got := WorkEfficientCC(g, 1.0, 3)
+	testutil.CheckPartition(t, "grid-beta1", got, testutil.Components(g))
+}
+
+func TestWorkEfficientCCDeepRecursion(t *testing.T) {
+	// A long path forces many contraction levels at small beta.
+	g := graph.Path(5000)
+	got := WorkEfficientCC(g, 0.05, 7)
+	testutil.CheckPartition(t, "path", got, testutil.Components(g))
+}
+
+func TestMultiStepPicksGiantComponent(t *testing.T) {
+	// One big clique plus stragglers: the BFS seed must land in the clique.
+	edges := graph.Cliques(1, 100).Edges()
+	edges = append(edges, graph.Edge{U: 100, V: 101}, graph.Edge{U: 102, V: 103})
+	g := graph.Build(104, edges)
+	got := MultiStep(g)
+	testutil.CheckPartition(t, "clique+stragglers", got, testutil.Components(g))
+}

@@ -1,0 +1,123 @@
+package bfs
+
+import (
+	"testing"
+
+	"connectit/internal/graph"
+)
+
+// seqBFS computes reference distances with a sequential BFS.
+func seqBFS(g *graph.Graph, src graph.Vertex) []int {
+	n := g.NumVertices()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.Vertex{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func checkBFS(t *testing.T, g *graph.Graph, src graph.Vertex) {
+	t.Helper()
+	res := Run(g, src)
+	dist := seqBFS(g, src)
+	reachable := 0
+	maxDist := 0
+	for v, d := range dist {
+		if d >= 0 {
+			reachable++
+			if d > maxDist {
+				maxDist = d
+			}
+			if res.Parent[v] == graph.None {
+				t.Fatalf("vertex %d reachable (dist %d) but unvisited", v, d)
+			}
+		} else if res.Parent[v] != graph.None {
+			t.Fatalf("vertex %d unreachable but has parent %d", v, res.Parent[v])
+		}
+	}
+	if res.Visited != reachable {
+		t.Fatalf("visited = %d, want %d", res.Visited, reachable)
+	}
+	if res.Rounds < maxDist {
+		t.Fatalf("rounds = %d < eccentricity %d", res.Rounds, maxDist)
+	}
+	// Parent tree validity: following parents must reach src, and each tree
+	// edge must be a real graph edge with dist(parent) = dist(child) - 1.
+	for v := range res.Parent {
+		p := res.Parent[v]
+		if p == graph.None || graph.Vertex(v) == src {
+			continue
+		}
+		if dist[p] != dist[v]-1 {
+			t.Fatalf("tree edge %d->%d: dist %d vs %d", v, p, dist[v], dist[p])
+		}
+		found := false
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if u == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("tree edge %d->%d is not a graph edge", v, p)
+		}
+	}
+}
+
+func TestBFSOnFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		src  graph.Vertex
+	}{
+		{"path", graph.Path(100), 0},
+		{"path-mid", graph.Path(101), 50},
+		{"star", graph.Star(500), 0},
+		{"star-leaf", graph.Star(500), 17},
+		{"cycle", graph.Cycle(64), 5},
+		{"grid", graph.Grid2D(30, 40), 0},
+		{"cliques-disconnected", graph.Cliques(4, 25), 3},
+		{"rmat", graph.RMAT(12, 40000, 0.57, 0.19, 0.19, 1), 0},
+		{"single", graph.Build(1, nil), 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkBFS(t, tc.g, tc.src) })
+	}
+}
+
+func TestBFSTriggersBottomUp(t *testing.T) {
+	// A star from the center floods the whole graph in one round, forcing
+	// the dense bottom-up path (frontier edges = n-1 > m/20).
+	g := graph.Star(10000)
+	res := Run(g, 0)
+	if res.Visited != 10000 {
+		t.Fatalf("visited = %d, want all", res.Visited)
+	}
+	// One productive expansion plus the final empty one.
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Rounds)
+	}
+}
+
+func TestBFSIsolatedSource(t *testing.T) {
+	g := graph.Build(5, []graph.Edge{{U: 1, V: 2}})
+	res := Run(g, 0)
+	if res.Visited != 1 {
+		t.Fatalf("visited = %d, want 1", res.Visited)
+	}
+	if res.Parent[0] != 0 || res.Parent[1] != graph.None {
+		t.Fatal("parent array wrong for isolated source")
+	}
+}

@@ -1,0 +1,288 @@
+// Package core implements the ConnectIt framework proper: the two-phase
+// connectivity meta-algorithm (Algorithm 1) composing a sampling phase with
+// a finish phase, the spanning forest extension (Algorithm 2), and the
+// batch-incremental streaming extension (Algorithm 3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"connectit/internal/graph"
+	"connectit/internal/labelprop"
+	"connectit/internal/liutarjan"
+	"connectit/internal/parallel"
+	"connectit/internal/sample"
+	"connectit/internal/shiloachvishkin"
+	"connectit/internal/unionfind"
+)
+
+// SamplingMode selects the sampling phase.
+type SamplingMode int
+
+// The sampling modes of §3.2 (or none).
+const (
+	NoSampling SamplingMode = iota
+	KOutSampling
+	BFSSampling
+	LDDSampling
+)
+
+func (s SamplingMode) String() string {
+	switch s {
+	case NoSampling:
+		return "none"
+	case KOutSampling:
+		return "kout"
+	case BFSSampling:
+		return "bfs"
+	case LDDSampling:
+		return "ldd"
+	}
+	return fmt.Sprintf("SamplingMode(%d)", int(s))
+}
+
+// FinishKind selects the finish algorithm family.
+type FinishKind int
+
+// The finish families of §3.3.
+const (
+	FinishUnionFind FinishKind = iota
+	FinishShiloachVishkin
+	FinishLiuTarjan
+	FinishStergiou
+	FinishLabelProp
+)
+
+func (f FinishKind) String() string {
+	switch f {
+	case FinishUnionFind:
+		return "union-find"
+	case FinishShiloachVishkin:
+		return "shiloach-vishkin"
+	case FinishLiuTarjan:
+		return "liu-tarjan"
+	case FinishStergiou:
+		return "stergiou"
+	case FinishLabelProp:
+		return "label-propagation"
+	}
+	return fmt.Sprintf("FinishKind(%d)", int(f))
+}
+
+// Algorithm identifies one finish algorithm instantiation.
+type Algorithm struct {
+	Kind FinishKind
+	// UF configures the union-find variant when Kind == FinishUnionFind.
+	UF unionfind.Variant
+	// LT configures the framework variant when Kind == FinishLiuTarjan.
+	LT liutarjan.Variant
+}
+
+// Name renders the paper's naming for the algorithm.
+func (a Algorithm) Name() string {
+	switch a.Kind {
+	case FinishUnionFind:
+		return a.UF.Name()
+	case FinishLiuTarjan:
+		return "Liu-Tarjan;" + a.LT.Code()
+	default:
+		return a.Kind.String()
+	}
+}
+
+// Config selects a complete ConnectIt algorithm: a sampling phase plus a
+// finish phase (Figure 1).
+type Config struct {
+	Sampling SamplingMode
+
+	// K is the k-out parameter (default 2).
+	K int
+	// KOutStrategy selects the k-out edge-selection variant.
+	KOutStrategy sample.KOutVariant
+	// BFSTries is the number of BFS sampling attempts (default 3).
+	BFSTries int
+	// Beta is the LDD parameter (default 0.2).
+	Beta float64
+	// LDDPermute randomizes the LDD start-time order.
+	LDDPermute bool
+
+	Algorithm Algorithm
+
+	// Seed drives all randomized choices; fixed seeds give reproducible
+	// runs.
+	Seed uint64
+	// Stats receives union-find path-length instrumentation when non-nil.
+	Stats *unionfind.Stats
+}
+
+// ErrUnsupported reports a framework combination the paper excludes.
+var ErrUnsupported = errors.New("connectit: unsupported combination")
+
+// Identity returns the identity labeling for n vertices.
+func Identity(n int) []uint32 {
+	labels := make([]uint32, n)
+	parallel.For(n, func(i int) { labels[i] = uint32(i) })
+	return labels
+}
+
+// runSampling executes the configured sampling phase and returns the star
+// labeling plus (optionally) the partial spanning forest.
+func runSampling(g *graph.Graph, cfg Config, forest bool) *sample.Result {
+	switch cfg.Sampling {
+	case KOutSampling:
+		k := cfg.K
+		if k == 0 {
+			k = 2
+		}
+		return sample.KOut(g, k, cfg.KOutStrategy, cfg.Seed, forest)
+	case BFSSampling:
+		tries := cfg.BFSTries
+		if tries == 0 {
+			tries = 3
+		}
+		return sample.BFS(g, tries, cfg.Seed, forest)
+	case LDDSampling:
+		beta := cfg.Beta
+		if beta == 0 {
+			beta = 0.2
+		}
+		return sample.LDD(g, beta, cfg.LDDPermute, cfg.Seed, forest)
+	default:
+		return &sample.Result{Labels: Identity(g.NumVertices())}
+	}
+}
+
+// Connectivity runs the ConnectIt connectivity meta-algorithm (Algorithm 1)
+// and returns a connectivity labeling: labels[u] == labels[v] iff u and v
+// are connected. It returns an error only for combinations the paper
+// proves incorrect (via unionfind.New validation).
+func Connectivity(g *graph.Graph, cfg Config) ([]uint32, error) {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, nil
+	}
+	res := runSampling(g, cfg, false)
+	labels := res.Labels
+
+	var skip []bool
+	if cfg.Sampling != NoSampling {
+		frequent := sample.MostFrequent(labels, cfg.Seed)
+		// Canonicalize stars to minimum-rooted form so every finish
+		// algorithm's invariants hold (DESIGN.md §4). k-out stars are
+		// already canonical.
+		if !res.Canonical {
+			frequent = sample.Canonicalize(labels, frequent)
+		}
+		skip = make([]bool, n)
+		f := frequent
+		parallel.For(n, func(i int) { skip[i] = labels[i] == f })
+	}
+
+	switch cfg.Algorithm.Kind {
+	case FinishUnionFind:
+		opt := cfg.Algorithm.UF.Options()
+		opt.Stats = cfg.Stats
+		d, err := unionfind.NewFromLabels(labels, opt)
+		if err != nil {
+			return nil, err
+		}
+		unionFindFinish(g, d, skip)
+		return d.Labels(), nil
+	case FinishShiloachVishkin:
+		shiloachvishkin.Run(g, labels, skip)
+		return labels, nil
+	case FinishLiuTarjan:
+		liutarjan.Run(g, labels, skip, cfg.Algorithm.LT)
+		return labels, nil
+	case FinishStergiou:
+		liutarjan.RunStergiou(g, labels, skip)
+		return labels, nil
+	case FinishLabelProp:
+		labelprop.Run(g, labels, skip)
+		return labels, nil
+	}
+	return nil, fmt.Errorf("%w: unknown finish kind %v", ErrUnsupported, cfg.Algorithm.Kind)
+}
+
+// unionFindFinish applies every edge incident to an unskipped vertex.
+func unionFindFinish(g *graph.Graph, d *unionfind.DSU, skip []bool) {
+	n := g.NumVertices()
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if skip != nil && skip[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				d.Union(uint32(v), u)
+			}
+		}
+	})
+}
+
+// NumComponents counts distinct labels in a flattened labeling.
+func NumComponents(labels []uint32) int {
+	count := 0
+	seen := make(map[uint32]struct{}, 64)
+	for _, l := range labels {
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			count++
+		}
+	}
+	return count
+}
+
+// LargestComponent returns the most frequent label and its vertex count.
+func LargestComponent(labels []uint32) (uint32, int) {
+	counts := make(map[uint32]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	var best uint32
+	bestC := 0
+	for l, c := range counts {
+		if c > bestC || (c == bestC && l < best) {
+			best, bestC = l, c
+		}
+	}
+	return best, bestC
+}
+
+// MapEdges performs one parallel pass over every directed edge, returning a
+// per-vertex reduction of f — the paper's MAPEDGES baseline primitive
+// (Table 8), the cost of reading the graph.
+func MapEdges(g *graph.Graph) []uint32 {
+	n := g.NumVertices()
+	out := make([]uint32, n)
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s uint32
+			for range g.Neighbors(graph.Vertex(v)) {
+				s++
+			}
+			out[v] = s
+		}
+	})
+	return out
+}
+
+// GatherEdges performs one parallel pass over every directed edge with an
+// indirect read through the neighbor into data — the paper's GATHEREDGES
+// lower-bound primitive (Table 8): every correct connectivity algorithm
+// performs at least this access pattern.
+func GatherEdges(g *graph.Graph, data []uint32) []uint32 {
+	n := g.NumVertices()
+	out := make([]uint32, n)
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s uint32
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				s += atomic.LoadUint32(&data[u])
+			}
+			out[v] = s
+		}
+	})
+	return out
+}

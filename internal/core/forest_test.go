@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"connectit/internal/liutarjan"
+	"connectit/internal/testutil"
+	"connectit/internal/unionfind"
+)
+
+// forestAlgorithms enumerates every spanning-forest-capable finish
+// algorithm: 32 union-find variants (excluding Rem+SpliceAtomic), SV, and
+// the RootUp Liu-Tarjan variants.
+func forestAlgorithms() []Algorithm {
+	var out []Algorithm
+	for _, v := range unionfind.ForestVariants() {
+		out = append(out, Algorithm{Kind: FinishUnionFind, UF: v})
+	}
+	out = append(out, Algorithm{Kind: FinishShiloachVishkin})
+	for _, v := range liutarjan.Variants() {
+		if v.RootBased() {
+			out = append(out, Algorithm{Kind: FinishLiuTarjan, LT: v})
+		}
+	}
+	return out
+}
+
+// TestSpanningForestMatrix: every sampling mode × every forest-capable
+// finish algorithm produces a valid spanning forest on every panel graph.
+func TestSpanningForestMatrix(t *testing.T) {
+	panel := testutil.Panel()
+	for _, mode := range samplingModes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, alg := range forestAlgorithms() {
+				cfg := Config{Sampling: mode, Algorithm: alg, Seed: 17}
+				for name, g := range panel {
+					forest, err := SpanningForest(g, cfg)
+					if err != nil {
+						t.Fatalf("%s/%s/%s: %v", mode, alg.Name(), name, err)
+					}
+					testutil.CheckSpanningForest(t, mode.String()+"/"+alg.Name()+"/"+name, g, forest)
+				}
+			}
+		})
+	}
+}
+
+func TestSpanningForestRejectsUnsupported(t *testing.T) {
+	g := testutil.Panel()["grid"]
+	unsupported := []Algorithm{
+		{Kind: FinishStergiou},
+		{Kind: FinishLabelProp},
+		{Kind: FinishLiuTarjan, LT: liutarjan.Variant{Connect: liutarjan.ParentConnect}}, // PUS: not RootUp
+		{Kind: FinishUnionFind, UF: unionfind.Variant{Union: unionfind.UnionRemCAS, Splice: unionfind.SpliceAtomic}},
+	}
+	for _, alg := range unsupported {
+		if _, err := SpanningForest(g, Config{Algorithm: alg}); err == nil {
+			t.Fatalf("%s: expected ErrUnsupported", alg.Name())
+		}
+	}
+}
+
+func TestForestVariantCount(t *testing.T) {
+	// 36 - 2×2 Rem+Splice combos... Rem has Splice with 3 find options each
+	// (FindCompress is already excluded), so 36 - 6 = 30 union-find forest
+	// variants, plus SV, plus 4 RootUp LT variants.
+	algos := forestAlgorithms()
+	uf := 0
+	lt := 0
+	for _, a := range algos {
+		switch a.Kind {
+		case FinishUnionFind:
+			uf++
+		case FinishLiuTarjan:
+			lt++
+		}
+	}
+	if uf != 30 {
+		t.Fatalf("union-find forest variants = %d, want 30", uf)
+	}
+	if lt != 6 {
+		t.Fatalf("RootUp LT variants = %d, want 6 (CRSA, PRSA, PRS, CRFA, PRFA, PRF)", lt)
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"connectit/internal/graph"
+	"connectit/internal/liutarjan"
+	"connectit/internal/parallel"
+	"connectit/internal/shiloachvishkin"
+	"connectit/internal/unionfind"
+)
+
+// StreamType classifies how a streaming algorithm processes a batch (§3.5).
+type StreamType int
+
+// The streaming algorithm types of §3.5.
+const (
+	// TypeAsync (Type i): union-find variants other than Rem+SpliceAtomic.
+	// Updates and queries in a batch run fully concurrently; all operations
+	// are linearizable and finds are wait-free.
+	TypeAsync StreamType = iota
+	// TypeSynchronous (Type ii): Shiloach-Vishkin and RootUp Liu-Tarjan.
+	// Updates are applied synchronously in rounds; queries are wait-free.
+	TypeSynchronous
+	// TypePhased (Type iii): Rem's algorithms with SpliceAtomic. Updates
+	// and queries are phase-separated by a barrier (Theorem 3).
+	TypePhased
+)
+
+func (t StreamType) String() string {
+	switch t {
+	case TypeAsync:
+		return "type-i-async"
+	case TypeSynchronous:
+		return "type-ii-synchronous"
+	case TypePhased:
+		return "type-iii-phased"
+	}
+	return fmt.Sprintf("StreamType(%d)", int(t))
+}
+
+// Incremental maintains connectivity of a growing graph under batches of
+// edge insertions mixed with connectivity queries (the parallel
+// batch-incremental setting, §3.5 / Algorithm 3).
+type Incremental struct {
+	kind   FinishKind
+	stype  StreamType
+	dsu    *unionfind.DSU
+	lt     liutarjan.Variant
+	parent []uint32
+	n      int
+}
+
+// NewIncremental creates a streaming connectivity structure over n vertices
+// (initially edgeless) configured by cfg.Algorithm. Stergiou,
+// Label-Propagation, and non-RootUp Liu-Tarjan variants do not support
+// streaming (their updates relabel non-roots, breaking wait-free root
+// queries) and return ErrUnsupported.
+func NewIncremental(n int, cfg Config) (*Incremental, error) {
+	inc := &Incremental{kind: cfg.Algorithm.Kind, n: n}
+	switch cfg.Algorithm.Kind {
+	case FinishUnionFind:
+		opt := cfg.Algorithm.UF.Options()
+		opt.Stats = cfg.Stats
+		d, err := unionfind.New(n, opt)
+		if err != nil {
+			return nil, err
+		}
+		inc.dsu = d
+		inc.parent = d.Parents()
+		isRem := opt.Union == unionfind.UnionRemCAS || opt.Union == unionfind.UnionRemLock
+		if isRem && opt.Splice == unionfind.SpliceAtomic {
+			inc.stype = TypePhased
+		} else {
+			inc.stype = TypeAsync
+		}
+	case FinishShiloachVishkin:
+		inc.parent = Identity(n)
+		inc.stype = TypeSynchronous
+	case FinishLiuTarjan:
+		if !cfg.Algorithm.LT.RootBased() {
+			return nil, fmt.Errorf("%w: streaming with non-RootUp Liu-Tarjan variant %s",
+				ErrUnsupported, cfg.Algorithm.LT.Code())
+		}
+		inc.lt = cfg.Algorithm.LT
+		inc.parent = Identity(n)
+		inc.stype = TypeSynchronous
+	default:
+		return nil, fmt.Errorf("%w: streaming with %v", ErrUnsupported, cfg.Algorithm.Kind)
+	}
+	return inc, nil
+}
+
+// Type reports the streaming classification of the configured algorithm.
+func (inc *Incremental) Type() StreamType { return inc.stype }
+
+// Len returns the number of vertices.
+func (inc *Incremental) Len() int { return inc.n }
+
+// ProcessBatch ingests a batch of edge insertions and answers the batch's
+// connectivity queries, returning one result per query. Per §3.5, Type (i)
+// algorithms run updates and queries fully concurrently; Type (ii) and
+// Type (iii) apply updates first and then answer queries.
+func (inc *Incremental) ProcessBatch(updates []graph.Edge, queries [][2]uint32) []bool {
+	results := make([]bool, len(queries))
+	switch inc.stype {
+	case TypeAsync:
+		total := len(updates) + len(queries)
+		parallel.ForGrained(total, 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i < len(updates) {
+					inc.dsu.Union(updates[i].U, updates[i].V)
+				} else {
+					q := queries[i-len(updates)]
+					results[i-len(updates)] = inc.dsu.SameSet(q[0], q[1])
+				}
+			}
+		})
+	case TypePhased:
+		parallel.ForGrained(len(updates), 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				inc.dsu.Union(updates[i].U, updates[i].V)
+			}
+		})
+		parallel.ForGrained(len(queries), 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				results[i] = inc.dsu.SameSet(queries[i][0], queries[i][1])
+			}
+		})
+	case TypeSynchronous:
+		if len(updates) > 0 {
+			if inc.kind == FinishShiloachVishkin {
+				shiloachvishkin.RunEdges(updates, inc.parent)
+			} else {
+				liutarjan.RunEdges(updates, inc.parent, nil, inc.lt)
+			}
+		}
+		parallel.ForGrained(len(queries), 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				results[i] = inc.Connected(queries[i][0], queries[i][1])
+			}
+		})
+	}
+	return results
+}
+
+// Connected answers a single connectivity query. It is wait-free for Type
+// (i) and (ii) algorithms; for Type (iii) it must not run concurrently with
+// updates (phase-concurrency, Theorem 3).
+func (inc *Incremental) Connected(u, v uint32) bool {
+	if inc.dsu != nil {
+		return inc.dsu.SameSet(u, v)
+	}
+	ru, rv := chaseRoot(inc.parent, u), chaseRoot(inc.parent, v)
+	for ru != rv {
+		pru := atomic.LoadUint32(&inc.parent[ru])
+		prv := atomic.LoadUint32(&inc.parent[rv])
+		if pru == ru && prv == rv {
+			return false
+		}
+		ru, rv = chaseRoot(inc.parent, pru), chaseRoot(inc.parent, prv)
+	}
+	return true
+}
+
+func chaseRoot(parent []uint32, x uint32) uint32 {
+	for {
+		p := atomic.LoadUint32(&parent[x])
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// Labels returns the current connectivity labeling (quiescent snapshot).
+func (inc *Incremental) Labels() []uint32 {
+	if inc.dsu != nil {
+		out := make([]uint32, inc.n)
+		copy(out, inc.dsu.Labels())
+		return out
+	}
+	out := make([]uint32, inc.n)
+	parallel.For(inc.n, func(i int) { out[i] = chaseRoot(inc.parent, uint32(i)) })
+	return out
+}
+
+// NumComponents counts the current number of components.
+func (inc *Incremental) NumComponents() int {
+	labels := inc.Labels()
+	return int(parallel.Count(len(labels), func(i int) bool {
+		return labels[i] == uint32(i)
+	}))
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"sort"
+
+	"connectit/internal/parallel"
+)
+
+// Build constructs a symmetric CSR graph with n vertices from an undirected
+// edge list. Self loops are dropped and parallel edges are deduplicated;
+// adjacency lists are sorted ascending. Build panics if an endpoint is >= n.
+func Build(n int, edges []Edge) *Graph {
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic("graph: edge endpoint out of range")
+		}
+	}
+	// Count directed degrees (both directions), skipping self loops.
+	deg := make([]uint64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	total := parallel.ScanExclusive(deg[: n+1 : n+1])
+	adj := make([]Vertex, total)
+	fill := make([]uint64, n)
+	copy(fill, deg[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[fill[e.U]] = e.V
+		fill[e.U]++
+		adj[fill[e.V]] = e.U
+		fill[e.V]++
+	}
+	g := &Graph{Offsets: deg, Adj: adj}
+	dedupe(g)
+	return g
+}
+
+// dedupe sorts each adjacency list and removes duplicate neighbors,
+// rebuilding the CSR arrays compactly.
+func dedupe(g *Graph) {
+	n := g.NumVertices()
+	newDeg := make([]uint64, n+1)
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			nbrs := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			k := 0
+			for i := range nbrs {
+				if i == 0 || nbrs[i] != nbrs[i-1] {
+					nbrs[k] = nbrs[i]
+					k++
+				}
+			}
+			newDeg[v] = uint64(k)
+		}
+	})
+	total := parallel.ScanExclusive(newDeg)
+	adj := make([]Vertex, total)
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			cnt := int(newDeg[v+1] - newDeg[v])
+			copy(adj[newDeg[v]:newDeg[v+1]], g.Adj[g.Offsets[v]:g.Offsets[v]+uint64(cnt)])
+		}
+	})
+	g.Offsets = newDeg
+	g.Adj = adj
+}

@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildSymmetrizesAndDedupes(t *testing.T) {
+	g := Build(4, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}})
+	if g.NumVertices() != 4 {
+		t.Fatalf("n = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2 (self loop and duplicates dropped)", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 2 || g.Degree(2) != 1 || g.Degree(3) != 0 {
+		t.Fatalf("degrees = %d %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2), g.Degree(3))
+	}
+	nbrs := g.Neighbors(1)
+	if len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [0 2]", nbrs)
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	g := Build(0, nil)
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty graph should have no vertices/edges")
+	}
+	g = Build(1, nil)
+	if g.NumVertices() != 1 || g.Degree(0) != 0 {
+		t.Fatal("single vertex graph")
+	}
+}
+
+func TestBuildPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range endpoint")
+		}
+	}()
+	Build(2, []Edge{{0, 5}})
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	orig := []Edge{{0, 1}, {1, 2}, {3, 4}, {0, 4}}
+	g := Build(5, orig)
+	back := g.Edges()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip %d edges, want %d", len(back), len(orig))
+	}
+	g2 := Build(5, back)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("rebuilt graph differs")
+	}
+}
+
+func TestBuildAdjacencySortedProperty(t *testing.T) {
+	f := func(raw []struct{ U, V uint16 }) bool {
+		edges := make([]Edge, len(raw))
+		n := 1
+		for i, e := range raw {
+			u, v := Vertex(e.U%512), Vertex(e.V%512)
+			edges[i] = Edge{u, v}
+			if int(u)+1 > n {
+				n = int(u) + 1
+			}
+			if int(v)+1 > n {
+				n = int(v) + 1
+			}
+		}
+		g := Build(n, edges)
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(Vertex(v))
+			for i := 1; i < len(nbrs); i++ {
+				if nbrs[i] <= nbrs[i-1] {
+					return false
+				}
+			}
+			for _, u := range nbrs {
+				if u == Vertex(v) {
+					return false // self loop survived
+				}
+				// symmetry: v must appear in u's list
+				found := false
+				for _, w := range g.Neighbors(u) {
+					if w == Vertex(v) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2DStructure(t *testing.T) {
+	g := Grid2D(3, 4)
+	if g.NumVertices() != 12 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// m = rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17
+	if g.NumEdges() != 17 {
+		t.Fatalf("m = %d, want 17", g.NumEdges())
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Fatalf("corner degree = %d, want 2", g.Degree(0))
+	}
+	if g.Degree(5) != 4 { // interior (row 1, col 1)
+		t.Fatalf("interior degree = %d, want 4", g.Degree(5))
+	}
+}
+
+func TestFixtureGenerators(t *testing.T) {
+	if g := Path(10); g.NumEdges() != 9 || g.Degree(0) != 1 || g.Degree(5) != 2 {
+		t.Fatal("Path(10) malformed")
+	}
+	if g := Cycle(10); g.NumEdges() != 10 || g.Degree(3) != 2 {
+		t.Fatal("Cycle(10) malformed")
+	}
+	if g := Star(10); g.NumEdges() != 9 || g.Degree(0) != 9 || g.Degree(1) != 1 {
+		t.Fatal("Star(10) malformed")
+	}
+	if g := Cliques(3, 4); g.NumVertices() != 12 || g.NumEdges() != 18 {
+		t.Fatal("Cliques(3,4) malformed")
+	}
+}
+
+func TestRMATDeterministicAndInRange(t *testing.T) {
+	g1 := RMAT(10, 5000, 0.57, 0.19, 0.19, 42)
+	g2 := RMAT(10, 5000, 0.57, 0.19, 0.19, 42)
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("RMAT not deterministic for fixed seed")
+	}
+	if g1.NumVertices() != 1024 {
+		t.Fatalf("n = %d, want 1024", g1.NumVertices())
+	}
+	g3 := RMAT(10, 5000, 0.57, 0.19, 0.19, 43)
+	if g1.NumEdges() == g3.NumEdges() && g1.NumDirectedEdges() == g3.NumDirectedEdges() {
+		// Different seeds should (almost surely) differ somewhere.
+		same := true
+		for v := 0; v < g1.NumVertices() && same; v++ {
+			if g1.Degree(Vertex(v)) != g3.Degree(Vertex(v)) {
+				same = false
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 5, 7)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 5000 {
+		t.Fatalf("m = %d, want >= 5000ish", g.NumEdges())
+	}
+	// Preferential attachment: max degree should greatly exceed the mean.
+	var maxDeg int
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(Vertex(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := 2 * g.NumEdges() / g.NumVertices()
+	if maxDeg < 4*mean {
+		t.Fatalf("maxDeg = %d vs mean = %d: degree distribution not skewed", maxDeg, mean)
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(1000, 3000, 11)
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 2800 || g.NumEdges() > 3000 {
+		t.Fatalf("m = %d, want close to 3000", g.NumEdges())
+	}
+}
+
+func TestWebLikeHasIsolatedVertices(t *testing.T) {
+	g := WebLike(12, 20000, 0.25, 5)
+	isolated := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(Vertex(v)) == 0 {
+			isolated++
+		}
+	}
+	if isolated < g.NumVertices()/5 {
+		t.Fatalf("isolated = %d of %d, want >= 20%%", isolated, g.NumVertices())
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	graphs := []*Graph{
+		Build(0, nil),
+		Build(3, nil),
+		Path(50),
+		Star(64),
+		RMAT(10, 8000, 0.57, 0.19, 0.19, 3),
+		Grid2D(20, 20),
+	}
+	for _, g := range graphs {
+		c := Compress(g)
+		back := c.Decompress()
+		if back.NumVertices() != g.NumVertices() || back.NumDirectedEdges() != g.NumDirectedEdges() {
+			t.Fatalf("%v: round trip size mismatch", g)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(Vertex(v)), back.Neighbors(Vertex(v))
+			if len(a) != len(b) {
+				t.Fatalf("%v: vertex %d degree mismatch", g, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%v: vertex %d neighbor %d mismatch", g, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCompressSavesSpace(t *testing.T) {
+	g := RMAT(14, 1<<17, 0.57, 0.19, 0.19, 9)
+	c := Compress(g)
+	raw := 4 * g.NumDirectedEdges()
+	if c.SizeBytes() >= raw {
+		t.Fatalf("compressed %d bytes >= raw %d bytes", c.SizeBytes(), raw)
+	}
+}
+
+func TestEdgeListIO(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n\n% another\n3 0\n"
+	edges, n, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || len(edges) != 3 {
+		t.Fatalf("n=%d len=%d", n, len(edges))
+	}
+	g := Build(n, edges)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	edges2, n2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := Build(n2, edges2)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("IO round trip lost edges")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("expected error for short line")
+	}
+	if _, _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Fatal("expected error for non-numeric endpoint")
+	}
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(42) != Hash64(42) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1) == Hash64(2) {
+		t.Fatal("Hash64 trivially colliding")
+	}
+}

@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// lines starting with '#' or '%' are comments) and returns the edges and the
+// implied vertex count (max endpoint + 1).
+func ReadEdgeList(r io.Reader) (edges []Edge, n int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: expected two endpoints, got %q", line, text)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, Edge{Vertex(u), Vertex(v)})
+		if int(u)+1 > n {
+			n = int(u) + 1
+		}
+		if int(v)+1 > n {
+			n = int(v) + 1
+		}
+	}
+	return edges, n, sc.Err()
+}
+
+// LoadEdgeListFile reads an edge-list file and builds a symmetric graph.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	edges, n, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, err
+	}
+	return Build(n, edges), nil
+}
+
+// WriteEdgeList writes the undirected edge list of g ("u v" per line).
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(Vertex(u)) {
+			if Vertex(u) < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,61 @@
+// Package labelprop implements the folklore Label-Propagation connectivity
+// algorithm (§B.2.6): a frontier-based min-label flood, equivalent to
+// iterated sparse matrix-vector multiplication over the (min, min) semiring.
+// Each round, every frontier vertex exchanges labels with its neighbors via
+// writeMin; vertices whose label changed form the next frontier. The
+// algorithm terminates within D rounds for diameter D, which is what makes
+// it catastrophically slow on high-diameter graphs (the paper's road_usa
+// result) — a behaviour reproduced by the benchmarks.
+package labelprop
+
+import (
+	"sync/atomic"
+
+	"connectit/internal/graph"
+	"connectit/internal/minlabel"
+	"connectit/internal/parallel"
+)
+
+// Run refines the labeling in parent to connected components. favored,
+// when non-nil, marks the vertices of the sampled most-frequent component:
+// their out-edges are not traversed and their IDs compare smaller than every
+// other label, so their labels can only spread inward via their neighbors'
+// own edge scans (Theorem 4). It returns the number of rounds.
+func Run(g *graph.Graph, parent []uint32, favored []bool) int {
+	n := g.NumVertices()
+	skip := favored
+	ord := minlabel.Order{Favored: favored}
+
+	// epoch[v] == round marks membership in the next frontier.
+	epoch := make([]uint32, n)
+	parallel.For(n, func(i int) { epoch[i] = 0 })
+
+	frontier := parallel.FilterIndices(n, func(i int) bool {
+		return (skip == nil || !skip[i]) && g.Degree(graph.Vertex(i)) > 0
+	})
+	round := uint32(0)
+	for len(frontier) > 0 {
+		round++
+		parallel.ForGrained(len(frontier), 128, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := frontier[i]
+				for _, u := range g.Neighbors(v) {
+					pv := atomic.LoadUint32(&parent[v])
+					// Push v's label to u.
+					if ord.WriteMin(&parent[u], pv) {
+						if skip == nil || !skip[u] {
+							atomic.StoreUint32(&epoch[u], round)
+						}
+					} else if pu := atomic.LoadUint32(&parent[u]); ord.Less(pu, pv) {
+						// Pull u's label into v.
+						if ord.WriteMin(&parent[v], pu) {
+							atomic.StoreUint32(&epoch[v], round)
+						}
+					}
+				}
+			}
+		})
+		frontier = parallel.FilterIndices(n, func(i int) bool { return epoch[i] == round })
+	}
+	return int(round)
+}

@@ -1,0 +1,97 @@
+package labelprop
+
+import (
+	"testing"
+
+	"connectit/internal/graph"
+	"connectit/internal/testutil"
+)
+
+func identity(n int) []uint32 {
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	return p
+}
+
+func TestRunMatchesOracleOnPanel(t *testing.T) {
+	for name, g := range testutil.Panel() {
+		parent := identity(g.NumVertices())
+		Run(g, parent, nil)
+		testutil.CheckPartition(t, name, parent, testutil.Components(g))
+	}
+}
+
+func TestRoundsScaleWithDiameter(t *testing.T) {
+	// The paper's road_usa pathology: rounds grow with graph diameter. A
+	// plain path collapses in one sweep because ascending iteration order
+	// matches the chain, so permute the vertex IDs to break that alignment;
+	// the minimum label then needs many rounds to cross the permuted path.
+	const n = 4096
+	perm := make([]uint32, n)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	// Fisher-Yates with a deterministic hash source.
+	state := uint64(12345)
+	for i := n - 1; i > 0; i-- {
+		state = state*6364136223846793005 + 1442695040888963407
+		j := int(state % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: perm[i], V: perm[i+1]})
+	}
+	long := graph.Build(n, edges)
+	short := graph.Star(n)
+	ps, pl := identity(n), identity(n)
+	rs := Run(short, ps, nil)
+	rl := Run(long, pl, nil)
+	testutil.CheckPartition(t, "permuted-path", pl, testutil.Components(long))
+	if rs > 4 {
+		t.Fatalf("star rounds = %d, want O(1)", rs)
+	}
+	if rl <= 4*rs {
+		t.Fatalf("permuted path rounds %d vs star rounds %d; want diameter-driven growth", rl, rs)
+	}
+}
+
+func TestFavoredComponentNeverRelabeled(t *testing.T) {
+	g := testutilBridged()
+	n := g.NumVertices()
+	parent := identity(n)
+	skip := make([]bool, n)
+	for v := 0; v < 20; v++ {
+		parent[v] = 19 // favored root with a deliberately large ID
+		skip[v] = true
+	}
+	Run(g, parent, skip)
+	want := testutil.Components(g)
+	testutil.CheckPartition(t, "bridged", parent, want)
+	if parent[0] != 19 || parent[25] != 19 {
+		t.Fatalf("favored label should cover the whole connected graph, got %d/%d", parent[0], parent[25])
+	}
+}
+
+func testutilBridged() *graph.Graph {
+	g := graph.Cliques(2, 20)
+	edges := g.Edges()
+	edges = append(edges, graph.Edge{U: 5, V: 25})
+	return graph.Build(40, edges)
+}
+
+func TestIsolatedVerticesKeepOwnLabels(t *testing.T) {
+	g := graph.Build(10, []graph.Edge{{U: 0, V: 1}})
+	parent := identity(10)
+	Run(g, parent, nil)
+	for v := 2; v < 10; v++ {
+		if parent[v] != uint32(v) {
+			t.Fatalf("isolated vertex %d relabeled to %d", v, parent[v])
+		}
+	}
+	if parent[1] != 0 {
+		t.Fatalf("parent[1] = %d, want 0", parent[1])
+	}
+}

@@ -1,0 +1,103 @@
+package ldd
+
+import (
+	"testing"
+
+	"connectit/internal/graph"
+)
+
+func checkDecomposition(t *testing.T, g *graph.Graph, r *Result) {
+	t.Helper()
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		c := r.Cluster[v]
+		if c == graph.None {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+		if r.Cluster[c] != c {
+			t.Fatalf("cluster id %d of vertex %d is not a center", c, v)
+		}
+		p := r.Parent[v]
+		if p == graph.None {
+			t.Fatalf("vertex %d has no growth parent", v)
+		}
+		if graph.Vertex(v) == c {
+			if p != c {
+				t.Fatalf("center %d parent = %d", c, p)
+			}
+			continue
+		}
+		if r.Cluster[p] != c {
+			t.Fatalf("vertex %d parent %d in different cluster", v, p)
+		}
+		// Parent edges must be graph edges.
+		found := false
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			if u == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("growth edge %d->%d not in graph", v, p)
+		}
+	}
+	// Clusters must be connected: following parents reaches the center.
+	for v := 0; v < n; v++ {
+		x := graph.Vertex(v)
+		for steps := 0; x != r.Cluster[v]; steps++ {
+			x = r.Parent[x]
+			if steps > n {
+				t.Fatalf("parent chain from %d does not reach center", v)
+			}
+		}
+	}
+}
+
+func TestDecomposeCoversFixtures(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":    graph.Path(200),
+		"grid":    graph.Grid2D(25, 25),
+		"star":    graph.Star(300),
+		"rmat":    graph.RMAT(11, 16000, 0.57, 0.19, 0.19, 2),
+		"cliques": graph.Cliques(5, 10),
+		"empty":   graph.Build(10, nil),
+	}
+	for name, g := range graphs {
+		for _, permute := range []bool{false, true} {
+			r := Decompose(g, Options{Beta: 0.2, Permute: permute, Seed: 42})
+			t.Run(name, func(t *testing.T) { checkDecomposition(t, g, r) })
+		}
+	}
+}
+
+func TestBetaControlsClusterCount(t *testing.T) {
+	g := graph.Grid2D(60, 60)
+	low := Decompose(g, Options{Beta: 0.05, Seed: 1})
+	high := Decompose(g, Options{Beta: 0.8, Seed: 1})
+	if low.NumClusters() >= high.NumClusters() {
+		t.Fatalf("beta=0.05 gives %d clusters, beta=0.8 gives %d; want fewer at low beta",
+			low.NumClusters(), high.NumClusters())
+	}
+	if low.CutEdges(g) >= high.CutEdges(g) {
+		t.Fatalf("beta=0.05 cuts %d edges, beta=0.8 cuts %d; want fewer at low beta",
+			low.CutEdges(g), high.CutEdges(g))
+	}
+}
+
+func TestClustersNeverSpanComponents(t *testing.T) {
+	g := graph.Cliques(6, 20)
+	r := Decompose(g, Options{Beta: 0.1, Seed: 3})
+	// Vertices in different cliques must be in different clusters.
+	for v := 0; v < g.NumVertices(); v++ {
+		if int(r.Cluster[v])/20 != v/20 {
+			t.Fatalf("cluster of %d spans cliques (center %d)", v, r.Cluster[v])
+		}
+	}
+}
+
+func TestDefaultBetaOnBadInput(t *testing.T) {
+	g := graph.Path(50)
+	r := Decompose(g, Options{Beta: -1})
+	checkDecomposition(t, g, r)
+}

@@ -1,0 +1,337 @@
+// Package liutarjan implements the Liu-Tarjan framework of simple concurrent
+// connectivity algorithms (§3.3.2) — all sixteen rule combinations the paper
+// evaluates (Appendix D.4) — and Stergiou et al.'s algorithm, which is the
+// two-parent-array sibling of the framework's PUS variant (§B.2.5).
+//
+// Each round processes the remaining edge list and performs, per edge, a
+// connect rule (Connect / ParentConnect / ExtendedConnect) gathering
+// candidate parents with writeMin, an optional root-only update restriction
+// (RootUp), a shortcut phase (one step or to fixpoint), and an optional
+// alter phase that rewrites edges to current labels and drops self loops.
+// The algorithm terminates when neither connects nor shortcuts change any
+// parent.
+//
+// When composed with sampling, labels are compared in the favored order of
+// package minlabel so the largest sampled component's label is the global
+// minimum and its vertices never change labels (Theorem 4).
+package liutarjan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"connectit/internal/graph"
+	"connectit/internal/minlabel"
+	"connectit/internal/parallel"
+)
+
+// ConnectRule selects the connect phase operation.
+type ConnectRule int
+
+// Connect rules: candidates are the edge endpoints (Connect), the endpoint
+// parents (ParentConnect), or the endpoint parents offered to both the
+// endpoints and their parents (ExtendedConnect).
+const (
+	Connect ConnectRule = iota
+	ParentConnect
+	ExtendedConnect
+)
+
+// UpdateRule selects which vertices may have their parent updated.
+type UpdateRule int
+
+// Update rules: any vertex (SimpleUpdate) or only round-start tree roots
+// (RootUpdate). RootUpdate variants are monotone and hence root-based.
+const (
+	SimpleUpdate UpdateRule = iota
+	RootUpdate
+)
+
+// ShortcutRule selects the compression applied after the connect phase.
+type ShortcutRule int
+
+// Shortcut rules: a single pointer-jumping step or jumping to fixpoint.
+const (
+	OneShortcut ShortcutRule = iota
+	FullShortcut
+)
+
+// AlterRule selects whether edges are rewritten to current labels.
+type AlterRule int
+
+// Alter rules. Alter is required for correctness with Connect.
+const (
+	NoAlter AlterRule = iota
+	Alter
+)
+
+// Variant is one algorithm of the framework.
+type Variant struct {
+	Connect  ConnectRule
+	Update   UpdateRule
+	Shortcut ShortcutRule
+	Alter    AlterRule
+}
+
+// Code renders the paper's four-letter naming (e.g. CRFA = Connect, RootUp,
+// FullShortcut, Alter; PUS = ParentConnect, Update, Shortcut).
+func (v Variant) Code() string {
+	c := map[ConnectRule]string{Connect: "C", ParentConnect: "P", ExtendedConnect: "E"}[v.Connect]
+	u := map[UpdateRule]string{SimpleUpdate: "U", RootUpdate: "R"}[v.Update]
+	s := map[ShortcutRule]string{OneShortcut: "S", FullShortcut: "F"}[v.Shortcut]
+	a := map[AlterRule]string{NoAlter: "", Alter: "A"}[v.Alter]
+	return c + u + s + a
+}
+
+// RootBased reports whether the variant only relabels roots, making it
+// usable for spanning forest and classifying it with the root-based
+// algorithms (§3.4).
+func (v Variant) RootBased() bool { return v.Update == RootUpdate }
+
+// Variants enumerates the sixteen combinations evaluated in the paper
+// (Appendix D.4). Connect variants always include Alter, which their
+// correctness requires.
+func Variants() []Variant {
+	return []Variant{
+		{Connect, SimpleUpdate, OneShortcut, Alter},            // CUSA
+		{Connect, RootUpdate, OneShortcut, Alter},              // CRSA
+		{ParentConnect, SimpleUpdate, OneShortcut, Alter},      // PUSA
+		{ParentConnect, RootUpdate, OneShortcut, Alter},        // PRSA
+		{ParentConnect, SimpleUpdate, OneShortcut, NoAlter},    // PUS
+		{ParentConnect, RootUpdate, OneShortcut, NoAlter},      // PRS
+		{ExtendedConnect, SimpleUpdate, OneShortcut, Alter},    // EUSA
+		{ExtendedConnect, SimpleUpdate, OneShortcut, NoAlter},  // EUS
+		{Connect, SimpleUpdate, FullShortcut, Alter},           // CUFA
+		{Connect, RootUpdate, FullShortcut, Alter},             // CRFA
+		{ParentConnect, SimpleUpdate, FullShortcut, Alter},     // PUFA
+		{ParentConnect, RootUpdate, FullShortcut, Alter},       // PRFA
+		{ParentConnect, SimpleUpdate, FullShortcut, NoAlter},   // PUF
+		{ParentConnect, RootUpdate, FullShortcut, NoAlter},     // PRF
+		{ExtendedConnect, SimpleUpdate, FullShortcut, Alter},   // EUFA
+		{ExtendedConnect, SimpleUpdate, FullShortcut, NoAlter}, // EUF
+	}
+}
+
+// ordNatural is the plain uint32 order (no favored set).
+var ordNatural = minlabel.Order{}
+
+// CollectEdges gathers the undirected edges that the finish phase must
+// process: every edge with at least one unskipped endpoint, exactly once.
+func CollectEdges(g *graph.Graph, skip []bool) []graph.Edge {
+	n := g.NumVertices()
+	var mu sync.Mutex
+	var out []graph.Edge
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		var local []graph.Edge
+		for v := lo; v < hi; v++ {
+			if skip != nil && skip[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				// Keep (v,u) once: from the smaller unskipped endpoint, or
+				// from v when u is skipped (the only side that sees it).
+				if graph.Vertex(v) < u || (skip != nil && skip[u]) {
+					local = append(local, graph.Edge{U: graph.Vertex(v), V: u})
+				}
+			}
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+// Run executes the variant over g, refining the labeling in parent until
+// convergence. favored, when non-nil, marks the vertices of the sampled
+// most-frequent component: their out-edges are skipped and their IDs compare
+// smaller than every other label (the paper's relabel-to-smallest-IDs
+// construction, Theorem 4). It returns the number of rounds.
+func Run(g *graph.Graph, parent []uint32, favored []bool, v Variant) int {
+	edges := CollectEdges(g, favored)
+	return RunEdges(edges, parent, favored, v)
+}
+
+// RunEdges is Run over an explicit edge list (used by the streaming layer,
+// which feeds batches in COO form). favored may be nil.
+func RunEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant) int {
+	ord := minlabel.Order{Favored: favored}
+	n := len(parent)
+	next := make([]uint32, n)
+	rounds := 0
+	for {
+		rounds++
+		copyParallel(next, parent)
+		var connectChanged atomic.Bool
+		parallel.ForGrained(len(edges), 512, func(lo, hi int) {
+			local := false
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				u, w := e.U, e.V
+				switch v.Connect {
+				case Connect:
+					local = offer(ord, parent, next, u, w, v.Update) || local
+					local = offer(ord, parent, next, w, u, v.Update) || local
+				case ParentConnect:
+					pu := atomic.LoadUint32(&parent[u])
+					pw := atomic.LoadUint32(&parent[w])
+					local = offer(ord, parent, next, u, pw, v.Update) || local
+					local = offer(ord, parent, next, w, pu, v.Update) || local
+				case ExtendedConnect:
+					pu := atomic.LoadUint32(&parent[u])
+					pw := atomic.LoadUint32(&parent[w])
+					local = offer(ord, parent, next, u, pw, v.Update) || local
+					local = offer(ord, parent, next, w, pu, v.Update) || local
+					local = offer(ord, parent, next, pu, pw, v.Update) || local
+					local = offer(ord, parent, next, pw, pu, v.Update) || local
+				}
+			}
+			if local {
+				connectChanged.Store(true)
+			}
+		})
+		copyParallel(parent, next)
+
+		shortcutChanged := shortcut(ord, parent, v.Shortcut)
+
+		alterChanged := false
+		if v.Alter == Alter {
+			// An alter that rewrote any endpoint can enable progress on the
+			// next round even when no label changed this round (Connect's
+			// raw-ID candidates only see the rewritten endpoints), so it
+			// counts as a change for termination.
+			edges, alterChanged = alter(edges, parent)
+		}
+		if !connectChanged.Load() && !shortcutChanged && !alterChanged {
+			return rounds
+		}
+	}
+}
+
+// offer proposes candidate cand on behalf of endpoint x. With SimpleUpdate
+// the candidate targets x itself; with RootUpdate it targets x's parent and
+// only if that parent is a round-start tree root (Liu-Tarjan's R rule, which
+// links roots and is therefore monotone and root-based). Candidates only win
+// if they precede the current proposal in the favored order, so parents are
+// monotone non-increasing.
+func offer(ord minlabel.Order, parent, next []uint32, x, cand uint32, u UpdateRule) bool {
+	target := x
+	if u == RootUpdate {
+		target = atomic.LoadUint32(&parent[x])
+		if atomic.LoadUint32(&parent[target]) != target {
+			return false // x's parent is not a root this round
+		}
+	}
+	return ord.WriteMin(&next[target], cand)
+}
+
+// shortcut performs pointer jumping on parent: one step, or to fixpoint for
+// FullShortcut. It reports whether anything changed.
+func shortcut(ord minlabel.Order, parent []uint32, rule ShortcutRule) bool {
+	changedEver := false
+	for {
+		var changed atomic.Bool
+		parallel.ForGrained(len(parent), 1024, func(lo, hi int) {
+			local := false
+			for i := lo; i < hi; i++ {
+				p := atomic.LoadUint32(&parent[i])
+				pp := atomic.LoadUint32(&parent[p])
+				if pp != p && ord.WriteMin(&parent[i], pp) {
+					local = true
+				}
+			}
+			if local {
+				changed.Store(true)
+			}
+		})
+		if changed.Load() {
+			changedEver = true
+		}
+		if rule == OneShortcut || !changed.Load() {
+			return changedEver
+		}
+	}
+}
+
+// alter rewrites every remaining edge to the current labels of its
+// endpoints and drops edges that became self loops. It reports whether any
+// edge was rewritten or dropped.
+func alter(edges []graph.Edge, parent []uint32) ([]graph.Edge, bool) {
+	var mu sync.Mutex
+	var changed atomic.Bool
+	out := make([]graph.Edge, 0, len(edges))
+	parallel.ForGrained(len(edges), 1024, func(lo, hi int) {
+		var local []graph.Edge
+		localChanged := false
+		for i := lo; i < hi; i++ {
+			a := atomic.LoadUint32(&parent[edges[i].U])
+			b := atomic.LoadUint32(&parent[edges[i].V])
+			if a != edges[i].U || b != edges[i].V {
+				localChanged = true
+			}
+			if a != b {
+				local = append(local, graph.Edge{U: a, V: b})
+			}
+		}
+		if localChanged {
+			changed.Store(true)
+		}
+		if len(local) > 0 {
+			mu.Lock()
+			out = append(out, local...)
+			mu.Unlock()
+		}
+	})
+	return out, changed.Load()
+}
+
+func copyParallel(dst, src []uint32) {
+	parallel.ForGrained(len(src), 4096, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// RunStergiou executes Stergiou et al.'s algorithm (§B.2.5): ParentConnect
+// against a previous-round snapshot array, then a single shortcut, repeated
+// to fixpoint. favored has the same semantics as in Run. It returns the
+// number of rounds.
+func RunStergiou(g *graph.Graph, parent []uint32, favored []bool) int {
+	edges := CollectEdges(g, favored)
+	return RunStergiouEdges(edges, parent, favored)
+}
+
+// RunStergiouEdges is RunStergiou over an explicit edge list.
+func RunStergiouEdges(edges []graph.Edge, parent []uint32, favored []bool) int {
+	ord := minlabel.Order{Favored: favored}
+	n := len(parent)
+	prev := make([]uint32, n)
+	rounds := 0
+	for {
+		rounds++
+		copyParallel(prev, parent)
+		var changed atomic.Bool
+		parallel.ForGrained(len(edges), 512, func(lo, hi int) {
+			local := false
+			for i := lo; i < hi; i++ {
+				e := edges[i]
+				if ord.WriteMin(&parent[e.U], prev[e.V]) {
+					local = true
+				}
+				if ord.WriteMin(&parent[e.V], prev[e.U]) {
+					local = true
+				}
+			}
+			if local {
+				changed.Store(true)
+			}
+		})
+		if shortcut(ord, parent, OneShortcut) {
+			changed.Store(true)
+		}
+		if !changed.Load() {
+			return rounds
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package minlabel defines the label total order used by the "other
+// min-based" finish algorithms (Liu-Tarjan, Stergiou, Label-Propagation).
+//
+// When these algorithms are composed with sampling, the paper relabels the
+// vertices of the largest sampled component to the smallest possible IDs so
+// that they never change labels and their out-edges can be skipped
+// (Theorem 4). We realize that relabeling with a custom total order in
+// which every member of the favored set compares smaller than every
+// non-member (ties by numeric ID) — order-isomorphic to the paper's
+// renumbering without physically permuting vertex IDs (DESIGN.md §4).
+//
+// Favoring the whole set rather than just the component label matters for
+// the Connect rule, whose candidates are raw vertex IDs: a neighbor of the
+// frequent component receives some member's ID, which must already compare
+// below every outside label for the component's minimality argument to go
+// through.
+package minlabel
+
+import "sync/atomic"
+
+// None is the conventional "no favored label" sentinel retained for
+// call-site readability.
+const None = ^uint32(0)
+
+// Order is a total order on vertex labels with an optionally favored set.
+// The zero Order is the natural uint32 order.
+type Order struct {
+	// Favored, when non-nil, marks the vertex IDs that compare smaller
+	// than every unmarked ID (the sampled most-frequent component).
+	Favored []bool
+}
+
+// Less reports whether a precedes b in the order.
+func (o Order) Less(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	if o.Favored != nil {
+		fa, fb := o.Favored[a], o.Favored[b]
+		if fa != fb {
+			return fa
+		}
+	}
+	return a < b
+}
+
+// Min returns the smaller of a and b in the order.
+func (o Order) Min(a, b uint32) uint32 {
+	if o.Less(b, a) {
+		return b
+	}
+	return a
+}
+
+// WriteMin atomically updates *addr to val if val precedes the stored value
+// in the order, reporting whether it did.
+func (o Order) WriteMin(addr *uint32, val uint32) bool {
+	for {
+		old := atomic.LoadUint32(addr)
+		if !o.Less(val, old) {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(addr, old, val) {
+			return true
+		}
+	}
+}
+
+// WriteMinPacked atomically updates the packed (priority, payload) value at
+// *addr if pri precedes the stored priority in the order, carrying payload
+// along with the winning priority (the witness-edge mechanism of the
+// spanning-forest algorithms).
+func (o Order) WriteMinPacked(addr *uint64, pri, payload uint32) bool {
+	packed := uint64(pri)<<32 | uint64(payload)
+	for {
+		old := atomic.LoadUint64(addr)
+		if !o.Less(pri, uint32(old>>32)) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, packed) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package minlabel
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNaturalOrderIsUint32Order(t *testing.T) {
+	var o Order
+	f := func(a, b uint32) bool {
+		return o.Less(a, b) == (a < b) && o.Min(a, b) == min(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFavoredSetIsTotalOrder(t *testing.T) {
+	const n = 32
+	fav := make([]bool, n)
+	for _, v := range []int{3, 7, 20, 31} {
+		fav[v] = true
+	}
+	o := Order{Favored: fav}
+
+	// Irreflexive and antisymmetric.
+	for a := uint32(0); a < n; a++ {
+		if o.Less(a, a) {
+			t.Fatalf("Less(%d,%d) reflexive", a, a)
+		}
+		for b := uint32(0); b < n; b++ {
+			if a != b && o.Less(a, b) == o.Less(b, a) {
+				t.Fatalf("not antisymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	// Sorting with the order puts the favored set first, each part by ID.
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(n - 1 - i)
+	}
+	sort.Slice(ids, func(i, j int) bool { return o.Less(ids[i], ids[j]) })
+	want := []uint32{3, 7, 20, 31}
+	for i, w := range want {
+		if ids[i] != w {
+			t.Fatalf("sorted[%d] = %d, want favored %d first", i, ids[i], w)
+		}
+	}
+	for i := len(want) + 1; i < n; i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("non-favored tail out of ID order at %d", i)
+		}
+	}
+}
+
+func TestWriteMinRespectsFavoredOrder(t *testing.T) {
+	fav := make([]bool, 10)
+	fav[9] = true
+	o := Order{Favored: fav}
+	x := uint32(2)
+	if !o.WriteMin(&x, 9) {
+		t.Fatal("favored 9 should beat 2")
+	}
+	if o.WriteMin(&x, 0) {
+		t.Fatal("non-favored 0 must not beat favored 9")
+	}
+	if x != 9 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestWriteMinConcurrentConvergesToOrderMinimum(t *testing.T) {
+	const n = 64
+	fav := make([]bool, n)
+	fav[40] = true
+	fav[50] = true
+	o := Order{Favored: fav}
+	x := uint32(0) // non-favored start
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				o.WriteMin(&x, uint32((w*7+i)%n))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if x != 40 {
+		t.Fatalf("converged to %d, want 40 (smallest favored ID)", x)
+	}
+}
+
+func TestWriteMinPackedFavored(t *testing.T) {
+	fav := make([]bool, 8)
+	fav[5] = true
+	o := Order{Favored: fav}
+	x := uint64(3)<<32 | 111
+	if !o.WriteMinPacked(&x, 5, 222) {
+		t.Fatal("favored priority should win")
+	}
+	if o.WriteMinPacked(&x, 0, 333) {
+		t.Fatal("non-favored must not beat favored")
+	}
+	if x>>32 != 5 || uint32(x) != 222 {
+		t.Fatalf("packed = (%d,%d)", x>>32, uint32(x))
+	}
+}
+
+func min(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

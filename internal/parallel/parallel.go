@@ -1,0 +1,216 @@
+// Package parallel implements the flat parallel primitives that ConnectIt's
+// algorithms are built on: dynamically scheduled parallel for loops,
+// reductions, prefix sums, filters, and histograms.
+//
+// The paper uses a Cilk-style work-stealing scheduler; we approximate it with
+// chunked dynamic self-scheduling: the iteration space is cut into grains and
+// a fixed pool of goroutines (one per P) claims grains off a shared atomic
+// counter. For the flat, irregular loops used by connectivity algorithms this
+// provides equivalent load balance (DESIGN.md §2).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the default number of iterations claimed by a worker at a
+// time. It is large enough to amortize the atomic fetch-add and small enough
+// to balance skewed per-iteration work (e.g. high-degree vertices).
+const DefaultGrain = 1024
+
+// Procs returns the number of workers parallel loops will use.
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) in parallel.
+func For(n int, body func(i int)) {
+	ForGrained(n, DefaultGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForGrained runs body over disjoint chunks [lo, hi) covering [0, n),
+// claiming chunks of size grain dynamically. It runs sequentially when the
+// range is a single grain or only one P is available.
+func ForGrained(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	procs := Procs()
+	if procs == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if procs > chunks {
+		procs = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for w := 0; w < procs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= int64(chunks) {
+					return
+				}
+				lo := int(c) * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceAdd sums f(i) over [0, n) in parallel.
+func ReduceAdd(n int, f func(i int) uint64) uint64 {
+	var total atomic.Uint64
+	ForGrained(n, DefaultGrain, func(lo, hi int) {
+		var local uint64
+		for i := lo; i < hi; i++ {
+			local += f(i)
+		}
+		total.Add(local)
+	})
+	return total.Load()
+}
+
+// ReduceMax returns the maximum of f(i) over [0, n), or 0 when n == 0.
+func ReduceMax(n int, f func(i int) uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	var mu sync.Mutex
+	var best uint64
+	first := true
+	ForGrained(n, DefaultGrain, func(lo, hi int) {
+		local := f(lo)
+		for i := lo + 1; i < hi; i++ {
+			if v := f(i); v > local {
+				local = v
+			}
+		}
+		mu.Lock()
+		if first || local > best {
+			best = local
+			first = false
+		}
+		mu.Unlock()
+	})
+	return best
+}
+
+// Count returns the number of i in [0, n) for which pred(i) holds.
+func Count(n int, pred func(i int) bool) uint64 {
+	return ReduceAdd(n, func(i int) uint64 {
+		if pred(i) {
+			return 1
+		}
+		return 0
+	})
+}
+
+// ScanExclusive replaces data with its exclusive prefix sum and returns the
+// total. It uses a two-pass blocked scan.
+func ScanExclusive(data []uint64) uint64 {
+	n := len(data)
+	if n == 0 {
+		return 0
+	}
+	grain := DefaultGrain
+	blocks := (n + grain - 1) / grain
+	if blocks == 1 || Procs() == 1 {
+		var sum uint64
+		for i := range data {
+			v := data[i]
+			data[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	blockSums := make([]uint64, blocks)
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			var sum uint64
+			for i := lo; i < hi; i++ {
+				sum += data[i]
+			}
+			blockSums[b] = sum
+		}
+	})
+	var total uint64
+	for b := 0; b < blocks; b++ {
+		v := blockSums[b]
+		blockSums[b] = total
+		total += v
+	}
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			sum := blockSums[b]
+			for i := lo; i < hi; i++ {
+				v := data[i]
+				data[i] = sum
+				sum += v
+			}
+		}
+	})
+	return total
+}
+
+// FilterIndices returns, in ascending order, all i in [0, n) satisfying pred.
+func FilterIndices(n int, pred func(i int) bool) []uint32 {
+	grain := DefaultGrain
+	blocks := (n + grain - 1) / grain
+	if blocks == 0 {
+		return nil
+	}
+	counts := make([]uint64, blocks)
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			var c uint64
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	total := ScanExclusive(counts)
+	out := make([]uint32, total)
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			pos := counts[b]
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					out[pos] = uint32(i)
+					pos++
+				}
+			}
+		}
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

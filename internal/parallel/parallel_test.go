@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, 100_000} {
+		seen := make([]atomic.Bool, n)
+		For(n, func(i int) {
+			if seen[i].Swap(true) {
+				t.Errorf("n=%d: index %d visited twice", n, i)
+			}
+		})
+		for i := range seen {
+			if !seen[i].Load() {
+				t.Fatalf("n=%d: index %d not visited", n, i)
+			}
+		}
+	}
+}
+
+func TestForGrainedChunksPartitionRange(t *testing.T) {
+	const n = 12345
+	var total atomic.Int64
+	ForGrained(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		total.Add(int64(hi - lo))
+	})
+	if total.Load() != n {
+		t.Fatalf("chunks cover %d iterations, want %d", total.Load(), n)
+	}
+}
+
+func TestReduceAdd(t *testing.T) {
+	const n = 50_000
+	got := ReduceAdd(n, func(i int) uint64 { return uint64(i) })
+	want := uint64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("ReduceAdd = %d, want %d", got, want)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	got := ReduceMax(len(vals), func(i int) uint64 { return vals[i] })
+	if got != 9 {
+		t.Fatalf("ReduceMax = %d, want 9", got)
+	}
+	if ReduceMax(0, nil) != 0 {
+		t.Fatal("ReduceMax(0) should be 0")
+	}
+}
+
+func TestCount(t *testing.T) {
+	got := Count(1000, func(i int) bool { return i%3 == 0 })
+	if got != 334 {
+		t.Fatalf("Count = %d, want 334", got)
+	}
+}
+
+func TestScanExclusiveMatchesSequential(t *testing.T) {
+	f := func(vals []uint16) bool {
+		data := make([]uint64, len(vals))
+		seq := make([]uint64, len(vals))
+		var sum uint64
+		for i, v := range vals {
+			data[i] = uint64(v)
+			seq[i] = sum
+			sum += uint64(v)
+		}
+		total := ScanExclusive(data)
+		if total != sum {
+			return false
+		}
+		for i := range data {
+			if data[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanExclusiveLarge(t *testing.T) {
+	const n = 100_000
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = 1
+	}
+	total := ScanExclusive(data)
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	for i := range data {
+		if data[i] != uint64(i) {
+			t.Fatalf("data[%d] = %d, want %d", i, data[i], i)
+		}
+	}
+}
+
+func TestFilterIndices(t *testing.T) {
+	got := FilterIndices(20, func(i int) bool { return i%4 == 0 })
+	want := []uint32{0, 4, 8, 12, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFilterIndicesLargeOrdered(t *testing.T) {
+	const n = 250_000
+	got := FilterIndices(n, func(i int) bool { return i%7 == 0 })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("indices not strictly ascending at %d", i)
+		}
+	}
+	if len(got) != (n+6)/7 {
+		t.Fatalf("len = %d, want %d", len(got), (n+6)/7)
+	}
+}

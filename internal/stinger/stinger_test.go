@@ -1,0 +1,86 @@
+package stinger
+
+import (
+	"testing"
+
+	"connectit/internal/graph"
+	"connectit/internal/testutil"
+)
+
+func TestStreamingComponentsMatchOracle(t *testing.T) {
+	g := graph.RMAT(9, 2000, 0.57, 0.19, 0.19, 21)
+	edges := g.Edges()
+	s := New(g.NumVertices())
+	const batch = 100
+	for i := 0; i < len(edges); i += batch {
+		hi := i + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		s.InsertBatch(edges[i:hi])
+	}
+	testutil.CheckPartition(t, "rmat", s.Labels(), testutil.Components(g))
+}
+
+func TestConnectedQueries(t *testing.T) {
+	s := New(5)
+	if s.Connected(0, 1) {
+		t.Fatal("no edges yet")
+	}
+	s.InsertBatch([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	if !s.Connected(0, 1) || s.Connected(0, 2) {
+		t.Fatal("connectivity after first batch wrong")
+	}
+	s.InsertBatch([]graph.Edge{{U: 1, V: 2}})
+	if !s.Connected(0, 3) {
+		t.Fatal("merge across batches failed")
+	}
+	if s.NumComponents() != 2 { // {0,1,2,3} and {4}
+		t.Fatalf("components = %d, want 2", s.NumComponents())
+	}
+}
+
+func TestDuplicateAndSelfEdges(t *testing.T) {
+	s := New(3)
+	s.InsertBatch([]graph.Edge{{U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 0}, {U: 2, V: 2}})
+	count := 0
+	s.neighbors(0, func(u uint32) { count++ })
+	if count != 1 {
+		t.Fatalf("vertex 0 has %d adjacency entries, want 1 (deduplicated)", count)
+	}
+	if s.Connected(0, 2) {
+		t.Fatal("self loop must not connect")
+	}
+}
+
+func TestBlockChainGrowth(t *testing.T) {
+	// A vertex with more neighbors than one block holds must chain blocks.
+	const n = 50
+	s := New(n)
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: uint32(v)})
+	}
+	s.InsertBatch(edges)
+	count := 0
+	s.neighbors(0, func(u uint32) { count++ })
+	if count != n-1 {
+		t.Fatalf("vertex 0 has %d neighbors, want %d", count, n-1)
+	}
+	if s.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", s.NumComponents())
+	}
+}
+
+func TestMergeRelabelsSmallerComponent(t *testing.T) {
+	s := New(10)
+	// Component A: {0..4}; component B: {5,6}.
+	s.InsertBatch([]graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	s.InsertBatch([]graph.Edge{{U: 5, V: 6}})
+	labelA := s.Labels()[0]
+	s.InsertBatch([]graph.Edge{{U: 4, V: 5}})
+	// The smaller component (B) must have been relabeled to A's label.
+	if s.Labels()[5] != labelA || s.Labels()[6] != labelA {
+		t.Fatalf("labels after merge: %v", s.Labels()[:7])
+	}
+}

@@ -1,0 +1,220 @@
+package unionfind
+
+import "sync/atomic"
+
+// This file implements the union rules of §3.3.1 / Appendix D.2. Every rule
+// is root-based: a link is only installed at a vertex verified (by CAS or
+// under lock) to be a root at the instant of linking, and links always point
+// to a smaller value (smaller ID, or higher JTB priority), so the forest
+// stays acyclic and label changes are exactly unions of trees — the
+// linearizable-monotonicity property of Definition 3.3.
+
+func (d *DSU) unite(u, v uint32, w uint64) {
+	d.stats.addUnion(int(u))
+	switch d.opt.Union {
+	case UnionAsync:
+		d.uniteAsync(u, v, w)
+	case UnionHooks:
+		d.uniteHooks(u, v, w)
+	case UnionEarly:
+		d.uniteEarly(u, v, w)
+	case UnionRemCAS:
+		d.uniteRemCAS(u, v, w)
+	case UnionRemLock:
+		d.uniteRemLock(u, v, w)
+	case UnionJTB:
+		d.uniteJTB(u, v, w)
+	}
+}
+
+// uniteAsync repeatedly finds both roots and CASes the larger-ID root to
+// point at the smaller, retrying on contention (Jayanti-Tarjan linking by
+// ID, adapted to the asynchronous shared-memory setting).
+func (d *DSU) uniteAsync(u, v uint32, w uint64) {
+	for {
+		ru := d.Find(u)
+		rv := d.Find(v)
+		if ru == rv {
+			return
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		if atomic.CompareAndSwapUint32(&d.parent[ru], ru, rv) {
+			d.recordWitness(ru, w)
+			return
+		}
+	}
+}
+
+// uniteHooks is uniteAsync with the contended CAS moved to the auxiliary
+// hooks array; the parents write is then uncontended because each vertex is
+// hooked at most once over the whole execution.
+func (d *DSU) uniteHooks(u, v uint32, w uint64) {
+	for {
+		ru := d.Find(u)
+		rv := d.Find(v)
+		if ru == rv {
+			return
+		}
+		if ru < rv {
+			ru, rv = rv, ru
+		}
+		if atomic.LoadUint32(&d.hooks[ru]) == noVertex &&
+			atomic.CompareAndSwapUint32(&d.hooks[ru], noVertex, rv) {
+			atomic.StoreUint32(&d.parent[ru], rv)
+			d.recordWitness(ru, w)
+			return
+		}
+	}
+}
+
+// uniteEarly walks both paths together and eagerly hooks a vertex the moment
+// it is observed to be a root with a larger ID (GBBS unite_early). When a
+// non-naive find rule is configured, the endpoints are compressed after the
+// union completes, as the paper describes.
+func (d *DSU) uniteEarly(u, v uint32, w uint64) {
+	ou, ov := u, v
+	steps := 0
+	for u != v {
+		if u > v {
+			u, v = v, u
+		}
+		// u < v: try to hook v (if it is a root) below u.
+		if atomic.LoadUint32(&d.parent[v]) == v &&
+			atomic.CompareAndSwapUint32(&d.parent[v], v, u) {
+			d.recordWitness(v, w)
+			break
+		}
+		v = atomic.LoadUint32(&d.parent[v])
+		steps++
+	}
+	d.stats.observe(int(u), steps)
+	if d.opt.Find != FindNaive {
+		d.Find(ou)
+		d.Find(ov)
+	}
+}
+
+// uniteRemCAS is the lock-free Rem's algorithm (Algorithm 14): it ascends
+// both paths keeping the invariant parent(rx) > parent(ry), links when rx is
+// a root, and otherwise applies the configured splice rule at rx.
+func (d *DSU) uniteRemCAS(u, v uint32, w uint64) {
+	rx, ry := u, v
+	steps := 0
+	px := atomic.LoadUint32(&d.parent[rx])
+	py := atomic.LoadUint32(&d.parent[ry])
+	for px != py {
+		if px < py {
+			rx, ry = ry, rx
+			px, py = py, px
+		}
+		// parent(rx) > parent(ry)
+		if rx == px {
+			// rx is a root: link it below ry's parent.
+			if atomic.CompareAndSwapUint32(&d.parent[rx], rx, py) {
+				d.recordWitness(rx, w)
+				d.stats.observe(int(u), steps)
+				if d.opt.Find != FindNaive {
+					d.Find(u)
+					d.Find(v)
+				}
+				return
+			}
+		} else {
+			rx = d.splice(rx, px, py)
+		}
+		px = atomic.LoadUint32(&d.parent[rx])
+		py = atomic.LoadUint32(&d.parent[ry])
+		steps++
+	}
+	d.stats.observe(int(u), steps)
+}
+
+// splice applies the configured splice rule (Algorithm 9) at a non-root
+// vertex rx whose loaded parent is px, with py the smaller opposing parent.
+// It returns the vertex at which the union loop continues.
+func (d *DSU) splice(rx, px, py uint32) uint32 {
+	switch d.opt.Splice {
+	case SplitAtomicOne:
+		// One step of path splitting.
+		wv := atomic.LoadUint32(&d.parent[px])
+		if px != wv {
+			atomic.CompareAndSwapUint32(&d.parent[rx], px, wv)
+		}
+		return px
+	case HalveAtomicOne:
+		// One step of path halving.
+		wv := atomic.LoadUint32(&d.parent[px])
+		if px != wv {
+			atomic.CompareAndSwapUint32(&d.parent[rx], px, wv)
+		}
+		return wv
+	case SpliceAtomic:
+		// Rem's splice: point rx at the smaller parent py and continue
+		// from rx's old parent. py < px keeps parents decreasing.
+		atomic.CompareAndSwapUint32(&d.parent[rx], px, py)
+		return px
+	}
+	return px
+}
+
+// uniteRemLock is the lock-based Rem's algorithm of Patwary et al.: the same
+// ascent as uniteRemCAS, but the root link (and splice, for SpliceAtomic) is
+// installed under the vertex's spinlock after re-validating rootness.
+func (d *DSU) uniteRemLock(u, v uint32, w uint64) {
+	rx, ry := u, v
+	steps := 0
+	px := atomic.LoadUint32(&d.parent[rx])
+	py := atomic.LoadUint32(&d.parent[ry])
+	for px != py {
+		if px < py {
+			rx, ry = ry, rx
+			px, py = py, px
+		}
+		if rx == px {
+			d.locks[rx].Lock()
+			if atomic.LoadUint32(&d.parent[rx]) == rx {
+				// Still a root: py < rx, so the link keeps parents
+				// decreasing and cannot create a cycle.
+				atomic.StoreUint32(&d.parent[rx], py)
+				d.locks[rx].Unlock()
+				d.recordWitness(rx, w)
+				d.stats.observe(int(u), steps)
+				if d.opt.Find != FindNaive {
+					d.Find(u)
+					d.Find(v)
+				}
+				return
+			}
+			d.locks[rx].Unlock()
+		} else {
+			rx = d.splice(rx, px, py)
+		}
+		px = atomic.LoadUint32(&d.parent[rx])
+		py = atomic.LoadUint32(&d.parent[ry])
+		steps++
+	}
+	d.stats.observe(int(u), steps)
+}
+
+// uniteJTB links roots ordered by random priority (Jayanti, Tarjan,
+// Boix-Adserà): the lower-priority root is hooked below the higher-priority
+// one, giving the randomized work bounds of Corollary 1.
+func (d *DSU) uniteJTB(u, v uint32, w uint64) {
+	for {
+		ru := d.Find(u)
+		rv := d.Find(v)
+		if ru == rv {
+			return
+		}
+		if d.jtbLess(rv, ru) {
+			ru, rv = rv, ru
+		}
+		// ru has lower (priority, id): hook it below rv.
+		if atomic.CompareAndSwapUint32(&d.parent[ru], ru, rv) {
+			d.recordWitness(ru, w)
+			return
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package unionfind implements every concurrent union-find variant in the
+// ConnectIt framework (§3.3.1 of the paper):
+//
+//   - Union-Async: the classic asynchronous algorithm of Jayanti and Tarjan,
+//     linking larger-ID roots under smaller-ID roots with CAS.
+//   - Union-Hooks: Union-Async with the CAS performed on an auxiliary hooks
+//     array followed by an uncontended write to the parents array.
+//   - Union-Early: eagerly walks both paths together and hooks a vertex as
+//     soon as it is discovered to be a root (GBBS unite_early).
+//   - Union-Rem-CAS: a lock-free compare-and-swap version of Rem's algorithm
+//     with a configurable splice rule (SplitAtomicOne, HalveAtomicOne, or
+//     SpliceAtomic).
+//   - Union-Rem-Lock: the lock-based Rem's algorithm of Patwary et al.
+//   - Union-JTB: the randomized algorithm of Jayanti, Tarjan, and
+//     Boix-Adserà with two-try splitting.
+//
+// Each union variant composes with a path-compression rule applied during
+// finds: FindNaive (none), FindSplit (path splitting), FindHalve (path
+// halving), FindCompress (full path compression), and, for Union-JTB,
+// FindTwoTrySplit.
+//
+// All variants are min-based and linearizably monotone for concurrent unions
+// and finds, except Rem's algorithms with SpliceAtomic, which are only
+// phase-concurrent (unions and finds must be separated by a barrier;
+// Theorem 3). The combination Rem + SpliceAtomic + FindCompress is incorrect
+// (the paper's counter-example, §B.2.3) and is rejected by New.
+package unionfind
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"connectit/internal/concurrent"
+	"connectit/internal/parallel"
+)
+
+// UnionOption selects the union rule.
+type UnionOption int
+
+// The union rules from §3.3.1.
+const (
+	UnionAsync UnionOption = iota
+	UnionHooks
+	UnionEarly
+	UnionRemCAS
+	UnionRemLock
+	UnionJTB
+)
+
+func (u UnionOption) String() string {
+	switch u {
+	case UnionAsync:
+		return "Union-Async"
+	case UnionHooks:
+		return "Union-Hooks"
+	case UnionEarly:
+		return "Union-Early"
+	case UnionRemCAS:
+		return "Union-Rem-CAS"
+	case UnionRemLock:
+		return "Union-Rem-Lock"
+	case UnionJTB:
+		return "Union-JTB"
+	}
+	return fmt.Sprintf("UnionOption(%d)", int(u))
+}
+
+// FindOption selects the path-compression rule applied by finds.
+type FindOption int
+
+// The find rules from Algorithm 8 (and two-try splitting from [59]).
+const (
+	FindNaive FindOption = iota
+	FindSplit
+	FindHalve
+	FindCompress
+	FindTwoTrySplit
+)
+
+func (f FindOption) String() string {
+	switch f {
+	case FindNaive:
+		return "FindNaive"
+	case FindSplit:
+		return "FindSplit"
+	case FindHalve:
+		return "FindHalve"
+	case FindCompress:
+		return "FindCompress"
+	case FindTwoTrySplit:
+		return "FindTwoTrySplit"
+	}
+	return fmt.Sprintf("FindOption(%d)", int(f))
+}
+
+// SpliceOption selects the rule Rem's algorithms apply when a union step
+// operates at a non-root vertex (Algorithm 9).
+type SpliceOption int
+
+// The splice rules for Rem's algorithms.
+const (
+	SplitAtomicOne SpliceOption = iota
+	HalveAtomicOne
+	SpliceAtomic
+)
+
+func (s SpliceOption) String() string {
+	switch s {
+	case SplitAtomicOne:
+		return "SplitAtomicOne"
+	case HalveAtomicOne:
+		return "HalveAtomicOne"
+	case SpliceAtomic:
+		return "SpliceAtomic"
+	}
+	return fmt.Sprintf("SpliceOption(%d)", int(s))
+}
+
+// Options configures a DSU instance.
+type Options struct {
+	Union  UnionOption
+	Find   FindOption
+	Splice SpliceOption // used by Rem's algorithms only
+
+	// RecordWitness enables spanning-forest support: the edge supplied to
+	// UnionWitness that wins the hook of root r is recorded for r.
+	RecordWitness bool
+
+	// Stats, when non-nil, receives path-length and memory-operation
+	// instrumentation (the paper's TPL/MPL analysis, §4.1.1).
+	Stats *Stats
+
+	// Seed seeds Union-JTB's random priorities.
+	Seed uint64
+}
+
+// ErrInvalidCombination is returned by New for the algorithm combinations
+// the paper proves incorrect or does not define.
+var ErrInvalidCombination = errors.New("unionfind: invalid algorithm combination")
+
+// NoWitness is the sentinel stored in the witness array for roots that were
+// never hooked.
+const NoWitness = ^uint64(0)
+
+// noVertex is the sentinel used in the hooks array.
+const noVertex = ^uint32(0)
+
+// DSU is a concurrent disjoint-set (union-find) structure over vertices
+// 0..n-1. All methods are safe for concurrent use, subject to the
+// phase-concurrency restriction for Rem + SpliceAtomic documented above.
+type DSU struct {
+	parent  []uint32
+	hooks   []uint32              // Union-Hooks auxiliary array
+	locks   []concurrent.Spinlock // Union-Rem-Lock per-vertex locks
+	prio    []uint32              // Union-JTB random priorities
+	witness []uint64              // packed (u,v) edge that hooked each root
+	opt     Options
+	stats   *Stats
+}
+
+// New creates a DSU with n singleton sets. It returns
+// ErrInvalidCombination for Rem + SpliceAtomic + FindCompress (incorrect,
+// §B.2.3), FindTwoTrySplit with a non-JTB union, and JTB with a find rule
+// other than FindNaive or FindTwoTrySplit.
+func New(n int, opt Options) (*DSU, error) {
+	isRem := opt.Union == UnionRemCAS || opt.Union == UnionRemLock
+	if isRem && opt.Splice == SpliceAtomic && opt.Find == FindCompress {
+		return nil, fmt.Errorf("%w: %v with SpliceAtomic and FindCompress", ErrInvalidCombination, opt.Union)
+	}
+	if opt.Find == FindTwoTrySplit && opt.Union != UnionJTB {
+		return nil, fmt.Errorf("%w: FindTwoTrySplit requires Union-JTB", ErrInvalidCombination)
+	}
+	if opt.Union == UnionJTB && opt.Find != FindNaive && opt.Find != FindTwoTrySplit {
+		return nil, fmt.Errorf("%w: Union-JTB supports FindNaive or FindTwoTrySplit", ErrInvalidCombination)
+	}
+	if isRem && opt.Splice == SpliceAtomic && opt.RecordWitness {
+		// SpliceAtomic re-parents vertices across trees mid-union, so the
+		// hooked root need not be the root of the witness edge's endpoint
+		// and the recorded edges can form cycles. Spanning forest therefore
+		// excludes this combination (see DESIGN.md §4).
+		return nil, fmt.Errorf("%w: spanning forest (RecordWitness) with %v and SpliceAtomic", ErrInvalidCombination, opt.Union)
+	}
+	d := &DSU{
+		parent: make([]uint32, n),
+		opt:    opt,
+		stats:  opt.Stats,
+	}
+	parallel.For(n, func(i int) { d.parent[i] = uint32(i) })
+	switch opt.Union {
+	case UnionHooks:
+		d.hooks = make([]uint32, n)
+		parallel.For(n, func(i int) { d.hooks[i] = noVertex })
+	case UnionRemLock:
+		d.locks = make([]concurrent.Spinlock, n)
+	case UnionJTB:
+		d.prio = make([]uint32, n)
+		seed := opt.Seed
+		parallel.For(n, func(i int) {
+			d.prio[i] = uint32(hash64(uint64(i) ^ seed))
+		})
+	}
+	if opt.RecordWitness {
+		d.witness = make([]uint64, n)
+		parallel.For(n, func(i int) { d.witness[i] = NoWitness })
+	}
+	return d, nil
+}
+
+// MustNew is New for known-valid combinations; it panics on error.
+func MustNew(n int, opt Options) *DSU {
+	d, err := New(n, opt)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewFromLabels creates a DSU that adopts an existing partial connectivity
+// labeling (the output of a sampling phase). labels must be in canonical
+// star form — labels[v] == v, or labels[v] == r with labels[r] == r and
+// r == min of the star — which sample.Canonicalize guarantees; the
+// decreasing-parent invariant that Rem's algorithms and FindCompress rely
+// on then holds from the start (DESIGN.md §4). The DSU shares the labels
+// slice.
+func NewFromLabels(labels []uint32, opt Options) (*DSU, error) {
+	d, err := New(len(labels), opt)
+	if err != nil {
+		return nil, err
+	}
+	d.parent = labels
+	return d, nil
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Options returns the configuration the DSU was created with.
+func (d *DSU) Options() Options { return d.opt }
+
+// Parents exposes the underlying parent array. Callers must use atomic
+// operations if the DSU is in concurrent use.
+func (d *DSU) Parents() []uint32 { return d.parent }
+
+// Union merges the sets containing u and v.
+func (d *DSU) Union(u, v uint32) { d.unite(u, v, NoWitness) }
+
+// UnionWitness merges the sets containing u and v, attributing the winning
+// hook to edge (eu, ev) when witness recording is enabled.
+func (d *DSU) UnionWitness(u, v, eu, ev uint32) {
+	d.unite(u, v, concurrent.Pack(eu, ev))
+}
+
+// Find returns the current label (root) of u, applying the configured
+// path-compression rule.
+func (d *DSU) Find(u uint32) uint32 {
+	switch d.opt.Find {
+	case FindNaive:
+		return d.findNaive(u)
+	case FindSplit:
+		return d.findSplit(u)
+	case FindHalve:
+		return d.findHalve(u)
+	case FindCompress:
+		return d.findCompress(u)
+	case FindTwoTrySplit:
+		return d.findTwoTrySplit(u)
+	}
+	return d.findNaive(u)
+}
+
+// SameSet reports whether u and v currently belong to the same set. It is
+// wait-free for all variants except Rem + SpliceAtomic (phase-concurrent).
+func (d *DSU) SameSet(u, v uint32) bool {
+	ru, rv := d.Find(u), d.Find(v)
+	for ru != rv {
+		// Roots may have moved concurrently; re-check until stable.
+		pru := atomic.LoadUint32(&d.parent[ru])
+		prv := atomic.LoadUint32(&d.parent[rv])
+		if pru == ru && prv == rv {
+			return false
+		}
+		ru, rv = d.Find(pru), d.Find(prv)
+	}
+	return true
+}
+
+// Flatten fully compresses every path so that parent[v] is the root of v's
+// tree. It must be called quiescently (no concurrent unions).
+func (d *DSU) Flatten() {
+	n := len(d.parent)
+	parallel.For(n, func(i int) {
+		r := uint32(i)
+		for {
+			p := atomic.LoadUint32(&d.parent[r])
+			if p == r {
+				break
+			}
+			r = p
+		}
+		atomic.StoreUint32(&d.parent[i], r)
+	})
+}
+
+// Labels flattens the structure and returns the parent array as a
+// connectivity labeling.
+func (d *DSU) Labels() []uint32 {
+	d.Flatten()
+	return d.parent
+}
+
+// NumComponents flattens and counts the distinct sets.
+func (d *DSU) NumComponents() int {
+	d.Flatten()
+	return int(parallel.Count(len(d.parent), func(i int) bool {
+		return d.parent[i] == uint32(i)
+	}))
+}
+
+// Witness returns the packed edge recorded as hooking root v, and whether
+// one was recorded. Unpack with concurrent.Unpack.
+func (d *DSU) Witness(v uint32) (uint64, bool) {
+	if d.witness == nil {
+		return NoWitness, false
+	}
+	w := atomic.LoadUint64(&d.witness[v])
+	return w, w != NoWitness
+}
+
+// WitnessEdges appends every recorded witness edge to dst and returns it.
+// Used by the spanning-forest framework (Algorithm 2).
+func (d *DSU) WitnessEdges(dst [][2]uint32) [][2]uint32 {
+	if d.witness == nil {
+		return dst
+	}
+	for v := range d.witness {
+		if w := d.witness[v]; w != NoWitness {
+			u, x := concurrent.Unpack(w)
+			dst = append(dst, [2]uint32{u, x})
+		}
+	}
+	return dst
+}
+
+// recordWitness stores the hooking edge for root r. Each root is hooked at
+// most once across the entire execution, so a plain atomic store suffices.
+func (d *DSU) recordWitness(r uint32, w uint64) {
+	if d.witness != nil && w != NoWitness {
+		atomic.StoreUint64(&d.witness[r], w)
+	}
+}
+
+// jtbLess orders roots by (priority, id) for Union-JTB's randomized linking.
+func (d *DSU) jtbLess(a, b uint32) bool {
+	pa, pb := d.prio[a], d.prio[b]
+	if pa != pb {
+		return pa < pb
+	}
+	return a < b
+}
+
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

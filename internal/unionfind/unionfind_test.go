@@ -1,0 +1,358 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"connectit/internal/concurrent"
+	"connectit/internal/graph"
+	"connectit/internal/parallel"
+)
+
+// seqDSU is a trivial sequential union-find used as the test oracle.
+type seqDSU struct{ p []int }
+
+func newSeqDSU(n int) *seqDSU {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &seqDSU{p}
+}
+
+func (s *seqDSU) find(x int) int {
+	for s.p[x] != x {
+		s.p[x] = s.p[s.p[x]]
+		x = s.p[x]
+	}
+	return x
+}
+
+func (s *seqDSU) union(a, b int) { s.p[s.find(a)] = s.find(b) }
+
+// roots snapshots the oracle's root for every element; the result is
+// read-only and safe to share across parallel subtests.
+func (s *seqDSU) roots() []int {
+	out := make([]int, len(s.p))
+	for i := range out {
+		out[i] = s.find(i)
+	}
+	return out
+}
+
+// sameSets checks that labels and the oracle roots induce identical
+// partitions.
+func sameSets(t *testing.T, name string, labels []uint32, oracleRoots []int) {
+	t.Helper()
+	// map oracle root -> label, must be a bijection on occupied roots.
+	fwd := make(map[int]uint32)
+	rev := make(map[uint32]int)
+	for v := range labels {
+		r := oracleRoots[v]
+		if l, ok := fwd[r]; ok {
+			if l != labels[v] {
+				t.Fatalf("%s: vertices in same oracle set have labels %d and %d", name, l, labels[v])
+			}
+		} else {
+			fwd[r] = labels[v]
+		}
+		if rr, ok := rev[labels[v]]; ok {
+			if rr != r {
+				t.Fatalf("%s: label %d spans two oracle sets", name, labels[v])
+			}
+		} else {
+			rev[labels[v]] = r
+		}
+	}
+}
+
+func testEdges(n, m int, seed uint64) [][2]uint32 {
+	edges := make([][2]uint32, m)
+	for i := range edges {
+		h := graph.Hash64(uint64(i)*2 + seed)
+		edges[i] = [2]uint32{uint32(h % uint64(n)), uint32(graph.Hash64(h) % uint64(n))}
+	}
+	return edges
+}
+
+func TestAllVariantsMatchOracleParallel(t *testing.T) {
+	const n = 2000
+	const m = 6000
+	edges := testEdges(n, m, 99)
+	oracle := newSeqDSU(n)
+	for _, e := range edges {
+		oracle.union(int(e[0]), int(e[1]))
+	}
+	oracleRoots := oracle.roots()
+	for _, v := range Variants() {
+		v := v
+		t.Run(v.Name(), func(t *testing.T) {
+			t.Parallel()
+			d := MustNew(n, v.Options())
+			if v.Union == UnionRemCAS || v.Union == UnionRemLock {
+				// Phase-concurrent: unions only, then flatten.
+				parallel.For(m, func(i int) { d.Union(edges[i][0], edges[i][1]) })
+			} else {
+				// Fully concurrent unions and finds mixed.
+				parallel.For(m, func(i int) {
+					d.Union(edges[i][0], edges[i][1])
+					d.Find(edges[i][0])
+				})
+			}
+			sameSets(t, v.Name(), d.Labels(), oracleRoots)
+		})
+	}
+}
+
+func TestSingleUnionAllVariants(t *testing.T) {
+	for _, v := range Variants() {
+		d := MustNew(4, v.Options())
+		d.Union(0, 1)
+		d.Union(2, 3)
+		if !d.SameSet(0, 1) || !d.SameSet(2, 3) {
+			t.Fatalf("%s: unions not applied", v.Name())
+		}
+		if d.SameSet(0, 2) {
+			t.Fatalf("%s: spurious connectivity", v.Name())
+		}
+		if d.NumComponents() != 2 {
+			t.Fatalf("%s: components = %d, want 2", v.Name(), d.NumComponents())
+		}
+	}
+}
+
+func TestSelfUnionIsNoop(t *testing.T) {
+	for _, v := range Variants() {
+		d := MustNew(3, v.Options())
+		d.Union(1, 1)
+		if d.NumComponents() != 3 {
+			t.Fatalf("%s: self union changed components", v.Name())
+		}
+	}
+}
+
+func TestInvalidCombinationsRejected(t *testing.T) {
+	cases := []Options{
+		{Union: UnionRemCAS, Splice: SpliceAtomic, Find: FindCompress},
+		{Union: UnionRemLock, Splice: SpliceAtomic, Find: FindCompress},
+		{Union: UnionAsync, Find: FindTwoTrySplit},
+		{Union: UnionJTB, Find: FindHalve},
+		{Union: UnionJTB, Find: FindSplit},
+		{Union: UnionJTB, Find: FindCompress},
+		{Union: UnionRemCAS, Splice: SpliceAtomic, RecordWitness: true},
+		{Union: UnionRemLock, Splice: SpliceAtomic, RecordWitness: true},
+	}
+	for _, opt := range cases {
+		if _, err := New(10, opt); err == nil {
+			t.Fatalf("expected rejection for %+v", opt)
+		}
+	}
+}
+
+func TestVariantCountIs36(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 36 {
+		t.Fatalf("variant count = %d, want 36 (paper: 144 = 36 finish × 4 sampling)", len(vs))
+	}
+	names := make(map[string]bool)
+	for _, v := range vs {
+		if names[v.Name()] {
+			t.Fatalf("duplicate variant name %s", v.Name())
+		}
+		names[v.Name()] = true
+		if _, err := New(4, v.Options()); err != nil {
+			t.Fatalf("enumerated variant %s invalid: %v", v.Name(), err)
+		}
+	}
+}
+
+func TestFlattenMakesParentsRoots(t *testing.T) {
+	d := MustNew(100, Options{Union: UnionAsync, Find: FindNaive})
+	for i := uint32(0); i < 99; i++ {
+		d.Union(i, i+1)
+	}
+	d.Flatten()
+	p := d.Parents()
+	for i := range p {
+		if p[p[i]] != p[i] {
+			t.Fatalf("parent of %d is not a root after Flatten", i)
+		}
+	}
+	if d.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", d.NumComponents())
+	}
+}
+
+func TestWitnessEdgesFormSpanningStructure(t *testing.T) {
+	const n = 500
+	edges := testEdges(n, 2000, 7)
+	for _, v := range ForestVariants() {
+		opt := v.Options()
+		opt.RecordWitness = true
+		d := MustNew(n, opt)
+		parallel.For(len(edges), func(i int) {
+			e := edges[i]
+			d.UnionWitness(e[0], e[1], e[0], e[1])
+		})
+		comps := d.NumComponents()
+		// A spanning forest has exactly n - #components edges.
+		ws := d.WitnessEdges(nil)
+		if len(ws) != n-comps {
+			t.Fatalf("%s: witness edges = %d, want n-comps = %d", v.Name(), len(ws), n-comps)
+		}
+		// Witness edges must connect exactly the same partition.
+		oracle := newSeqDSU(n)
+		for _, w := range ws {
+			if oracle.find(int(w[0])) == oracle.find(int(w[1])) {
+				t.Fatalf("%s: witness edges contain a cycle", v.Name())
+			}
+			oracle.union(int(w[0]), int(w[1]))
+		}
+		sameSets(t, v.Name(), d.Labels(), oracle.roots())
+	}
+}
+
+// buildDeepChain creates a DSU whose tree is a single path of length n-1
+// (descending unions always link a fresh root, so no compression occurs
+// during construction for any find rule).
+func buildDeepChain(n int, f FindOption, s *Stats) *DSU {
+	d := MustNew(n, Options{Union: UnionAsync, Find: f, Stats: s})
+	for i := n - 2; i >= 0; i-- {
+		d.Union(uint32(i), uint32(i+1))
+	}
+	return d
+}
+
+func TestStatsInstrumentation(t *testing.T) {
+	const n = 1000
+	var s Stats
+	d := buildDeepChain(n, FindNaive, &s)
+	if s.Unions() != n-1 {
+		t.Fatalf("unions = %d, want %d", s.Unions(), n-1)
+	}
+	s.Reset()
+	if s.TotalPathLength() != 0 || s.Unions() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// Two full sweeps of finds over the deep chain: naive pays the full
+	// depth every time, compress pays it once.
+	for pass := 0; pass < 2; pass++ {
+		for v := 0; v < n; v++ {
+			d.Find(uint32(v))
+		}
+	}
+	naiveTPL := s.TotalPathLength()
+	if naiveTPL == 0 {
+		t.Fatal("TPL should be nonzero for a deep chain")
+	}
+	if s.MaxPathLength() == 0 || s.MaxPathLength() > naiveTPL {
+		t.Fatalf("MPL %d inconsistent with TPL %d", s.MaxPathLength(), naiveTPL)
+	}
+	var s2 Stats
+	d2 := buildDeepChain(n, FindCompress, &s2)
+	s2.Reset()
+	for pass := 0; pass < 2; pass++ {
+		for v := 0; v < n; v++ {
+			d2.Find(uint32(v))
+		}
+	}
+	if s2.TotalPathLength() >= naiveTPL {
+		t.Fatalf("FindCompress TPL %d >= FindNaive TPL %d", s2.TotalPathLength(), naiveTPL)
+	}
+}
+
+func TestNilStatsSafe(t *testing.T) {
+	var s *Stats
+	s.observe(1, 3)
+	s.addUnion(1)
+	s.AddFind()
+	s.Reset()
+	if s.TotalPathLength() != 0 || s.MaxPathLength() != 0 || s.Unions() != 0 || s.Finds() != 0 {
+		t.Fatal("nil Stats should read as zero")
+	}
+}
+
+func TestQuickPartitionEquivalence(t *testing.T) {
+	// Property: for random edge sets, every variant's partition equals the
+	// oracle partition.
+	f := func(raw []uint16, seed uint16) bool {
+		const n = 64
+		edges := make([][2]uint32, 0, len(raw))
+		for _, r := range raw {
+			edges = append(edges, [2]uint32{uint32(r) % n, uint32(r>>8) % n})
+		}
+		oracle := newSeqDSU(n)
+		for _, e := range edges {
+			oracle.union(int(e[0]), int(e[1]))
+		}
+		variants := Variants()
+		v := variants[int(seed)%len(variants)]
+		d := MustNew(n, v.Options())
+		for _, e := range edges {
+			d.Union(e[0], e[1])
+		}
+		labels := d.Labels()
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if (oracle.find(a) == oracle.find(b)) != (labels[a] == labels[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameSetUnderConcurrentUnions(t *testing.T) {
+	// SameSet must never report false for pairs united before the call.
+	const n = 1 << 12
+	d := MustNew(n, Options{Union: UnionAsync, Find: FindSplit})
+	parallel.For(n-1, func(i int) {
+		d.Union(uint32(i), uint32(i+1))
+		if !d.SameSet(uint32(i), uint32(i+1)) {
+			t.Errorf("SameSet(%d,%d) = false after union", i, i+1)
+		}
+	})
+	if d.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", d.NumComponents())
+	}
+}
+
+func TestWitnessPacking(t *testing.T) {
+	opt := Options{Union: UnionRemCAS, Splice: SplitAtomicOne, RecordWitness: true}
+	d := MustNew(4, opt)
+	d.UnionWitness(2, 3, 2, 3)
+	found := false
+	for v := uint32(0); v < 4; v++ {
+		if w, ok := d.Witness(v); ok {
+			u, x := concurrent.Unpack(w)
+			if u != 2 || x != 3 {
+				t.Fatalf("witness = (%d,%d), want (2,3)", u, x)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no witness recorded")
+	}
+}
+
+func TestLargeChainAllFinds(t *testing.T) {
+	// Exercises deep paths through every find rule.
+	const n = 50_000
+	for _, f := range []FindOption{FindNaive, FindSplit, FindHalve, FindCompress} {
+		d := MustNew(n, Options{Union: UnionAsync, Find: f})
+		for i := uint32(0); i+1 < n; i++ {
+			d.Union(i, i+1)
+		}
+		if r := d.Find(n - 1); r != d.Find(0) {
+			t.Fatalf("find %v: roots differ", f)
+		}
+		if d.NumComponents() != 1 {
+			t.Fatalf("find %v: not one component", f)
+		}
+	}
+}

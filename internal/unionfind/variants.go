@@ -1,0 +1,85 @@
+package unionfind
+
+import "fmt"
+
+// Variant names one valid union-find configuration. The paper's 144
+// union-find implementations are the 36 finish variants enumerated here
+// crossed with the four sampling modes (none, k-out, BFS, LDD).
+type Variant struct {
+	Union  UnionOption
+	Find   FindOption
+	Splice SpliceOption
+}
+
+// Name renders the paper's naming convention, e.g.
+// "Union-Rem-CAS;SplitOne;FindNaive".
+func (v Variant) Name() string {
+	switch v.Union {
+	case UnionRemCAS, UnionRemLock:
+		return fmt.Sprintf("%v;%v;%v", v.Union, shortSplice(v.Splice), v.Find)
+	default:
+		return fmt.Sprintf("%v;%v", v.Union, v.Find)
+	}
+}
+
+func shortSplice(s SpliceOption) string {
+	switch s {
+	case SplitAtomicOne:
+		return "SplitOne"
+	case HalveAtomicOne:
+		return "HalveOne"
+	case SpliceAtomic:
+		return "Splice"
+	}
+	return s.String()
+}
+
+// Options converts the variant into DSU options.
+func (v Variant) Options() Options {
+	return Options{Union: v.Union, Find: v.Find, Splice: v.Splice}
+}
+
+// Variants enumerates every valid union-find configuration in the
+// framework: 36 in total (4 finds × {Async, Hooks, Early} = 12; 3 splices ×
+// 4 finds − 1 invalid = 11 each for Rem-CAS and Rem-Lock; 2 finds for JTB).
+func Variants() []Variant {
+	finds := []FindOption{FindNaive, FindSplit, FindHalve, FindCompress}
+	splices := []SpliceOption{SplitAtomicOne, HalveAtomicOne, SpliceAtomic}
+	var out []Variant
+	for _, u := range []UnionOption{UnionAsync, UnionHooks, UnionEarly} {
+		for _, f := range finds {
+			out = append(out, Variant{Union: u, Find: f})
+		}
+	}
+	for _, u := range []UnionOption{UnionRemCAS, UnionRemLock} {
+		for _, s := range splices {
+			for _, f := range finds {
+				if s == SpliceAtomic && f == FindCompress {
+					continue // proven incorrect (§B.2.3)
+				}
+				out = append(out, Variant{Union: u, Find: f, Splice: s})
+			}
+		}
+	}
+	out = append(out,
+		Variant{Union: UnionJTB, Find: FindNaive},
+		Variant{Union: UnionJTB, Find: FindTwoTrySplit},
+	)
+	return out
+}
+
+// ForestVariants enumerates the union-find configurations that support
+// spanning forest: all of Variants except Rem's algorithms with
+// SpliceAtomic, whose cross-tree re-parenting breaks the witness-edge forest
+// property (DESIGN.md §4).
+func ForestVariants() []Variant {
+	var out []Variant
+	for _, v := range Variants() {
+		isRem := v.Union == UnionRemCAS || v.Union == UnionRemLock
+		if isRem && v.Splice == SpliceAtomic {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
