@@ -1,0 +1,58 @@
+package connectit
+
+// Benchmarks for the compiled Solver path: the point of Compile is that
+// repeated runs skip per-call validation and reuse scratch (labels, skip
+// flags, union-find auxiliary arrays), so allocs/op on the finish hot path
+// drop versus the one-shot free functions, which compile per call.
+
+import (
+	"testing"
+)
+
+// BenchmarkSolverReuse compares the free-function path (compile + allocate
+// every call) against a reused Solver on the same configuration. The
+// NoSampling configurations isolate the finish hot path; with the identity
+// labeling and DSU auxiliary arrays retained, the Solver side runs
+// allocation-free. The sampled configuration shows the smaller win when the
+// sampling phase still allocates its own result.
+func BenchmarkSolverReuse(b *testing.B) {
+	g := benchPanel(b)["social"]
+	for _, c := range []struct{ name, spec string }{
+		{"RemCAS-NoSample", "none;uf;rem-cas;naive;split-one"},
+		{"Hooks-NoSample", "none;uf;hooks;naive;split-one"},
+		{"JTB-NoSample", "none;uf;jtb;two-try"},
+		{"RemCAS-KOut", "kout;uf;rem-cas;naive;split-one"},
+	} {
+		cfg, err := ParseConfig(c.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.name+"/FreeFunction", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Connectivity(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/Solver", func(b *testing.B) {
+			b.ReportAllocs()
+			solver := MustCompile(cfg)
+			for i := 0; i < b.N; i++ {
+				solver.Components(g)
+			}
+		})
+	}
+}
+
+// BenchmarkCompile measures compilation itself: validation plus closure
+// construction, no graph work.
+func BenchmarkCompile(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

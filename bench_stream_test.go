@@ -13,19 +13,22 @@ import (
 	"connectit/internal/stinger"
 )
 
-// streamFamilies are Table 4's rows.
+// streamFamilies are Table 4's rows, selected by canonical spec strings.
 func streamFamilies() []Algorithm {
-	lt, _ := LiuTarjanAlgorithm("CRFA") // the paper's fastest streaming LT
-	return []Algorithm{
-		UnionFindAlgorithm(UnionEarly, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionHooks, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionAsync, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionRemLock, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionJTB, FindTwoTrySplit, SplitAtomicOne),
-		lt,
-		ShiloachVishkinAlgorithm(),
+	var out []Algorithm
+	for _, spec := range []string{
+		"uf;early;naive;split-one",
+		"uf;hooks;naive;split-one",
+		"uf;async;naive;split-one",
+		"uf;rem-cas;naive;split-one",
+		"uf;rem-lock;naive;split-one",
+		"uf;jtb;two-try",
+		"lt;CRFA", // the paper's fastest streaming LT
+		"sv",
+	} {
+		out = append(out, MustParseAlgorithm(spec))
 	}
+	return out
 }
 
 var benchStreams = map[string]func() ([]Edge, int){
@@ -52,8 +55,9 @@ func BenchmarkTable4StreamingThroughput(b *testing.B) {
 		for _, alg := range streamFamilies() {
 			b.Run(fmt.Sprintf("%s/%s", sname, alg.Name()), func(b *testing.B) {
 				b.SetBytes(int64(len(edges))) // bytes/op metric = edges/op
+				solver := MustCompile(Config{Algorithm: alg})
 				for i := 0; i < b.N; i++ {
-					inc, err := NewIncremental(n, Config{Algorithm: alg})
+					inc, err := solver.NewIncremental(n)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -69,16 +73,17 @@ func BenchmarkTable4StreamingThroughput(b *testing.B) {
 func BenchmarkFigure4ThroughputVsBatch(b *testing.B) {
 	edges, n := benchStreams["ba-stream"]()
 	algos := []Algorithm{
-		UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionAsync, FindNaive, SplitAtomicOne),
-		ShiloachVishkinAlgorithm(),
+		MustParseAlgorithm("uf;rem-cas;naive;split-one"),
+		MustParseAlgorithm("uf;async;naive;split-one"),
+		MustParseAlgorithm("sv"),
 	}
 	for _, batch := range []int{1_000, 10_000, 100_000, 1_000_000} {
 		for _, alg := range algos {
 			b.Run(fmt.Sprintf("batch=%d/%s", batch, alg.Name()), func(b *testing.B) {
 				b.SetBytes(int64(len(edges)))
+				solver := MustCompile(Config{Algorithm: alg})
 				for i := 0; i < b.N; i++ {
-					inc, err := NewIncremental(n, Config{Algorithm: alg})
+					inc, err := solver.NewIncremental(n)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -101,9 +106,9 @@ func BenchmarkFigure4ThroughputVsBatch(b *testing.B) {
 func BenchmarkFigure17MixedBatch(b *testing.B) {
 	edges, n := benchStreams["ba-stream"]()
 	variants := []Algorithm{
-		UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
-		UnionFindAlgorithm(UnionRemCAS, FindSplit, SplitAtomicOne),
-		UnionFindAlgorithm(UnionRemCAS, FindHalve, HalveAtomicOne),
+		MustParseAlgorithm("uf;rem-cas;naive;split-one"),
+		MustParseAlgorithm("uf;rem-cas;split;split-one"),
+		MustParseAlgorithm("uf;rem-cas;halve;halve-one"),
 	}
 	for _, ratio := range []float64{0.1, 0.5, 1.0} {
 		nq := int(float64(len(edges)) * (1/ratio - 1))
@@ -118,8 +123,9 @@ func BenchmarkFigure17MixedBatch(b *testing.B) {
 		for _, alg := range variants {
 			b.Run(fmt.Sprintf("ratio=%.1f/%s", ratio, alg.Name()), func(b *testing.B) {
 				b.SetBytes(int64(len(edges) + nq))
+				solver := MustCompile(Config{Algorithm: alg})
 				for i := 0; i < b.N; i++ {
-					inc, err := NewIncremental(n, Config{Algorithm: alg})
+					inc, err := solver.NewIncremental(n)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -134,10 +140,10 @@ func BenchmarkFigure17MixedBatch(b *testing.B) {
 // the reported ns/op at each batch size is the batch latency.
 func BenchmarkFigure18Latency(b *testing.B) {
 	edges, n := benchStreams["rmat-stream"]()
-	alg := UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne)
+	solver := MustCompile(Config{Algorithm: MustParseAlgorithm("uf;rem-cas;naive;split-one")})
 	for _, batch := range []int{1_000, 10_000, 100_000} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
-			inc, err := NewIncremental(n, Config{Algorithm: alg})
+			inc, err := solver.NewIncremental(n)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -176,7 +182,7 @@ func BenchmarkTable5Stinger(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("ConnectIt/batch=%d", batch), func(b *testing.B) {
-			inc, err := NewIncremental(n, Config{Algorithm: UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne)})
+			inc, err := NewIncremental(n, Config{Algorithm: MustParseAlgorithm("uf;rem-cas;naive;split-one")})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -202,9 +208,9 @@ func BenchmarkStreamTypeDispatch(b *testing.B) {
 		name string
 		alg  Algorithm
 	}{
-		{"type-i-async", UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne)},
-		{"type-iii-phased", UnionFindAlgorithm(UnionRemCAS, FindNaive, SpliceAtomic)},
-		{"type-ii-synchronous", ShiloachVishkinAlgorithm()},
+		{"type-i-async", MustParseAlgorithm("uf;rem-cas;naive;split-one")},
+		{"type-iii-phased", MustParseAlgorithm("uf;rem-cas;naive;splice")},
+		{"type-ii-synchronous", MustParseAlgorithm("sv")},
 	}
 	queries := make([][2]uint32, len(edges)/10)
 	for i := range queries {
@@ -214,8 +220,9 @@ func BenchmarkStreamTypeDispatch(b *testing.B) {
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
 			b.SetBytes(int64(len(edges) + len(queries)))
+			solver := MustCompile(Config{Algorithm: c.alg})
 			for i := 0; i < b.N; i++ {
-				inc, err := NewIncremental(n, Config{Algorithm: c.alg})
+				inc, err := solver.NewIncremental(n)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,12 +1,16 @@
 // Command connectit runs a ConnectIt algorithm combination on a generated
 // or loaded graph and reports components and timing.
 //
-// Examples:
+// Algorithms are selected with canonical spec strings (see ParseConfig):
 //
-//	connectit -graph rmat -scale 18 -sampling kout -union rem-cas
+//	connectit -graph rmat -scale 18 -sampling kout -algo "uf;rem-cas;naive;split-one"
 //	connectit -graph grid -n 1000 -sampling ldd -algo sv
-//	connectit -graph file -path web.el -algo lt -lt-variant CRFA
+//	connectit -graph file -path web.el -algo "lt;CRFA"
 //	connectit -graph ba -n 100000 -forest
+//	connectit -list
+//
+// -list enumerates every finish algorithm in the registry with its
+// capabilities; each printed name is a valid -algo value.
 package main
 
 import (
@@ -14,11 +18,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	"connectit"
-	"connectit/internal/unionfind"
 )
 
 func main() {
@@ -37,16 +39,19 @@ func main() {
 		k            = flag.Int("k", 2, "k-out parameter")
 		beta         = flag.Float64("beta", 0.2, "LDD beta parameter")
 
-		algo      = flag.String("algo", "uf", "finish algorithm: uf|sv|lt|stergiou|lp")
-		union     = flag.String("union", "rem-cas", "union rule: async|hooks|early|rem-cas|rem-lock|jtb")
-		find      = flag.String("find", "naive", "find rule: naive|split|halve|compress|two-try")
-		splice    = flag.String("splice", "split-one", "Rem splice rule: split-one|halve-one|splice")
-		ltVariant = flag.String("lt-variant", "CRFA", "Liu-Tarjan variant code")
+		algo = flag.String("algo", "uf;rem-cas;naive;split-one",
+			`finish algorithm spec, e.g. "uf;rem-cas;naive;split-one", "lt;CRFA", "sv", "stergiou", "lp"`)
 
 		forest    = flag.Bool("forest", false, "compute spanning forest instead of components")
 		withStats = flag.Bool("stats", false, "report union-find path-length statistics")
+		list      = flag.Bool("list", false, "list every registered finish algorithm and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		listAlgorithms()
+		return
+	}
 
 	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
 	if err != nil {
@@ -54,18 +59,27 @@ func main() {
 	}
 	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 
-	cfg, err := makeConfig(*samplingName, *k, *beta, *algo, *union, *find, *splice, *ltVariant, *seed)
+	cfg, err := connectit.ParseConfig(*samplingName + ";" + *algo)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.Seed = *seed
+	cfg.K = *k
+	cfg.Beta = *beta
 	var stats connectit.Stats
 	if *withStats {
 		cfg.Stats = &stats
 	}
 
+	solver, err := connectit.Compile(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("algorithm: %s\n", solver.Name())
+
 	if *forest {
 		start := time.Now()
-		edges, err := connectit.SpanningForest(g, cfg)
+		edges, err := solver.SpanningForest(g)
 		elapsed := time.Since(start)
 		if err != nil {
 			log.Fatal(err)
@@ -75,11 +89,8 @@ func main() {
 	}
 
 	start := time.Now()
-	labels, err := connectit.Connectivity(g, cfg)
+	labels := solver.Components(g)
 	elapsed := time.Since(start)
-	if err != nil {
-		log.Fatal(err)
-	}
 	comps := connectit.NumComponents(labels)
 	_, largest := connectit.LargestComponent(labels)
 	fmt.Printf("components: %d (largest %d vertices, %.1f%%) in %v\n",
@@ -87,6 +98,27 @@ func main() {
 	fmt.Printf("throughput: %.1fM edges/s\n", float64(g.NumEdges())/elapsed.Seconds()/1e6)
 	if *withStats {
 		fmt.Printf("stats: unions=%d TPL=%d MPL=%d\n", stats.Unions(), stats.TotalPathLength(), stats.MaxPathLength())
+	}
+}
+
+// listAlgorithms prints the registry-derived inventory: every finish
+// algorithm's canonical name plus its forest/streaming capabilities.
+func listAlgorithms() {
+	fmt.Printf("%-44s %-8s %s\n", "Algorithm", "Forest", "Streaming")
+	for _, a := range connectit.Algorithms() {
+		s, err := connectit.Compile(connectit.Config{Algorithm: a})
+		if err != nil {
+			log.Fatal(err)
+		}
+		caps := s.Capabilities()
+		forest, streaming := "yes", "no"
+		if !caps.SpanningForest {
+			forest = "no"
+		}
+		if caps.Streaming {
+			streaming = caps.StreamType.String()
+		}
+		fmt.Printf("%-44s %-8s %s\n", a.Name(), forest, streaming)
 	}
 }
 
@@ -109,81 +141,6 @@ func makeGraph(kind string, scale, n, deg int, path string, seed uint64) (*conne
 		return connectit.LoadEdgeListFile(path)
 	}
 	return nil, fmt.Errorf("unknown graph kind %q", kind)
-}
-
-func makeConfig(sampling string, k int, beta float64, algo, union, find, splice, ltVariant string, seed uint64) (connectit.Config, error) {
-	var cfg connectit.Config
-	cfg.Seed = seed
-	cfg.K = k
-	cfg.Beta = beta
-
-	switch sampling {
-	case "none":
-		cfg.Sampling = connectit.NoSampling
-	case "kout":
-		cfg.Sampling = connectit.KOutSampling
-	case "bfs":
-		cfg.Sampling = connectit.BFSSampling
-	case "ldd":
-		cfg.Sampling = connectit.LDDSampling
-	default:
-		return cfg, fmt.Errorf("unknown sampling %q", sampling)
-	}
-
-	switch algo {
-	case "uf":
-		u, ok := unionOptions[union]
-		if !ok {
-			return cfg, fmt.Errorf("unknown union rule %q", union)
-		}
-		f, ok := findOptions[find]
-		if !ok {
-			return cfg, fmt.Errorf("unknown find rule %q", find)
-		}
-		s, ok := spliceOptions[splice]
-		if !ok {
-			return cfg, fmt.Errorf("unknown splice rule %q", splice)
-		}
-		cfg.Algorithm = connectit.UnionFindAlgorithm(u, f, s)
-	case "sv":
-		cfg.Algorithm = connectit.ShiloachVishkinAlgorithm()
-	case "lt":
-		a, ok := connectit.LiuTarjanAlgorithm(strings.ToUpper(ltVariant))
-		if !ok {
-			return cfg, fmt.Errorf("unknown Liu-Tarjan variant %q", ltVariant)
-		}
-		cfg.Algorithm = a
-	case "stergiou":
-		cfg.Algorithm = connectit.StergiouAlgorithm()
-	case "lp":
-		cfg.Algorithm = connectit.LabelPropagationAlgorithm()
-	default:
-		return cfg, fmt.Errorf("unknown algorithm %q", algo)
-	}
-	return cfg, nil
-}
-
-var unionOptions = map[string]unionfind.UnionOption{
-	"async":    connectit.UnionAsync,
-	"hooks":    connectit.UnionHooks,
-	"early":    connectit.UnionEarly,
-	"rem-cas":  connectit.UnionRemCAS,
-	"rem-lock": connectit.UnionRemLock,
-	"jtb":      connectit.UnionJTB,
-}
-
-var findOptions = map[string]unionfind.FindOption{
-	"naive":    connectit.FindNaive,
-	"split":    connectit.FindSplit,
-	"halve":    connectit.FindHalve,
-	"compress": connectit.FindCompress,
-	"two-try":  connectit.FindTwoTrySplit,
-}
-
-var spliceOptions = map[string]unionfind.SpliceOption{
-	"split-one": connectit.SplitAtomicOne,
-	"halve-one": connectit.HalveAtomicOne,
-	"splice":    connectit.SpliceAtomic,
 }
 
 // usage is wired for -h output clarity.

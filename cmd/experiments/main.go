@@ -140,11 +140,12 @@ func table1() {
 	s := scaleFor(18)
 	g := connectit.NewWebLike(s, 8*(1<<s), 0.05, 7)
 	fmt.Printf("large graph (Hyperlink stand-in): n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+	ci := connectit.MustCompile(connectit.DefaultConfig())
 	rows := []struct {
 		name string
 		run  func()
 	}{
-		{"ConnectIt (kout + Union-Rem-CAS)", func() { mustLabels(g, connectit.DefaultConfig()) }},
+		{"ConnectIt (kout + Union-Rem-CAS)", func() { ci.Components(g) }},
 		{"GBBS WorkefficientCC", func() { baseline.WorkEfficientCC(g, 0.2, 3) }},
 		{"BFSCC (Ligra)", func() { baseline.BFSCC(g) }},
 		{"GAPBS Afforest", func() { baseline.Afforest(g, 2, 3) }},
@@ -183,19 +184,24 @@ func table2() {
 	}
 }
 
+// familyRows builds Table 3's per-family representative rows from their
+// canonical spec strings.
 func familyRows() []connectit.Algorithm {
-	lt, _ := connectit.LiuTarjanAlgorithm("PRF")
-	return []connectit.Algorithm{
-		connectit.UnionFindAlgorithm(connectit.UnionEarly, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionHooks, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionAsync, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemLock, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionJTB, connectit.FindTwoTrySplit, connectit.SplitAtomicOne),
-		lt,
-		connectit.ShiloachVishkinAlgorithm(),
-		connectit.LabelPropagationAlgorithm(),
+	var out []connectit.Algorithm
+	for _, spec := range []string{
+		"uf;early;naive;split-one",
+		"uf;hooks;naive;split-one",
+		"uf;async;naive;split-one",
+		"uf;rem-cas;naive;split-one",
+		"uf;rem-lock;naive;split-one",
+		"uf;jtb;two-try",
+		"lt;PRF", // among the fastest LT variants (§C.1.1)
+		"sv",
+		"lp",
+	} {
+		out = append(out, connectit.MustParseAlgorithm(spec))
 	}
+	return out
 }
 
 func mustLabels(g *connectit.Graph, cfg connectit.Config) []uint32 {
@@ -218,10 +224,10 @@ func table3() {
 		fmt.Println()
 		for _, alg := range familyRows() {
 			fmt.Printf("%-34s", alg.Name())
+			solver := connectit.MustCompile(connectit.Config{Sampling: mode, Algorithm: alg, Seed: 1})
 			for _, n := range names {
 				g := graphs[n]
-				cfg := connectit.Config{Sampling: mode, Algorithm: alg, Seed: 1}
-				d := timeIt(func() { mustLabels(g, cfg) })
+				d := timeIt(func() { solver.Components(g) })
 				fmt.Printf(" %10s", secs(d))
 			}
 			fmt.Println()
@@ -283,13 +289,13 @@ func ufMatrix(mode core.SamplingMode, g *connectit.Graph) ([]string, []time.Dura
 	var names []string
 	var times []time.Duration
 	for _, v := range unionfind.Variants() {
-		cfg := connectit.Config{
+		solver := connectit.MustCompile(connectit.Config{
 			Sampling:  mode,
 			Algorithm: connectit.Algorithm{Kind: core.FinishUnionFind, UF: v},
 			Seed:      2,
-		}
+		})
 		names = append(names, v.Name())
-		times = append(times, timeIt(func() { mustLabels(g, cfg) }))
+		times = append(times, timeIt(func() { solver.Components(g) }))
 	}
 	return names, times
 }
@@ -316,9 +322,9 @@ func figure11() {
 	var names []string
 	var times []time.Duration
 	for _, v := range liutarjan.Variants() {
-		cfg := connectit.Config{Algorithm: connectit.Algorithm{Kind: core.FinishLiuTarjan, LT: v}}
+		solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.Algorithm{Kind: core.FinishLiuTarjan, LT: v}})
 		names = append(names, v.Code())
-		times = append(times, timeIt(func() { mustLabels(g, cfg) }))
+		times = append(times, timeIt(func() { solver.Components(g) }))
 	}
 	matrix("Liu-Tarjan variants, no sampling, social graph", names, times)
 }
@@ -349,13 +355,13 @@ func figure6() {
 		g := graphs[gname]
 		for _, v := range unionfind.Variants() {
 			var stats connectit.Stats
-			cfg := connectit.Config{
+			solver := connectit.MustCompile(connectit.Config{
 				Algorithm: connectit.Algorithm{Kind: core.FinishUnionFind, UF: v},
 				Stats:     &stats,
-			}
+			})
 			stats.Reset()
 			start := time.Now()
-			mustLabels(g, cfg)
+			solver.Components(g)
 			el := time.Since(start).Seconds()
 			fmt.Printf("%-44s %-8s %12d %12d %10.4f\n",
 				v.Name(), gname, stats.TotalPathLength(), stats.MaxPathLength(), el)
@@ -369,17 +375,20 @@ func figure6() {
 }
 
 func streamFamilies() []connectit.Algorithm {
-	lt, _ := connectit.LiuTarjanAlgorithm("CRFA")
-	return []connectit.Algorithm{
-		connectit.UnionFindAlgorithm(connectit.UnionEarly, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionHooks, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionAsync, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemLock, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionJTB, connectit.FindTwoTrySplit, connectit.SplitAtomicOne),
-		lt,
-		connectit.ShiloachVishkinAlgorithm(),
+	var out []connectit.Algorithm
+	for _, spec := range []string{
+		"uf;early;naive;split-one",
+		"uf;hooks;naive;split-one",
+		"uf;async;naive;split-one",
+		"uf;rem-cas;naive;split-one",
+		"uf;rem-lock;naive;split-one",
+		"uf;jtb;two-try",
+		"lt;CRFA", // the paper's fastest streaming LT
+		"sv",
+	} {
+		out = append(out, connectit.MustParseAlgorithm(spec))
 	}
+	return out
 }
 
 func streams() (names []string, data map[string]struct {
@@ -406,10 +415,11 @@ func table4() {
 	fmt.Println("   (edge updates/sec)")
 	for _, alg := range streamFamilies() {
 		fmt.Printf("%-34s", alg.Name())
+		solver := connectit.MustCompile(connectit.Config{Algorithm: alg})
 		for _, n := range names {
 			st := data[n]
 			d := timeIt(func() {
-				inc, err := connectit.NewIncremental(st.n, connectit.Config{Algorithm: alg})
+				inc, err := solver.NewIncremental(st.n)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -425,9 +435,9 @@ func figure4() {
 	_, data := streams()
 	st := data["BA"]
 	algos := []connectit.Algorithm{
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionAsync, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.ShiloachVishkinAlgorithm(),
+		connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"),
+		connectit.MustParseAlgorithm("uf;async;naive;split-one"),
+		connectit.MustParseAlgorithm("sv"),
 	}
 	fmt.Printf("%-10s", "BatchSize")
 	for _, a := range algos {
@@ -437,8 +447,9 @@ func figure4() {
 	for _, batch := range []int{1000, 10_000, 100_000, 1_000_000} {
 		fmt.Printf("%-10d", batch)
 		for _, alg := range algos {
+			solver := connectit.MustCompile(connectit.Config{Algorithm: alg})
 			d := timeIt(func() {
-				inc, err := connectit.NewIncremental(st.n, connectit.Config{Algorithm: alg})
+				inc, err := solver.NewIncremental(st.n)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -460,9 +471,9 @@ func figure17() {
 	_, data := streams()
 	st := data["BA"]
 	variants := []connectit.Algorithm{
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindSplit, connectit.SplitAtomicOne),
-		connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindHalve, connectit.HalveAtomicOne),
+		connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"),
+		connectit.MustParseAlgorithm("uf;rem-cas;split;split-one"),
+		connectit.MustParseAlgorithm("uf;rem-cas;halve;halve-one"),
 	}
 	fmt.Printf("%-8s", "Ratio")
 	for _, a := range variants {
@@ -481,8 +492,9 @@ func figure17() {
 		}
 		fmt.Printf("%-8.1f", ratio)
 		for _, alg := range variants {
+			solver := connectit.MustCompile(connectit.Config{Algorithm: alg})
 			d := timeIt(func() {
-				inc, err := connectit.NewIncremental(st.n, connectit.Config{Algorithm: alg})
+				inc, err := solver.NewIncremental(st.n)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -497,10 +509,10 @@ func figure17() {
 func figure18() {
 	_, data := streams()
 	st := data["RMAT"]
-	alg := connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne)
+	solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one")})
 	fmt.Printf("%-10s %14s %14s %14s\n", "BatchSize", "median(s)", "mean(s)", "max(s)")
 	for _, batch := range []int{1000, 10_000, 100_000} {
-		inc, err := connectit.NewIncremental(st.n, connectit.Config{Algorithm: alg})
+		inc, err := solver.NewIncremental(st.n)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -541,7 +553,7 @@ func table5() {
 		stingerRate := float64(nBatches*batch) / time.Since(start).Seconds()
 
 		inc, err := connectit.NewIncremental(n, connectit.Config{
-			Algorithm: connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
+			Algorithm: connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -632,22 +644,24 @@ func table8() {
 		tGather := timeIt(func() { core.GatherEdges(g, data) })
 		noSample := connectit.DefaultConfig()
 		noSample.Sampling = core.NoSampling
-		tNo := timeIt(func() { mustLabels(g, noSample) })
-		tS := timeIt(func() { mustLabels(g, connectit.DefaultConfig()) })
+		noSolver := connectit.MustCompile(noSample)
+		sSolver := connectit.MustCompile(connectit.DefaultConfig())
+		tNo := timeIt(func() { noSolver.Components(g) })
+		tS := timeIt(func() { sSolver.Components(g) })
 		fmt.Printf("%-8s %12s %14s %16s %14s\n", n, secs(tMap), secs(tGather), secs(tNo), secs(tS))
 	}
 }
 
 func forestOverhead() {
 	names, graphs := panel()
-	cfg := connectit.DefaultConfig()
+	solver := connectit.MustCompile(connectit.DefaultConfig())
 	fmt.Printf("%-8s %14s %14s %10s\n", "Graph", "CC(s)", "SF(s)", "Overhead")
 	var overheads []float64
 	for _, n := range names {
 		g := graphs[n]
-		tCC := timeIt(func() { mustLabels(g, cfg) })
+		tCC := timeIt(func() { solver.Components(g) })
 		tSF := timeIt(func() {
-			if _, err := connectit.SpanningForest(g, cfg); err != nil {
+			if _, err := solver.SpanningForest(g); err != nil {
 				log.Fatal(err)
 			}
 		})

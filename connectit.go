@@ -12,26 +12,38 @@
 //
 // # Quick start
 //
+// Compile a configuration once, then run it as many times as needed; the
+// compiled Solver validates the combination up front and reuses its
+// internal scratch across runs:
+//
 //	g := connectit.BuildGraph(5, []connectit.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
-//	labels, err := connectit.Connectivity(g, connectit.DefaultConfig())
+//	solver, err := connectit.Compile(connectit.DefaultConfig())
+//	if err != nil { ... }
+//	labels := solver.Components(g)
 //	// labels[0] == labels[2], labels[3] == labels[4], labels[0] != labels[3]
 //
-// Pick specific algorithm combinations with Config:
+// Any of the framework's several hundred combinations is one canonical
+// spec string away:
 //
-//	cfg := connectit.Config{
-//	    Sampling:  connectit.KOutSampling,
-//	    Algorithm: connectit.UnionFindAlgorithm(connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
-//	}
-//	labels, err := connectit.Connectivity(g, cfg)
+//	cfg, err := connectit.ParseConfig("kout;uf;rem-cas;naive;split-one")
+//	alg, err := connectit.ParseAlgorithm("lt;CRFA")
 //
-// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's evaluation.
+// and every algorithm reports its spec with Algorithm.Name (Config.Name for
+// the full combination), which parses back to the same algorithm. The
+// one-shot helpers Connectivity, SpanningForest, and NewIncremental remain
+// as thin wrappers over Compile for single runs.
+//
+// See DESIGN.md for the registry/Solver architecture and the full system
+// inventory, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
 package connectit
 
 import (
+	"fmt"
+	"strings"
+
 	"connectit/internal/core"
 	"connectit/internal/graph"
-	"connectit/internal/liutarjan"
 	"connectit/internal/unionfind"
 )
 
@@ -46,11 +58,27 @@ type Edge = graph.Edge
 type Vertex = graph.Vertex
 
 // Config selects a complete ConnectIt algorithm: a sampling strategy plus a
-// finish algorithm (Figure 1 of the paper).
+// finish algorithm (Figure 1 of the paper). Compile it into a Solver, or
+// pass it to the one-shot helpers.
 type Config = core.Config
 
-// Algorithm identifies a finish algorithm instantiation.
+// Algorithm identifies a finish algorithm instantiation. Its Name method
+// renders the canonical spec string, which ParseAlgorithm round-trips.
 type Algorithm = core.Algorithm
+
+// Capabilities reports what a compiled combination supports beyond static
+// connectivity; it is derived from the algorithm registry.
+type Capabilities = core.Capabilities
+
+// StreamType classifies how a streaming algorithm processes a batch (§3.5).
+type StreamType = core.StreamType
+
+// The streaming algorithm types of §3.5.
+const (
+	TypeAsync       = core.TypeAsync
+	TypeSynchronous = core.TypeSynchronous
+	TypePhased      = core.TypePhased
+)
 
 // Stats collects union-find path-length instrumentation (TPL/MPL).
 type Stats = unionfind.Stats
@@ -95,8 +123,12 @@ const (
 
 // ErrUnsupported reports a framework combination the paper excludes (e.g.
 // Rem + SpliceAtomic + FindCompress, or spanning forest with a
-// non-root-based algorithm).
+// non-root-based algorithm). Compile surfaces every such case up front.
 var ErrUnsupported = core.ErrUnsupported
+
+// ErrBadSpec reports a malformed or unknown spec string passed to
+// ParseAlgorithm or ParseConfig.
+var ErrBadSpec = core.ErrBadSpec
 
 // DefaultConfig returns the paper's recommended robust configuration:
 // k-out sampling (hybrid, k = 2) finished by Union-Rem-CAS with
@@ -107,6 +139,29 @@ func DefaultConfig() Config {
 		Algorithm: UnionFindAlgorithm(UnionRemCAS, FindNaive, SplitAtomicOne),
 	}
 }
+
+// ParseAlgorithm parses a canonical algorithm spec string — e.g.
+// "uf;rem-cas;naive;split-one", "lt;CRFA", "sv", "stergiou", "lp" — into
+// an Algorithm. The output of Algorithm.Name parses back to the same
+// algorithm. Malformed specs return ErrBadSpec; combinations the paper
+// excludes return ErrUnsupported.
+func ParseAlgorithm(spec string) (Algorithm, error) { return core.ParseAlgorithm(spec) }
+
+// MustParseAlgorithm is ParseAlgorithm for known-valid specs; it panics on
+// error.
+func MustParseAlgorithm(spec string) Algorithm {
+	a, err := core.ParseAlgorithm(spec)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseConfig parses a full configuration spec "<sampling>;<algorithm>" —
+// e.g. "kout;uf;rem-cas;naive;split-one" — into a Config with default
+// tuning parameters. The output of Config.Name parses back to the same
+// sampling and algorithm.
+func ParseConfig(spec string) (Config, error) { return core.ParseConfig(spec) }
 
 // UnionFindAlgorithm selects a union-find finish algorithm.
 func UnionFindAlgorithm(u unionfind.UnionOption, f unionfind.FindOption, s unionfind.SpliceOption) Algorithm {
@@ -123,14 +178,13 @@ func ShiloachVishkinAlgorithm() Algorithm {
 
 // LiuTarjanAlgorithm selects a Liu-Tarjan framework variant by its
 // four-letter code (e.g. "CRFA", "PUS"); see liutarjan variant naming in
-// the paper's Appendix D.
-func LiuTarjanAlgorithm(code string) (Algorithm, bool) {
-	for _, v := range liutarjan.Variants() {
-		if v.Code() == code {
-			return Algorithm{Kind: core.FinishLiuTarjan, LT: v}, true
-		}
+// the paper's Appendix D. Unknown codes return an error wrapping
+// ErrUnsupported that lists the valid codes.
+func LiuTarjanAlgorithm(code string) (Algorithm, error) {
+	if strings.TrimSpace(code) == "" || strings.ContainsRune(code, ';') {
+		return Algorithm{}, fmt.Errorf("%w: unknown Liu-Tarjan variant %q", ErrUnsupported, code)
 	}
-	return Algorithm{}, false
+	return core.ParseAlgorithm("lt;" + code)
 }
 
 // StergiouAlgorithm selects Stergiou et al.'s algorithm.
@@ -144,52 +198,51 @@ func LabelPropagationAlgorithm() Algorithm {
 	return Algorithm{Kind: core.FinishLabelProp}
 }
 
-// Algorithms enumerates every finish algorithm in the framework: the 36
-// union-find variants, Shiloach-Vishkin, the 16 Liu-Tarjan variants,
-// Stergiou, and Label-Propagation. Crossed with the four sampling modes,
-// these are the paper's several hundred connectivity implementations.
-func Algorithms() []Algorithm {
-	var out []Algorithm
-	for _, v := range unionfind.Variants() {
-		out = append(out, Algorithm{Kind: core.FinishUnionFind, UF: v})
-	}
-	out = append(out, ShiloachVishkinAlgorithm())
-	for _, v := range liutarjan.Variants() {
-		out = append(out, Algorithm{Kind: core.FinishLiuTarjan, LT: v})
-	}
-	out = append(out, StergiouAlgorithm(), LabelPropagationAlgorithm())
-	return out
-}
+// Algorithms enumerates every finish algorithm in the framework, derived
+// from the registry: the 36 union-find variants, Shiloach-Vishkin, the 16
+// Liu-Tarjan variants, Stergiou, and Label-Propagation. Crossed with the
+// four sampling modes, these are the paper's several hundred connectivity
+// implementations. Every returned Algorithm's Name parses back via
+// ParseAlgorithm.
+func Algorithms() []Algorithm { return core.Algorithms() }
 
 // Connectivity computes the connected components of g: the returned
-// labeling satisfies labels[u] == labels[v] iff u and v are connected.
+// labeling satisfies labels[u] == labels[v] iff u and v are connected. It
+// is a thin wrapper that compiles cfg and runs it once; repeated runs
+// should Compile once and call Solver.Components.
 func Connectivity(g *Graph, cfg Config) ([]uint32, error) {
-	return core.Connectivity(g, cfg)
+	s, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Components(g), nil
 }
 
 // SpanningForest computes a spanning forest of g using a root-based finish
 // algorithm (any union-find variant except Rem+SpliceAtomic,
-// Shiloach-Vishkin, or a RootUp Liu-Tarjan variant).
+// Shiloach-Vishkin, or a RootUp Liu-Tarjan variant). It is a thin wrapper
+// over Compile + Solver.SpanningForest.
 func SpanningForest(g *Graph, cfg Config) ([]Edge, error) {
-	raw, err := core.SpanningForest(g, cfg)
+	s, err := Compile(cfg)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Edge, len(raw))
-	for i, e := range raw {
-		out[i] = Edge{U: e[0], V: e[1]}
-	}
-	return out, nil
+	return s.SpanningForest(g)
 }
 
 // NewIncremental creates a streaming connectivity structure over n
-// initially isolated vertices (§3.5).
+// initially isolated vertices (§3.5). It is a thin wrapper over Compile +
+// Solver.NewIncremental.
 func NewIncremental(n int, cfg Config) (*Incremental, error) {
-	return core.NewIncremental(n, cfg)
+	s, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.NewIncremental(n)
 }
 
 // NumComponents counts the distinct components in a labeling returned by
-// Connectivity.
+// Connectivity or Solver.Components.
 func NumComponents(labels []uint32) int { return core.NumComponents(labels) }
 
 // LargestComponent returns the most frequent label in a labeling and the

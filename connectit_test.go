@@ -1,6 +1,8 @@
 package connectit
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"connectit/internal/testutil"
@@ -52,11 +54,24 @@ func TestPublicAPIAllAlgorithmsOnRMAT(t *testing.T) {
 }
 
 func TestLiuTarjanLookup(t *testing.T) {
-	if _, ok := LiuTarjanAlgorithm("CRFA"); !ok {
-		t.Fatal("CRFA should exist")
+	if _, err := LiuTarjanAlgorithm("CRFA"); err != nil {
+		t.Fatalf("CRFA should exist: %v", err)
 	}
-	if _, ok := LiuTarjanAlgorithm("XYZ"); ok {
+	_, err := LiuTarjanAlgorithm("XYZ")
+	if err == nil {
 		t.Fatal("XYZ should not exist")
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown code error = %v, want ErrUnsupported", err)
+	}
+	if !strings.Contains(err.Error(), "XYZ") {
+		t.Fatalf("error %q does not name the bad code", err)
+	}
+	// Degenerate codes must keep the documented ErrUnsupported contract.
+	for _, code := range []string{"", "   ", "CRFA;PRF"} {
+		if _, err := LiuTarjanAlgorithm(code); !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("LiuTarjanAlgorithm(%q) = %v, want ErrUnsupported", code, err)
+		}
 	}
 }
 

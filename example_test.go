@@ -6,6 +6,30 @@ import (
 	"connectit"
 )
 
+// The compiled workflow: validate a spec-selected configuration once, then
+// run it repeatedly; the solver reuses its internal scratch across runs.
+func ExampleCompile() {
+	cfg, err := connectit.ParseConfig("kout;uf;rem-cas;naive;split-one")
+	if err != nil {
+		panic(err)
+	}
+	solver, err := connectit.Compile(cfg)
+	if err != nil {
+		panic(err)
+	}
+	g := connectit.BuildGraph(5, []connectit.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	labels := solver.Components(g)
+	fmt.Println(solver.Name())
+	fmt.Println(connectit.NumComponents(labels))
+	fmt.Println(solver.Capabilities().SpanningForest)
+	// Output:
+	// kout;Union-Rem-CAS;SplitOne;FindNaive
+	// 2
+	// true
+}
+
 // The minimal workflow: build a graph, compute components with the paper's
 // recommended default algorithm (k-out sampling + Union-Rem-CAS).
 func ExampleConnectivity() {
@@ -29,9 +53,9 @@ func ExampleConnectivity() {
 // Liu-Tarjan CRFA variant.
 func ExampleLiuTarjanAlgorithm() {
 	g := connectit.BuildGraph(4, []connectit.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
-	crfa, ok := connectit.LiuTarjanAlgorithm("CRFA")
-	if !ok {
-		panic("unknown variant")
+	crfa, err := connectit.LiuTarjanAlgorithm("CRFA")
+	if err != nil {
+		panic(err)
 	}
 	labels, err := connectit.Connectivity(g, connectit.Config{
 		Sampling:  connectit.LDDSampling,

@@ -1,5 +1,6 @@
-// Quickstart: build a small graph, compute its connected components, and
-// answer connectivity questions — the minimal ConnectIt workflow.
+// Quickstart: build a small graph, compile a solver, compute connected
+// components, and answer connectivity questions — the minimal ConnectIt
+// workflow.
 package main
 
 import (
@@ -16,27 +17,30 @@ func main() {
 		{U: 3, V: 4},
 	})
 
-	// DefaultConfig is the paper's recommended robust combination:
-	// k-out sampling finished by Union-Rem-CAS with SplitAtomicOne.
-	labels, err := connectit.Connectivity(g, connectit.DefaultConfig())
+	// DefaultConfig is the paper's recommended robust combination: k-out
+	// sampling finished by Union-Rem-CAS with SplitAtomicOne. Compile
+	// validates it once and returns a reusable solver.
+	solver, err := connectit.Compile(connectit.DefaultConfig())
 	if err != nil {
 		panic(err)
 	}
+	fmt.Println("algorithm:", solver.Name())
 
+	labels := solver.Components(g)
 	fmt.Println("labels:", labels)
 	fmt.Println("components:", connectit.NumComponents(labels))
 	fmt.Println("0 and 2 connected:", labels[0] == labels[2])
 	fmt.Println("0 and 4 connected:", labels[0] == labels[4])
 
 	// Any of the framework's several hundred algorithm combinations is one
-	// Config away; for example Liu-Tarjan CRFA with LDD sampling:
-	crfa, _ := connectit.LiuTarjanAlgorithm("CRFA")
-	labels2, err := connectit.Connectivity(g, connectit.Config{
-		Sampling:  connectit.LDDSampling,
-		Algorithm: crfa,
-	})
+	// spec string away; for example Liu-Tarjan CRFA with LDD sampling:
+	cfg, err := connectit.ParseConfig("ldd;lt;CRFA")
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("CRFA agrees:", connectit.NumComponents(labels2) == 2)
+	crfa, err := connectit.Compile(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("CRFA agrees:", connectit.NumComponents(crfa.Components(g)) == 2)
 }

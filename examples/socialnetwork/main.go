@@ -16,31 +16,35 @@ func main() {
 	g := connectit.NewRMAT(scale, 16*(1<<scale), 7)
 	fmt.Printf("social network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	finish := connectit.UnionFindAlgorithm(
-		connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne)
-
+	// The same finish algorithm under each sampling scheme, selected by
+	// spec string and compiled once per configuration — repeated runs on
+	// the same solver reuse its internal buffers.
 	configs := []struct {
 		name string
-		cfg  connectit.Config
+		spec string
 	}{
-		{"no sampling", connectit.Config{Sampling: connectit.NoSampling, Algorithm: finish}},
-		{"k-out sampling", connectit.Config{Sampling: connectit.KOutSampling, Algorithm: finish}},
-		{"BFS sampling", connectit.Config{Sampling: connectit.BFSSampling, Algorithm: finish}},
-		{"LDD sampling", connectit.Config{Sampling: connectit.LDDSampling, Algorithm: finish}},
+		{"no sampling", "none;uf;rem-cas;naive;split-one"},
+		{"k-out sampling", "kout;uf;rem-cas;naive;split-one"},
+		{"BFS sampling", "bfs;uf;rem-cas;naive;split-one"},
+		{"LDD sampling", "ldd;uf;rem-cas;naive;split-one"},
 	}
 
 	var baselineTime time.Duration
 	for _, c := range configs {
+		cfg, err := connectit.ParseConfig(c.spec)
+		if err != nil {
+			panic(err)
+		}
+		solver, err := connectit.Compile(cfg)
+		if err != nil {
+			panic(err)
+		}
 		// Best of three runs.
 		best := time.Duration(1 << 62)
 		var labels []uint32
 		for t := 0; t < 3; t++ {
 			start := time.Now()
-			var err error
-			labels, err = connectit.Connectivity(g, c.cfg)
-			if err != nil {
-				panic(err)
-			}
+			labels = solver.Components(g)
 			if d := time.Since(start); d < best {
 				best = d
 			}

@@ -17,24 +17,27 @@ func main() {
 	fmt.Printf("road network: %d intersections, %d road segments\n",
 		g.NumVertices(), g.NumEdges())
 
-	cfg := connectit.Config{
-		Sampling: connectit.KOutSampling, // the paper's pick for high diameter
-		Algorithm: connectit.UnionFindAlgorithm(
-			connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
+	// k-out sampling is the paper's pick for high diameter; the compiled
+	// solver serves both the forest and the connectivity run.
+	solver, err := connectit.Compile(connectit.Config{
+		Sampling:  connectit.KOutSampling,
+		Algorithm: connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"),
+	})
+	if err != nil {
+		panic(err)
+	}
+	if !solver.Capabilities().SpanningForest {
+		panic("algorithm does not support spanning forest")
 	}
 
 	start := time.Now()
-	forest, err := connectit.SpanningForest(g, cfg)
+	forest, err := solver.SpanningForest(g)
 	elapsed := time.Since(start)
 	if err != nil {
 		panic(err)
 	}
 
-	labels, err := connectit.Connectivity(g, cfg)
-	if err != nil {
-		panic(err)
-	}
-	comps := connectit.NumComponents(labels)
+	comps := connectit.NumComponents(solver.Components(g))
 	fmt.Printf("spanning forest: %d edges in %v\n", len(forest), elapsed)
 	fmt.Printf("invariant |F| = n - #components: %d = %d - %d: %v\n",
 		len(forest), g.NumVertices(), comps, len(forest) == g.NumVertices()-comps)

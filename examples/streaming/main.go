@@ -17,10 +17,18 @@ func main() {
 	stream := connectit.RMATEdges(scale, 10*n, 3)
 	fmt.Printf("stream: %d vertices, %d edge insertions\n", n, len(stream))
 
-	inc, err := connectit.NewIncremental(n, connectit.Config{
-		Algorithm: connectit.UnionFindAlgorithm(
-			connectit.UnionRemCAS, connectit.FindNaive, connectit.SplitAtomicOne),
+	// Compile the finish algorithm once; the solver's capabilities say up
+	// front whether (and how) it streams.
+	solver, err := connectit.Compile(connectit.Config{
+		Algorithm: connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"),
 	})
+	if err != nil {
+		panic(err)
+	}
+	if caps := solver.Capabilities(); !caps.Streaming {
+		panic("algorithm does not stream")
+	}
+	inc, err := solver.NewIncremental(n)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,3 @@
+module connectit
+
+go 1.24

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"connectit/internal/graph"
+	"connectit/internal/parallel"
+	"connectit/internal/sample"
+)
+
+// Capabilities reports what a compiled configuration supports beyond static
+// connectivity. It is derived from the family registry, not hand-maintained.
+type Capabilities struct {
+	// SpanningForest reports support for Algorithm 2 (§3.4).
+	SpanningForest bool
+	// Streaming reports support for batch-incremental execution (§3.5).
+	Streaming bool
+	// StreamType is the batch classification when Streaming is true.
+	StreamType StreamType
+}
+
+// Compiled is a compiled ConnectIt algorithm instance: Compile validates
+// the sampling × finish combination once, precomputes the dispatch closures
+// that the free functions previously re-derived on every call, and retains
+// scratch buffers (labels, skip flags, union-find auxiliary arrays) so
+// repeated runs over same-sized graphs avoid re-allocation on the finish
+// hot path. It is the engine behind the public connectit.Solver.
+//
+// A Compiled is not safe for concurrent use — it owns scratch state.
+// Compile one instance per goroutine; compilation is cheap.
+type Compiled struct {
+	cfg    Config
+	family *Family
+	run    *Runner
+
+	forestErr  error
+	streamType StreamType
+	streamErr  error
+
+	labels []uint32 // identity-labeling scratch for the NoSampling path
+	skip   []bool   // most-frequent-component skip-flag scratch
+}
+
+// Compile validates cfg against the registry and returns an executable
+// instance. Every ErrUnsupported case surfaces at compile time: invalid
+// combinations fail here, and the forest/streaming restrictions are
+// captured once and returned unchanged by SpanningForest/NewIncremental
+// instead of being re-derived mid-run.
+func Compile(cfg Config) (*Compiled, error) {
+	f, ok := familiesByKind[cfg.Algorithm.Kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown finish kind %v", ErrUnsupported, cfg.Algorithm.Kind)
+	}
+	if err := f.Validate(cfg.Algorithm); err != nil {
+		return nil, err
+	}
+	c := &Compiled{cfg: cfg, family: f}
+	c.forestErr = f.ForestSupport(cfg.Algorithm)
+	c.streamType, c.streamErr = f.StreamSupport(cfg.Algorithm)
+	c.run = f.NewRunner(cfg)
+	return c, nil
+}
+
+// Config returns the configuration the instance was compiled from.
+func (c *Compiled) Config() Config { return c.cfg }
+
+// Name returns the canonical spec string of the compiled combination;
+// ParseConfig round-trips it.
+func (c *Compiled) Name() string { return c.cfg.Name() }
+
+// Capabilities reports what the compiled combination supports.
+func (c *Compiled) Capabilities() Capabilities {
+	return Capabilities{
+		SpanningForest: c.forestErr == nil,
+		Streaming:      c.streamErr == nil,
+		StreamType:     c.streamType,
+	}
+}
+
+// prepare runs the sampling phase (phase one of Algorithm 1) and returns
+// the star-form labeling, the skip flags for the most frequent sampled
+// component, and — when forest is set — the sampled partial forest. The
+// labels (NoSampling) and skip buffers are instance scratch.
+func (c *Compiled) prepare(g *graph.Graph, forest bool) ([]uint32, []bool, [][2]uint32) {
+	n := g.NumVertices()
+	if c.cfg.Sampling == NoSampling {
+		if cap(c.labels) < n {
+			c.labels = make([]uint32, n)
+		}
+		labels := c.labels[:n]
+		parallel.For(n, func(i int) { labels[i] = uint32(i) })
+		return labels, nil, nil
+	}
+	res := runSampling(g, c.cfg, forest)
+	labels := res.Labels
+	frequent := sample.MostFrequent(labels, c.cfg.Seed)
+	// Canonicalize stars to minimum-rooted form so every finish algorithm's
+	// invariants hold (DESIGN.md §4). k-out stars are already canonical.
+	if !res.Canonical {
+		frequent = sample.Canonicalize(labels, frequent)
+	}
+	if cap(c.skip) < n {
+		c.skip = make([]bool, n)
+	}
+	skip := c.skip[:n]
+	f := frequent
+	parallel.For(n, func(i int) { skip[i] = labels[i] == f })
+	return labels, skip, res.Forest
+}
+
+// Components runs the compiled combination over g (Algorithm 1) and
+// returns a connectivity labeling: labels[u] == labels[v] iff u and v are
+// connected. It cannot fail — all validation happened in Compile.
+//
+// In the NoSampling configuration the returned slice is scratch owned by
+// the instance and is overwritten by the next run; copy it if it must
+// outlive the next call. Sampled configurations return a fresh slice.
+func (c *Compiled) Components(g *graph.Graph) []uint32 {
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	labels, skip, _ := c.prepare(g, false)
+	return c.run.Finish(g, labels, skip)
+}
+
+// SpanningForest computes a spanning forest of g (Algorithm 2): the
+// sampling phase emits the forest edges inducing its partial labeling
+// (Definition B.2) and the root-based finish phase records one witness
+// edge per hook (Theorem 6). Combinations the paper excludes return the
+// ErrUnsupported error captured at compile time.
+func (c *Compiled) SpanningForest(g *graph.Graph) ([][2]uint32, error) {
+	if c.forestErr != nil {
+		return nil, c.forestErr
+	}
+	if g.NumVertices() == 0 {
+		return nil, nil
+	}
+	labels, skip, acc := c.prepare(g, true)
+	return c.run.Forest(g, labels, skip, acc)
+}
+
+// NewIncremental creates a batch-incremental streaming structure over n
+// initially isolated vertices (§3.5) running the compiled finish
+// algorithm. Combinations that cannot stream return the ErrUnsupported
+// error captured at compile time.
+func (c *Compiled) NewIncremental(n int) (*Incremental, error) {
+	if c.streamErr != nil {
+		return nil, c.streamErr
+	}
+	return c.family.NewIncremental(n, c.cfg, c.streamType), nil
+}

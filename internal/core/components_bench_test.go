@@ -1,0 +1,116 @@
+package core
+
+// Benchmarks for the flattened-label component reductions, against the
+// map-based implementations they replaced (kept here as baselines).
+
+import (
+	"testing"
+)
+
+// numComponentsMap is the previous sequential hash-map implementation.
+func numComponentsMap(labels []uint32) int {
+	count := 0
+	seen := make(map[uint32]struct{}, 64)
+	for _, l := range labels {
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			count++
+		}
+	}
+	return count
+}
+
+// largestComponentMap is the previous sequential hash-map implementation.
+func largestComponentMap(labels []uint32) (uint32, int) {
+	counts := make(map[uint32]int)
+	for _, l := range labels {
+		counts[l]++
+	}
+	var best uint32
+	bestC := 0
+	for l, c := range counts {
+		if c > bestC || (c == bestC && l < best) {
+			best, bestC = l, c
+		}
+	}
+	return best, bestC
+}
+
+// benchLabels builds a flattened labeling of n vertices in blocks of the
+// given size (each block's root is its first vertex).
+func benchLabels(n, block int) []uint32 {
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = uint32(i - i%block)
+	}
+	return labels
+}
+
+func TestComponentReductionsMatchMapBaselines(t *testing.T) {
+	cases := map[string][]uint32{
+		"singletons": benchLabels(10_000, 1),
+		"block7":     benchLabels(10_000, 7),
+		"block1024":  benchLabels(10_000, 1024),
+		"one-comp":   benchLabels(10_000, 10_000),
+		// Not flattened / out of range: must hit the map fallbacks instead
+		// of miscounting or panicking.
+		"chain":        {1, 2, 3, 3},
+		"out-of-range": {7, 7, 1_000_000, 2},
+	}
+	for name, labels := range cases {
+		if got, want := NumComponents(labels), numComponentsMap(labels); got != want {
+			t.Errorf("%s: NumComponents = %d, want %d", name, got, want)
+		}
+		gotL, gotC := LargestComponent(labels)
+		wantL, wantC := largestComponentMap(labels)
+		if gotL != wantL || gotC != wantC {
+			t.Errorf("%s: LargestComponent = (%d,%d), want (%d,%d)", name, gotL, gotC, wantL, wantC)
+		}
+	}
+	if n := NumComponents(nil); n != 0 {
+		t.Errorf("NumComponents(nil) = %d", n)
+	}
+	if l, c := LargestComponent(nil); l != 0 || c != 0 {
+		t.Errorf("LargestComponent(nil) = (%d,%d)", l, c)
+	}
+}
+
+// benchShapes covers the two real labeling shapes: many medium components,
+// and the dominant-component shape (one root covering nearly everything)
+// that Connectivity outputs on connected graphs.
+func benchShapes() map[string][]uint32 {
+	return map[string][]uint32{
+		"blocks1024": benchLabels(1<<22, 1024),
+		"dominant":   benchLabels(1<<22, 1<<22),
+	}
+}
+
+func BenchmarkNumComponents(b *testing.B) {
+	for shape, labels := range benchShapes() {
+		b.Run("parallel/"+shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NumComponents(labels)
+			}
+		})
+		b.Run("map/"+shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				numComponentsMap(labels)
+			}
+		})
+	}
+}
+
+func BenchmarkLargestComponent(b *testing.B) {
+	for shape, labels := range benchShapes() {
+		b.Run("parallel/"+shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				LargestComponent(labels)
+			}
+		})
+		b.Run("map/"+shape, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				largestComponentMap(labels)
+			}
+		})
+	}
+}

@@ -7,14 +7,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"connectit/internal/graph"
-	"connectit/internal/labelprop"
 	"connectit/internal/liutarjan"
 	"connectit/internal/parallel"
 	"connectit/internal/sample"
-	"connectit/internal/shiloachvishkin"
 	"connectit/internal/unionfind"
 )
 
@@ -156,98 +155,107 @@ func runSampling(g *graph.Graph, cfg Config, forest bool) *sample.Result {
 
 // Connectivity runs the ConnectIt connectivity meta-algorithm (Algorithm 1)
 // and returns a connectivity labeling: labels[u] == labels[v] iff u and v
-// are connected. It returns an error only for combinations the paper
-// proves incorrect (via unionfind.New validation).
+// are connected. It is a convenience wrapper that compiles cfg and runs it
+// once; repeated runs should Compile once and call Components.
 func Connectivity(g *graph.Graph, cfg Config) ([]uint32, error) {
-	n := g.NumVertices()
-	if n == 0 {
-		return nil, nil
+	c, err := Compile(cfg)
+	if err != nil {
+		return nil, err
 	}
-	res := runSampling(g, cfg, false)
-	labels := res.Labels
-
-	var skip []bool
-	if cfg.Sampling != NoSampling {
-		frequent := sample.MostFrequent(labels, cfg.Seed)
-		// Canonicalize stars to minimum-rooted form so every finish
-		// algorithm's invariants hold (DESIGN.md §4). k-out stars are
-		// already canonical.
-		if !res.Canonical {
-			frequent = sample.Canonicalize(labels, frequent)
-		}
-		skip = make([]bool, n)
-		f := frequent
-		parallel.For(n, func(i int) { skip[i] = labels[i] == f })
-	}
-
-	switch cfg.Algorithm.Kind {
-	case FinishUnionFind:
-		opt := cfg.Algorithm.UF.Options()
-		opt.Stats = cfg.Stats
-		d, err := unionfind.NewFromLabels(labels, opt)
-		if err != nil {
-			return nil, err
-		}
-		unionFindFinish(g, d, skip)
-		return d.Labels(), nil
-	case FinishShiloachVishkin:
-		shiloachvishkin.Run(g, labels, skip)
-		return labels, nil
-	case FinishLiuTarjan:
-		liutarjan.Run(g, labels, skip, cfg.Algorithm.LT)
-		return labels, nil
-	case FinishStergiou:
-		liutarjan.RunStergiou(g, labels, skip)
-		return labels, nil
-	case FinishLabelProp:
-		labelprop.Run(g, labels, skip)
-		return labels, nil
-	}
-	return nil, fmt.Errorf("%w: unknown finish kind %v", ErrUnsupported, cfg.Algorithm.Kind)
+	return c.Components(g), nil
 }
 
-// unionFindFinish applies every edge incident to an unskipped vertex.
-func unionFindFinish(g *graph.Graph, d *unionfind.DSU, skip []bool) {
-	n := g.NumVertices()
-	parallel.ForGrained(n, 256, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			if skip != nil && skip[v] {
-				continue
-			}
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
-				d.Union(uint32(v), u)
+// flattened reports whether every label is an in-range root
+// (labels[labels[v]] == labels[v]) — the form every labeling the framework
+// returns is in, and the precondition for the parallel reductions below.
+func flattened(labels []uint32) bool {
+	n := len(labels)
+	var bad atomic.Bool
+	parallel.ForGrained(n, 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			l := labels[i]
+			if int(l) >= n || labels[l] != l {
+				bad.Store(true)
+				return
 			}
 		}
 	})
+	return !bad.Load()
 }
 
-// NumComponents counts distinct labels in a flattened labeling.
+// NumComponents counts distinct labels in a labeling. For flattened
+// labelings (everything the framework returns) the count is a parallel
+// reduction over the roots — no hash map; arbitrary labelings fall back to
+// a sequential scan.
 func NumComponents(labels []uint32) int {
-	count := 0
-	seen := make(map[uint32]struct{}, 64)
-	for _, l := range labels {
-		if _, ok := seen[l]; !ok {
+	if !flattened(labels) {
+		seen := make(map[uint32]struct{}, 64)
+		for _, l := range labels {
 			seen[l] = struct{}{}
-			count++
 		}
+		return len(seen)
 	}
-	return count
+	return int(parallel.Count(len(labels), func(i int) bool {
+		return labels[i] == uint32(i)
+	}))
 }
 
-// LargestComponent returns the most frequent label and its vertex count.
+// LargestComponent returns the most frequent label in a labeling and the
+// number of vertices carrying it (ties break toward the smaller label).
+// For flattened labelings counting is a parallel histogram over the label
+// space; arbitrary labelings fall back to a sequential hash map.
 func LargestComponent(labels []uint32) (uint32, int) {
-	counts := make(map[uint32]int)
-	for _, l := range labels {
-		counts[l]++
+	n := len(labels)
+	if n == 0 {
+		return 0, 0
 	}
-	var best uint32
-	bestC := 0
-	for l, c := range counts {
-		if c > bestC || (c == bestC && l < best) {
-			best, bestC = l, c
+	if !flattened(labels) {
+		counts := make(map[uint32]int)
+		for _, l := range labels {
+			counts[l]++
 		}
+		var best uint32
+		bestC := 0
+		for l, c := range counts {
+			if c > bestC || (c == bestC && l < best) {
+				best, bestC = l, c
+			}
+		}
+		return best, bestC
 	}
-	return best, bestC
+	counts := make([]uint32, n)
+	parallel.ForGrained(n, 2048, func(lo, hi int) {
+		// Batch runs of equal labels into one atomic add: real labelings are
+		// dominated by one root, so per-element RMWs would serialize every
+		// worker on that root's cache line.
+		i := lo
+		for i < hi {
+			l := labels[i]
+			j := i + 1
+			for j < hi && labels[j] == l {
+				j++
+			}
+			atomic.AddUint32(&counts[l], uint32(j-i))
+			i = j
+		}
+	})
+	var mu sync.Mutex
+	var best uint32
+	bestC := uint32(0)
+	parallel.ForGrained(n, 2048, func(lo, hi int) {
+		localBest, localC := uint32(0), uint32(0)
+		for i := lo; i < hi; i++ {
+			if c := counts[i]; c > localC || (c == localC && c > 0 && uint32(i) < localBest) {
+				localBest, localC = uint32(i), c
+			}
+		}
+		mu.Lock()
+		if localC > bestC || (localC == bestC && localC > 0 && localBest < best) {
+			best, bestC = localBest, localC
+		}
+		mu.Unlock()
+	})
+	return best, int(bestC)
 }
 
 // MapEdges performs one parallel pass over every directed edge, returning a

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"connectit/internal/graph"
+	"connectit/internal/labelprop"
+	"connectit/internal/liutarjan"
+	"connectit/internal/parallel"
+	"connectit/internal/shiloachvishkin"
+	"connectit/internal/unionfind"
+)
+
+// This file registers the five finish families of §3.3 with the registry.
+// Registration order fixes the enumeration order of Algorithms: the 36
+// union-find variants, Shiloach-Vishkin, the sixteen Liu-Tarjan variants,
+// Stergiou, and Label-Propagation.
+
+// liutarjanByCode indexes the paper's sixteen Liu-Tarjan variants by their
+// four-letter code.
+var liutarjanByCode = func() map[string]liutarjan.Variant {
+	m := make(map[string]liutarjan.Variant, 16)
+	for _, v := range liutarjan.Variants() {
+		m[v.Code()] = v
+	}
+	return m
+}()
+
+func liutarjanCodes() string {
+	s := ""
+	for i, v := range liutarjan.Variants() {
+		if i > 0 {
+			s += "/"
+		}
+		s += v.Code()
+	}
+	return s
+}
+
+func init() {
+	RegisterFamily(&Family{
+		Kind:    FinishUnionFind,
+		Name:    "uf",
+		Aliases: []string{"union-find"},
+		Doc:     "concurrent union-find variants (§3.3.1)",
+		Enumerate: func() []Algorithm {
+			var out []Algorithm
+			for _, v := range unionfind.Variants() {
+				out = append(out, Algorithm{Kind: FinishUnionFind, UF: v})
+			}
+			return out
+		},
+		ParseParams: parseUFParams,
+		Validate: func(a Algorithm) error {
+			if err := unionfind.Validate(a.UF.Options()); err != nil {
+				return fmt.Errorf("%w: %w", ErrUnsupported, err)
+			}
+			return nil
+		},
+		ForestSupport: func(a Algorithm) error {
+			if ufIsRem(a.UF) && a.UF.Splice == unionfind.SpliceAtomic {
+				return fmt.Errorf("%w: spanning forest with Rem+SpliceAtomic", ErrUnsupported)
+			}
+			return nil
+		},
+		StreamSupport: func(a Algorithm) (StreamType, error) {
+			// Rem + SpliceAtomic is only phase-concurrent (Theorem 3); every
+			// other union-find variant runs updates and queries fully
+			// concurrently.
+			if ufIsRem(a.UF) && a.UF.Splice == unionfind.SpliceAtomic {
+				return TypePhased, nil
+			}
+			return TypeAsync, nil
+		},
+		NewRunner: newUFRunner,
+		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
+			return &Incremental{
+				kind:  FinishUnionFind,
+				stype: st,
+				dsu:   unionfind.MustNew(n, ufOptions(cfg)),
+				n:     n,
+			}
+		},
+	})
+
+	RegisterFamily(&Family{
+		Kind:    FinishShiloachVishkin,
+		Name:    "sv",
+		Aliases: []string{"shiloach-vishkin"},
+		Doc:     "Shiloach-Vishkin hook-and-compress (Algorithm 15)",
+		Enumerate: func() []Algorithm {
+			return []Algorithm{{Kind: FinishShiloachVishkin}}
+		},
+		ParseParams:   noParams(FinishShiloachVishkin),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: func(Algorithm) error { return nil },
+		StreamSupport: func(Algorithm) (StreamType, error) { return TypeSynchronous, nil },
+		NewRunner: func(cfg Config) *Runner {
+			return &Runner{
+				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
+					shiloachvishkin.Run(g, labels, skip)
+					return labels
+				},
+				Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+					_, acc = shiloachvishkin.RunForest(g, labels, skip, acc)
+					return acc, nil
+				},
+			}
+		},
+		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
+			return &Incremental{kind: FinishShiloachVishkin, stype: st, parent: Identity(n), n: n}
+		},
+	})
+
+	RegisterFamily(&Family{
+		Kind:    FinishLiuTarjan,
+		Name:    "lt",
+		Aliases: []string{"liu-tarjan"},
+		Doc:     "Liu-Tarjan framework variants (§3.3.2, Appendix D)",
+		Enumerate: func() []Algorithm {
+			var out []Algorithm
+			for _, v := range liutarjan.Variants() {
+				out = append(out, Algorithm{Kind: FinishLiuTarjan, LT: v})
+			}
+			return out
+		},
+		ParseParams: parseLTParams,
+		Validate: func(a Algorithm) error {
+			if _, ok := liutarjanByCode[a.LT.Code()]; !ok {
+				return fmt.Errorf("%w: Liu-Tarjan variant %q is not one of the paper's sixteen (%s)",
+					ErrUnsupported, a.LT.Code(), liutarjanCodes())
+			}
+			return nil
+		},
+		ForestSupport: func(a Algorithm) error {
+			if !a.LT.RootBased() {
+				return fmt.Errorf("%w: spanning forest with non-RootUp Liu-Tarjan variant %s", ErrUnsupported, a.LT.Code())
+			}
+			return nil
+		},
+		StreamSupport: func(a Algorithm) (StreamType, error) {
+			if !a.LT.RootBased() {
+				return 0, fmt.Errorf("%w: streaming with non-RootUp Liu-Tarjan variant %s", ErrUnsupported, a.LT.Code())
+			}
+			return TypeSynchronous, nil
+		},
+		NewRunner: func(cfg Config) *Runner {
+			v := cfg.Algorithm.LT
+			return &Runner{
+				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
+					liutarjan.Run(g, labels, skip, v)
+					return labels
+				},
+				Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+					_, acc, err := liutarjan.RunForest(g, labels, skip, v, acc)
+					return acc, err
+				},
+			}
+		},
+		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
+			return &Incremental{kind: FinishLiuTarjan, stype: st, lt: cfg.Algorithm.LT, parent: Identity(n), n: n}
+		},
+	})
+
+	RegisterFamily(&Family{
+		Kind:          FinishStergiou,
+		Name:          "stergiou",
+		Doc:           "Stergiou et al.'s two-array min-label algorithm (§B.2.5)",
+		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishStergiou}} },
+		ParseParams:   noParams(FinishStergiou),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: unsupportedForest(FinishStergiou),
+		StreamSupport: unsupportedStream(FinishStergiou),
+		NewRunner: func(cfg Config) *Runner {
+			return &Runner{
+				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
+					liutarjan.RunStergiou(g, labels, skip)
+					return labels
+				},
+			}
+		},
+	})
+
+	RegisterFamily(&Family{
+		Kind:          FinishLabelProp,
+		Name:          "lp",
+		Aliases:       []string{"label-propagation", "label-prop", "labelprop"},
+		Doc:           "folklore frontier-based label propagation (§B.2.6)",
+		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishLabelProp}} },
+		ParseParams:   noParams(FinishLabelProp),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: unsupportedForest(FinishLabelProp),
+		StreamSupport: unsupportedStream(FinishLabelProp),
+		NewRunner: func(cfg Config) *Runner {
+			return &Runner{
+				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
+					labelprop.Run(g, labels, skip)
+					return labels
+				},
+			}
+		},
+	})
+}
+
+func unsupportedForest(kind FinishKind) func(Algorithm) error {
+	return func(Algorithm) error {
+		return fmt.Errorf("%w: spanning forest with %v", ErrUnsupported, kind)
+	}
+}
+
+func unsupportedStream(kind FinishKind) func(Algorithm) (StreamType, error) {
+	return func(Algorithm) (StreamType, error) {
+		// Updates relabel non-roots, breaking wait-free root queries (§3.5).
+		return 0, fmt.Errorf("%w: streaming with %v", ErrUnsupported, kind)
+	}
+}
+
+func ufIsRem(v unionfind.Variant) bool {
+	return v.Union == unionfind.UnionRemCAS || v.Union == unionfind.UnionRemLock
+}
+
+// ufOptions derives the DSU options for a union-find configuration.
+func ufOptions(cfg Config) unionfind.Options {
+	opt := cfg.Algorithm.UF.Options()
+	opt.Stats = cfg.Stats
+	opt.Seed = cfg.Seed
+	return opt
+}
+
+// newUFRunner compiles the union-find finish hooks. The runner retains one
+// DSU per mode (connectivity, forest) and Resets it each run, so repeated
+// runs on same-sized graphs reuse the auxiliary allocations (hooks, locks,
+// priorities, witnesses) instead of paying New every time.
+func newUFRunner(cfg Config) *Runner {
+	opt := ufOptions(cfg)
+	d := unionfind.MustNew(0, opt)
+	var df *unionfind.DSU
+	return &Runner{
+		Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
+			d.Reset(labels)
+			unionFindFinish(g, d, skip)
+			return d.Labels()
+		},
+		Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+			if df == nil {
+				fopt := opt
+				fopt.RecordWitness = true
+				df = unionfind.MustNew(0, fopt)
+			}
+			df.Reset(labels)
+			n := g.NumVertices()
+			parallel.ForGrained(n, 256, func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					if skip != nil && skip[v] {
+						continue
+					}
+					for _, u := range g.Neighbors(graph.Vertex(v)) {
+						df.UnionWitness(uint32(v), u, uint32(v), u)
+					}
+				}
+			})
+			return df.WitnessEdges(acc), nil
+		},
+	}
+}
+
+// unionFindFinish applies every edge incident to an unskipped vertex.
+func unionFindFinish(g *graph.Graph, d *unionfind.DSU, skip []bool) {
+	n := g.NumVertices()
+	parallel.ForGrained(n, 256, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if skip != nil && skip[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				d.Union(uint32(v), u)
+			}
+		}
+	})
+}

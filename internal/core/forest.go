@@ -1,14 +1,7 @@
 package core
 
 import (
-	"fmt"
-
 	"connectit/internal/graph"
-	"connectit/internal/liutarjan"
-	"connectit/internal/parallel"
-	"connectit/internal/sample"
-	"connectit/internal/shiloachvishkin"
-	"connectit/internal/unionfind"
 )
 
 // SpanningForest runs the ConnectIt spanning forest meta-algorithm
@@ -17,75 +10,12 @@ import (
 // one witness edge per hook (Theorem 6). Supported finish algorithms are
 // every union-find variant except Rem+SpliceAtomic, Shiloach-Vishkin, and
 // the RootUp Liu-Tarjan variants; other combinations return ErrUnsupported.
+// It is a convenience wrapper that compiles cfg and runs it once; repeated
+// runs should Compile once and call Compiled.SpanningForest.
 func SpanningForest(g *graph.Graph, cfg Config) ([][2]uint32, error) {
-	n := g.NumVertices()
-	if n == 0 {
-		return nil, nil
-	}
-	if err := forestSupported(cfg.Algorithm); err != nil {
+	c, err := Compile(cfg)
+	if err != nil {
 		return nil, err
 	}
-	res := runSampling(g, cfg, true)
-	labels := res.Labels
-	forest := res.Forest
-
-	var skip []bool
-	if cfg.Sampling != NoSampling {
-		frequent := sample.MostFrequent(labels, cfg.Seed)
-		if !res.Canonical {
-			frequent = sample.Canonicalize(labels, frequent)
-		}
-		skip = make([]bool, n)
-		f := frequent
-		parallel.For(n, func(i int) { skip[i] = labels[i] == f })
-	}
-
-	switch cfg.Algorithm.Kind {
-	case FinishUnionFind:
-		opt := cfg.Algorithm.UF.Options()
-		opt.Stats = cfg.Stats
-		opt.RecordWitness = true
-		d, err := unionfind.NewFromLabels(labels, opt)
-		if err != nil {
-			return nil, err
-		}
-		parallel.ForGrained(n, 256, func(lo, hi int) {
-			for v := lo; v < hi; v++ {
-				if skip != nil && skip[v] {
-					continue
-				}
-				for _, u := range g.Neighbors(graph.Vertex(v)) {
-					d.UnionWitness(uint32(v), u, uint32(v), u)
-				}
-			}
-		})
-		return d.WitnessEdges(forest), nil
-	case FinishShiloachVishkin:
-		_, forest = shiloachvishkin.RunForest(g, labels, skip, forest)
-		return forest, nil
-	case FinishLiuTarjan:
-		_, forest, err := liutarjan.RunForest(g, labels, skip, cfg.Algorithm.LT, forest)
-		return forest, err
-	}
-	return nil, fmt.Errorf("%w: spanning forest with %v", ErrUnsupported, cfg.Algorithm.Kind)
-}
-
-// forestSupported validates the finish algorithm for spanning forest.
-func forestSupported(a Algorithm) error {
-	switch a.Kind {
-	case FinishUnionFind:
-		isRem := a.UF.Union == unionfind.UnionRemCAS || a.UF.Union == unionfind.UnionRemLock
-		if isRem && a.UF.Splice == unionfind.SpliceAtomic {
-			return fmt.Errorf("%w: spanning forest with Rem+SpliceAtomic", ErrUnsupported)
-		}
-		return nil
-	case FinishShiloachVishkin:
-		return nil
-	case FinishLiuTarjan:
-		if !a.LT.RootBased() {
-			return fmt.Errorf("%w: spanning forest with non-RootUp Liu-Tarjan variant %s", ErrUnsupported, a.LT.Code())
-		}
-		return nil
-	}
-	return fmt.Errorf("%w: spanning forest with %v", ErrUnsupported, a.Kind)
+	return c.SpanningForest(g)
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"connectit/internal/graph"
+)
+
+// Family describes one finish-algorithm family (§3.3) in the registry. A
+// family contributes a canonical spec-string head, capability probes, a
+// parser for its spec parameters, and compiled execution hooks; Compile,
+// ParseAlgorithm, Algorithms, and the capability surfaces are all derived
+// from these descriptors instead of hand-maintained switches.
+type Family struct {
+	// Kind is the FinishKind this family implements.
+	Kind FinishKind
+	// Name is the canonical spec-string head ("uf", "sv", "lt", ...).
+	Name string
+	// Aliases are additional accepted heads, including the paper-style long
+	// names that Algorithm.Name renders (matched case-insensitively).
+	Aliases []string
+	// Doc is a one-line description for introspection surfaces.
+	Doc string
+
+	// Enumerate lists every Algorithm instantiation of the family.
+	Enumerate func() []Algorithm
+	// ParseParams parses the family-specific spec tokens (lower-cased, the
+	// family head already removed) into an Algorithm.
+	ParseParams func(tokens []string) (Algorithm, error)
+	// Validate reports whether a is a combination the framework defines,
+	// returning an error wrapping ErrUnsupported otherwise.
+	Validate func(a Algorithm) error
+	// ForestSupport returns nil when a supports spanning forest (§3.4).
+	ForestSupport func(a Algorithm) error
+	// StreamSupport returns a's streaming classification (§3.5), or an
+	// error wrapping ErrUnsupported when a cannot run batch-incrementally.
+	StreamSupport func(a Algorithm) (StreamType, error)
+	// NewRunner compiles the per-solver execution hooks for a validated
+	// configuration. Runners may retain scratch state across runs; each
+	// Compiled owns exactly one.
+	NewRunner func(cfg Config) *Runner
+	// NewIncremental constructs the streaming structure for a validated
+	// configuration whose StreamSupport succeeded with st.
+	NewIncremental func(n int, cfg Config, st StreamType) *Incremental
+}
+
+// Runner holds the compiled finish-phase hooks of one algorithm
+// instantiation. Finish refines a star-form labeling (skip semantics per
+// DESIGN.md §4) to full connectivity in place and returns the final
+// labeling. Forest additionally records one witness edge per hook and
+// appends the finish-phase forest edges to acc; it is only invoked when
+// ForestSupport returned nil.
+type Runner struct {
+	Finish func(g *graph.Graph, labels []uint32, skip []bool) []uint32
+	Forest func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error)
+}
+
+var (
+	families       []*Family
+	familiesByKind = map[FinishKind]*Family{}
+	familiesByName = map[string]*Family{}
+)
+
+// RegisterFamily adds f to the registry, panicking on duplicate kinds or
+// names. Registration order fixes the enumeration order of Algorithms;
+// the five paper families register in this package's init.
+func RegisterFamily(f *Family) {
+	if _, dup := familiesByKind[f.Kind]; dup {
+		panic(fmt.Sprintf("core: duplicate family for kind %v", f.Kind))
+	}
+	familiesByKind[f.Kind] = f
+	for _, name := range append([]string{f.Name}, f.Aliases...) {
+		key := strings.ToLower(name)
+		if _, dup := familiesByName[key]; dup {
+			panic(fmt.Sprintf("core: duplicate family name %q", name))
+		}
+		familiesByName[key] = f
+	}
+	families = append(families, f)
+}
+
+// Families returns the registered finish families in registration order.
+func Families() []*Family {
+	out := make([]*Family, len(families))
+	copy(out, families)
+	return out
+}
+
+// FamilyOf returns the registered family implementing kind.
+func FamilyOf(kind FinishKind) (*Family, bool) {
+	f, ok := familiesByKind[kind]
+	return f, ok
+}
+
+// Algorithms enumerates every finish algorithm in the framework in registry
+// order: the 36 union-find variants, Shiloach-Vishkin, the sixteen
+// Liu-Tarjan variants, Stergiou, and Label-Propagation (55 in total).
+// Crossed with the four sampling modes, these are the paper's several
+// hundred connectivity implementations.
+func Algorithms() []Algorithm {
+	var out []Algorithm
+	for _, f := range families {
+		out = append(out, f.Enumerate()...)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"connectit/internal/unionfind"
+)
+
+// This file implements the canonical spec-string language for selecting
+// algorithms:
+//
+//	config    = sampling ";" algorithm
+//	sampling  = "none" | "kout" | "bfs" | "ldd"
+//	algorithm = family [";" param ...]
+//
+// Family heads come from the registry ("uf", "sv", "lt", "stergiou", "lp",
+// or their long aliases); union-find specs may also lead directly with the
+// union rule, which is how Algorithm.Name renders them. Tokens are
+// case-insensitive and surrounding whitespace is ignored, so
+// "kout; uf; rem-cas; naive; split-one" and
+// "kout;Union-Rem-CAS;SplitOne;FindNaive" select the same configuration.
+// The canonical renderings round-trip: ParseAlgorithm(a.Name()) == a for
+// every a in Algorithms(), and ParseConfig(c.Name()) selects c's sampling
+// and algorithm.
+
+// ErrBadSpec reports a malformed or unknown spec string.
+var ErrBadSpec = errors.New("connectit: bad spec")
+
+var samplingTokens = map[string]SamplingMode{
+	"none":        NoSampling,
+	"no-sampling": NoSampling,
+	"kout":        KOutSampling,
+	"k-out":       KOutSampling,
+	"bfs":         BFSSampling,
+	"ldd":         LDDSampling,
+}
+
+var unionTokens = map[string]unionfind.UnionOption{
+	"union-async":    unionfind.UnionAsync,
+	"async":          unionfind.UnionAsync,
+	"union-hooks":    unionfind.UnionHooks,
+	"hooks":          unionfind.UnionHooks,
+	"union-early":    unionfind.UnionEarly,
+	"early":          unionfind.UnionEarly,
+	"union-rem-cas":  unionfind.UnionRemCAS,
+	"rem-cas":        unionfind.UnionRemCAS,
+	"union-rem-lock": unionfind.UnionRemLock,
+	"rem-lock":       unionfind.UnionRemLock,
+	"union-jtb":      unionfind.UnionJTB,
+	"jtb":            unionfind.UnionJTB,
+}
+
+var findTokens = map[string]unionfind.FindOption{
+	"findnaive":       unionfind.FindNaive,
+	"naive":           unionfind.FindNaive,
+	"findsplit":       unionfind.FindSplit,
+	"split":           unionfind.FindSplit,
+	"findhalve":       unionfind.FindHalve,
+	"halve":           unionfind.FindHalve,
+	"findcompress":    unionfind.FindCompress,
+	"compress":        unionfind.FindCompress,
+	"findtwotrysplit": unionfind.FindTwoTrySplit,
+	"two-try":         unionfind.FindTwoTrySplit,
+	"twotry":          unionfind.FindTwoTrySplit,
+}
+
+var spliceTokens = map[string]unionfind.SpliceOption{
+	"splitone":       unionfind.SplitAtomicOne,
+	"split-one":      unionfind.SplitAtomicOne,
+	"splitatomicone": unionfind.SplitAtomicOne,
+	"halveone":       unionfind.HalveAtomicOne,
+	"halve-one":      unionfind.HalveAtomicOne,
+	"halveatomicone": unionfind.HalveAtomicOne,
+	"splice":         unionfind.SpliceAtomic,
+	"spliceatomic":   unionfind.SpliceAtomic,
+}
+
+// splitSpec tokenizes a spec string: split on ";", trim, lower-case, drop
+// empties.
+func splitSpec(spec string) []string {
+	var toks []string
+	for _, p := range strings.Split(spec, ";") {
+		p = strings.ToLower(strings.TrimSpace(p))
+		if p != "" {
+			toks = append(toks, p)
+		}
+	}
+	return toks
+}
+
+// ParseAlgorithm parses an algorithm spec string (e.g.
+// "uf;rem-cas;naive;split-one", "lt;CRFA", "sv", or any Algorithm.Name
+// rendering) into an Algorithm. Malformed specs return ErrBadSpec;
+// combinations the paper excludes return ErrUnsupported.
+func ParseAlgorithm(spec string) (Algorithm, error) {
+	tokens := splitSpec(spec)
+	if len(tokens) == 0 {
+		return Algorithm{}, fmt.Errorf("%w: empty algorithm spec", ErrBadSpec)
+	}
+	return parseAlgorithmTokens(tokens)
+}
+
+func parseAlgorithmTokens(tokens []string) (Algorithm, error) {
+	if f, ok := familiesByName[tokens[0]]; ok {
+		return f.ParseParams(tokens[1:])
+	}
+	if _, ok := unionTokens[tokens[0]]; ok {
+		// Algorithm.Name renders union-find variants leading with the union
+		// rule ("Union-Rem-CAS;SplitOne;FindNaive"); accept the implicit
+		// family head.
+		return parseUFParams(tokens)
+	}
+	return Algorithm{}, fmt.Errorf("%w: unknown algorithm family %q (families: %s)",
+		ErrBadSpec, tokens[0], familyNames())
+}
+
+func familyNames() string {
+	s := ""
+	for i, f := range families {
+		if i > 0 {
+			s += "/"
+		}
+		s += f.Name
+	}
+	return s
+}
+
+// parseUFParams parses union-find spec parameters: a union rule followed by
+// at most one find rule and one splice rule in either order (Algorithm.Name
+// renders Rem variants as union;splice;find, the short form is
+// union;find;splice — both parse).
+func parseUFParams(tokens []string) (Algorithm, error) {
+	if len(tokens) == 0 {
+		return Algorithm{}, fmt.Errorf(`%w: union-find spec needs a union rule (e.g. "uf;rem-cas;naive;split-one")`, ErrBadSpec)
+	}
+	u, ok := unionTokens[tokens[0]]
+	if !ok {
+		return Algorithm{}, fmt.Errorf("%w: unknown union rule %q", ErrBadSpec, tokens[0])
+	}
+	v := unionfind.Variant{Union: u}
+	haveFind, haveSplice := false, false
+	for _, tok := range tokens[1:] {
+		if f, ok := findTokens[tok]; ok && !haveFind {
+			v.Find, haveFind = f, true
+			continue
+		}
+		if s, ok := spliceTokens[tok]; ok && !haveSplice {
+			v.Splice, haveSplice = s, true
+			continue
+		}
+		return Algorithm{}, fmt.Errorf("%w: unexpected union-find token %q", ErrBadSpec, tok)
+	}
+	a := Algorithm{Kind: FinishUnionFind, UF: v}
+	if err := familiesByKind[FinishUnionFind].Validate(a); err != nil {
+		return Algorithm{}, err
+	}
+	return a, nil
+}
+
+// parseLTParams parses a Liu-Tarjan spec parameter: one four-letter variant
+// code (Appendix D naming).
+func parseLTParams(tokens []string) (Algorithm, error) {
+	if len(tokens) != 1 {
+		return Algorithm{}, fmt.Errorf(`%w: Liu-Tarjan spec needs exactly one variant code (e.g. "lt;CRFA")`, ErrBadSpec)
+	}
+	code := strings.ToUpper(tokens[0])
+	v, ok := liutarjanByCode[code]
+	if !ok {
+		return Algorithm{}, fmt.Errorf("%w: unknown Liu-Tarjan variant %q (valid: %s)",
+			ErrUnsupported, code, liutarjanCodes())
+	}
+	return Algorithm{Kind: FinishLiuTarjan, LT: v}, nil
+}
+
+// noParams builds the ParseParams hook for parameterless families.
+func noParams(kind FinishKind) func([]string) (Algorithm, error) {
+	return func(tokens []string) (Algorithm, error) {
+		if len(tokens) != 0 {
+			return Algorithm{}, fmt.Errorf("%w: %v takes no parameters (got %q)",
+				ErrBadSpec, kind, strings.Join(tokens, ";"))
+		}
+		return Algorithm{Kind: kind}, nil
+	}
+}
+
+// ParseConfig parses a full configuration spec "<sampling>;<algorithm>"
+// (e.g. "kout;uf;rem-cas;naive;split-one") into a Config with default
+// tuning parameters. ParseConfig(c.Name()) round-trips c's sampling mode
+// and algorithm.
+func ParseConfig(spec string) (Config, error) {
+	tokens := splitSpec(spec)
+	if len(tokens) < 2 {
+		return Config{}, fmt.Errorf(`%w: config spec needs "<sampling>;<algorithm>" (e.g. "kout;uf;rem-cas;naive;split-one")`, ErrBadSpec)
+	}
+	mode, ok := samplingTokens[tokens[0]]
+	if !ok {
+		return Config{}, fmt.Errorf("%w: unknown sampling mode %q (want none/kout/bfs/ldd)", ErrBadSpec, tokens[0])
+	}
+	a, err := parseAlgorithmTokens(tokens[1:])
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Sampling: mode, Algorithm: a}, nil
+}
+
+// Name renders the canonical spec string of the configuration's sampling
+// mode and algorithm; ParseConfig(c.Name()) selects the same combination.
+// Tuning parameters (K, Beta, Seed, ...) are not part of the name.
+func (c Config) Name() string {
+	return c.Sampling.String() + ";" + c.Algorithm.Name()
+}

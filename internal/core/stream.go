@@ -56,40 +56,15 @@ type Incremental struct {
 // (initially edgeless) configured by cfg.Algorithm. Stergiou,
 // Label-Propagation, and non-RootUp Liu-Tarjan variants do not support
 // streaming (their updates relabel non-roots, breaking wait-free root
-// queries) and return ErrUnsupported.
+// queries) and return ErrUnsupported. It is a convenience wrapper that
+// compiles cfg; repeated construction should Compile once and call
+// Compiled.NewIncremental.
 func NewIncremental(n int, cfg Config) (*Incremental, error) {
-	inc := &Incremental{kind: cfg.Algorithm.Kind, n: n}
-	switch cfg.Algorithm.Kind {
-	case FinishUnionFind:
-		opt := cfg.Algorithm.UF.Options()
-		opt.Stats = cfg.Stats
-		d, err := unionfind.New(n, opt)
-		if err != nil {
-			return nil, err
-		}
-		inc.dsu = d
-		inc.parent = d.Parents()
-		isRem := opt.Union == unionfind.UnionRemCAS || opt.Union == unionfind.UnionRemLock
-		if isRem && opt.Splice == unionfind.SpliceAtomic {
-			inc.stype = TypePhased
-		} else {
-			inc.stype = TypeAsync
-		}
-	case FinishShiloachVishkin:
-		inc.parent = Identity(n)
-		inc.stype = TypeSynchronous
-	case FinishLiuTarjan:
-		if !cfg.Algorithm.LT.RootBased() {
-			return nil, fmt.Errorf("%w: streaming with non-RootUp Liu-Tarjan variant %s",
-				ErrUnsupported, cfg.Algorithm.LT.Code())
-		}
-		inc.lt = cfg.Algorithm.LT
-		inc.parent = Identity(n)
-		inc.stype = TypeSynchronous
-	default:
-		return nil, fmt.Errorf("%w: streaming with %v", ErrUnsupported, cfg.Algorithm.Kind)
+	c, err := Compile(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return inc, nil
+	return c.NewIncremental(n)
 }
 
 // Type reports the streaming classification of the configured algorithm.

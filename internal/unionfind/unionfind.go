@@ -159,27 +159,37 @@ type DSU struct {
 	stats   *Stats
 }
 
-// New creates a DSU with n singleton sets. It returns
-// ErrInvalidCombination for Rem + SpliceAtomic + FindCompress (incorrect,
-// §B.2.3), FindTwoTrySplit with a non-JTB union, and JTB with a find rule
-// other than FindNaive or FindTwoTrySplit.
-func New(n int, opt Options) (*DSU, error) {
+// Validate reports whether opt is a combination the framework defines,
+// returning ErrInvalidCombination for Rem + SpliceAtomic + FindCompress
+// (incorrect, §B.2.3), FindTwoTrySplit with a non-JTB union, JTB with a find
+// rule other than FindNaive or FindTwoTrySplit, and witness recording
+// (spanning forest) with Rem + SpliceAtomic.
+func Validate(opt Options) error {
 	isRem := opt.Union == UnionRemCAS || opt.Union == UnionRemLock
 	if isRem && opt.Splice == SpliceAtomic && opt.Find == FindCompress {
-		return nil, fmt.Errorf("%w: %v with SpliceAtomic and FindCompress", ErrInvalidCombination, opt.Union)
+		return fmt.Errorf("%w: %v with SpliceAtomic and FindCompress", ErrInvalidCombination, opt.Union)
 	}
 	if opt.Find == FindTwoTrySplit && opt.Union != UnionJTB {
-		return nil, fmt.Errorf("%w: FindTwoTrySplit requires Union-JTB", ErrInvalidCombination)
+		return fmt.Errorf("%w: FindTwoTrySplit requires Union-JTB", ErrInvalidCombination)
 	}
 	if opt.Union == UnionJTB && opt.Find != FindNaive && opt.Find != FindTwoTrySplit {
-		return nil, fmt.Errorf("%w: Union-JTB supports FindNaive or FindTwoTrySplit", ErrInvalidCombination)
+		return fmt.Errorf("%w: Union-JTB supports FindNaive or FindTwoTrySplit", ErrInvalidCombination)
 	}
 	if isRem && opt.Splice == SpliceAtomic && opt.RecordWitness {
 		// SpliceAtomic re-parents vertices across trees mid-union, so the
 		// hooked root need not be the root of the witness edge's endpoint
 		// and the recorded edges can form cycles. Spanning forest therefore
 		// excludes this combination (see DESIGN.md §4).
-		return nil, fmt.Errorf("%w: spanning forest (RecordWitness) with %v and SpliceAtomic", ErrInvalidCombination, opt.Union)
+		return fmt.Errorf("%w: spanning forest (RecordWitness) with %v and SpliceAtomic", ErrInvalidCombination, opt.Union)
+	}
+	return nil
+}
+
+// New creates a DSU with n singleton sets. It returns
+// ErrInvalidCombination for the combinations Validate rejects.
+func New(n int, opt Options) (*DSU, error) {
+	if err := Validate(opt); err != nil {
+		return nil, err
 	}
 	d := &DSU{
 		parent: make([]uint32, n),
@@ -187,24 +197,52 @@ func New(n int, opt Options) (*DSU, error) {
 		stats:  opt.Stats,
 	}
 	parallel.For(n, func(i int) { d.parent[i] = uint32(i) })
-	switch opt.Union {
+	d.initAux(n)
+	return d, nil
+}
+
+// initAux (re)initializes the auxiliary arrays for n elements, reusing
+// prior allocations when the size already matches.
+func (d *DSU) initAux(n int) {
+	switch d.opt.Union {
 	case UnionHooks:
-		d.hooks = make([]uint32, n)
+		if len(d.hooks) != n {
+			d.hooks = make([]uint32, n)
+		}
 		parallel.For(n, func(i int) { d.hooks[i] = noVertex })
 	case UnionRemLock:
-		d.locks = make([]concurrent.Spinlock, n)
+		// Spinlocks are all released at quiescence, so an existing array is
+		// reusable as-is.
+		if len(d.locks) != n {
+			d.locks = make([]concurrent.Spinlock, n)
+		}
 	case UnionJTB:
-		d.prio = make([]uint32, n)
-		seed := opt.Seed
-		parallel.For(n, func(i int) {
-			d.prio[i] = uint32(hash64(uint64(i) ^ seed))
-		})
+		// Priorities depend only on (index, seed); recompute only on resize.
+		if len(d.prio) != n {
+			d.prio = make([]uint32, n)
+			seed := d.opt.Seed
+			parallel.For(n, func(i int) {
+				d.prio[i] = uint32(hash64(uint64(i) ^ seed))
+			})
+		}
 	}
-	if opt.RecordWitness {
-		d.witness = make([]uint64, n)
+	if d.opt.RecordWitness {
+		if len(d.witness) != n {
+			d.witness = make([]uint64, n)
+		}
 		parallel.For(n, func(i int) { d.witness[i] = NoWitness })
 	}
-	return d, nil
+}
+
+// Reset re-adopts labels as the parent array (with NewFromLabels' canonical
+// star-form precondition) and clears all per-run auxiliary state, reusing
+// prior allocations when sizes match. It is the reuse path behind
+// core.Compile: a compiled Solver calls Reset instead of paying New's
+// validation and allocations on every run. The DSU shares the labels slice.
+// It must be called quiescently (no concurrent operations).
+func (d *DSU) Reset(labels []uint32) {
+	d.parent = labels
+	d.initAux(len(labels))
 }
 
 // MustNew is New for known-valid combinations; it panics on error.

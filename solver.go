@@ -1,0 +1,89 @@
+package connectit
+
+import (
+	"connectit/internal/core"
+)
+
+// Solver is a compiled ConnectIt algorithm. Compile validates the
+// sampling × finish combination once — every ErrUnsupported case surfaces
+// at compilation, never mid-run — precomputes the finish-phase dispatch,
+// and retains scratch buffers (labels, skip flags, union-find auxiliary
+// arrays), so repeated runs over same-sized graphs stay allocation-free on
+// the finish hot path.
+//
+// A Solver is not safe for concurrent use: it owns scratch state. Compile
+// one Solver per goroutine; compilation is cheap.
+type Solver struct {
+	c *core.Compiled
+}
+
+// Compile validates cfg against the algorithm registry and returns a
+// reusable Solver.
+func Compile(cfg Config) (*Solver, error) {
+	c, err := core.Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Solver{c: c}, nil
+}
+
+// MustCompile is Compile for known-valid configurations; it panics on
+// error. Intended for initializing package-level solvers from constant
+// specs.
+func MustCompile(cfg Config) *Solver {
+	s, err := Compile(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the configuration the Solver was compiled from.
+func (s *Solver) Config() Config { return s.c.Config() }
+
+// Name returns the canonical spec string of the compiled combination
+// (e.g. "kout;Union-Rem-CAS;SplitOne;FindNaive"); ParseConfig round-trips
+// it.
+func (s *Solver) Name() string { return s.c.Name() }
+
+// Capabilities reports what the compiled combination supports beyond
+// static connectivity, derived from the algorithm registry.
+func (s *Solver) Capabilities() Capabilities { return s.c.Capabilities() }
+
+// Components computes the connected components of g: the returned labeling
+// satisfies labels[u] == labels[v] iff u and v are connected. It cannot
+// fail — all validation happened at Compile time.
+//
+// In the NoSampling configuration the returned slice is scratch owned by
+// the Solver and is overwritten by the next run; copy it if it must
+// outlive the next call. Sampled configurations return a fresh slice.
+func (s *Solver) Components(g *Graph) []uint32 { return s.c.Components(g) }
+
+// SpanningForest computes a spanning forest of g. For combinations the
+// paper excludes (Rem+SpliceAtomic union-find, non-RootUp Liu-Tarjan,
+// Stergiou, Label-Propagation) it returns the ErrUnsupported error
+// captured at compile time; Capabilities reports support up front.
+func (s *Solver) SpanningForest(g *Graph) ([]Edge, error) {
+	raw, err := s.c.SpanningForest(g)
+	if err != nil {
+		return nil, err
+	}
+	return edgesFromRaw(raw), nil
+}
+
+// NewIncremental creates a streaming connectivity structure over n
+// initially isolated vertices (§3.5) running the compiled finish
+// algorithm. Combinations that cannot stream return the ErrUnsupported
+// error captured at compile time. Unlike the Solver itself, the returned
+// Incremental is safe for the concurrent use its StreamType permits.
+func (s *Solver) NewIncremental(n int) (*Incremental, error) {
+	return s.c.NewIncremental(n)
+}
+
+func edgesFromRaw(raw [][2]uint32) []Edge {
+	out := make([]Edge, len(raw))
+	for i, e := range raw {
+		out[i] = Edge{U: e[0], V: e[1]}
+	}
+	return out
+}
