@@ -1,0 +1,137 @@
+package connectit
+
+// Concurrent ingest-engine benchmarks (beyond the paper's synchronous
+// batch tables): mixed update/query scheduling under real goroutine
+// concurrency, per stream type, against a coarse-locked STINGER baseline.
+// The bench-smoke CI job runs these at -benchtime=1x to seed the perf
+// trajectory; BENCH_* metrics are updates/s and queries/s.
+
+import (
+	"fmt"
+	"testing"
+
+	"connectit/internal/ingest"
+	"connectit/internal/stinger"
+)
+
+const benchIngestProducers = 8
+
+// driveMixed runs the shared concurrent mixed-workload driver with the
+// benchmark's producer count and returns the number of queries issued.
+func driveMixed(update func(u, v uint32), connected func(u, v uint32) bool,
+	edges []Edge, n int, mix float64) uint64 {
+	return ingest.Drive(update, connected, edges, n, benchIngestProducers, mix)
+}
+
+// BenchmarkStreamMixedRatio measures the concurrent ingest engine at
+// 90/10, 50/50, and 10/90 update:query mixes, one algorithm per stream
+// type plus the coarse-locked STINGER baseline. Metrics: updates/s and
+// queries/s (wall-clock, 8 producers).
+func BenchmarkStreamMixedRatio(b *testing.B) {
+	n := 1 << 15
+	edges := BarabasiAlbertEdges(n, 8, 17)
+	mixes := []struct {
+		name string
+		q    float64
+	}{
+		{"90-10", 0.1},
+		{"50-50", 0.5},
+		{"10-90", 0.9},
+	}
+	algos := []struct {
+		name string
+		alg  Algorithm
+	}{
+		{"type-i/rem-cas", MustParseAlgorithm("uf;rem-cas;naive;split-one")},
+		{"type-ii/sv", MustParseAlgorithm("sv")},
+		{"type-ii/lt-CRFA", MustParseAlgorithm("lt;CRFA")},
+		{"type-iii/rem-splice", MustParseAlgorithm("uf;rem-cas;naive;splice")},
+	}
+	for _, mix := range mixes {
+		for _, a := range algos {
+			b.Run(fmt.Sprintf("%s/%s", mix.name, a.name), func(b *testing.B) {
+				solver := MustCompile(Config{Algorithm: a.alg})
+				var updates, queries uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := solver.Stream(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					q := driveMixed(st.Update, st.Connected, edges, n, mix.q)
+					st.Sync()
+					updates += uint64(len(edges))
+					queries += q
+				}
+				secs := b.Elapsed().Seconds()
+				b.ReportMetric(float64(updates)/secs, "updates/s")
+				b.ReportMetric(float64(queries)/secs, "queries/s")
+			})
+		}
+		b.Run(fmt.Sprintf("%s/stinger-coarse", mix.name), func(b *testing.B) {
+			var updates, queries uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := stinger.NewCoarse(n)
+				q := driveMixed(s.Update, s.Connected, edges, n, mix.q)
+				updates += uint64(len(edges))
+				queries += q
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(updates)/secs, "updates/s")
+			b.ReportMetric(float64(queries)/secs, "queries/s")
+		})
+	}
+}
+
+// BenchmarkStreamPrefilter isolates the pre-filter's effect on the Type i
+// hot path: the same concurrent 90/10 workload with and without the
+// root-probe filter.
+func BenchmarkStreamPrefilter(b *testing.B) {
+	n := 1 << 15
+	edges := BarabasiAlbertEdges(n, 8, 19)
+	solver := MustCompile(Config{Algorithm: MustParseAlgorithm("uf;rem-cas;naive;split-one")})
+	for _, tc := range []struct {
+		name string
+		opt  StreamOptions
+	}{
+		{"prefilter-on", StreamOptions{}},
+		{"prefilter-off", StreamOptions{DisablePrefilter: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := solver.Stream(n, tc.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				driveMixed(st.Update, st.Connected, edges, n, 0.1)
+				st.Sync()
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(b.N)*float64(len(edges))/secs, "updates/s")
+		})
+	}
+}
+
+// BenchmarkStreamEpochSize sweeps the epoch size of a buffered (Type ii)
+// stream: small epochs pay per-round overhead, large epochs batch better
+// but delay visibility.
+func BenchmarkStreamEpochSize(b *testing.B) {
+	n := 1 << 15
+	edges := BarabasiAlbertEdges(n, 8, 23)
+	solver := MustCompile(Config{Algorithm: MustParseAlgorithm("sv")})
+	for _, size := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("epoch=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := solver.Stream(n, StreamOptions{EpochSize: size})
+				if err != nil {
+					b.Fatal(err)
+				}
+				driveMixed(st.Update, st.Connected, edges, n, 0.1)
+				st.Sync()
+			}
+			secs := b.Elapsed().Seconds()
+			b.ReportMetric(float64(b.N)*float64(len(edges))/secs, "updates/s")
+		})
+	}
+}

@@ -7,61 +7,123 @@
 //	connectit -graph grid -n 1000 -sampling ldd -algo sv
 //	connectit -graph file -path web.el -algo "lt;CRFA"
 //	connectit -graph ba -n 100000 -forest
+//	connectit -stream -workers 8 -qmix 0.5 -algo "uf;rem-cas;naive;split-one"
 //	connectit -list
 //
 // -list enumerates every finish algorithm in the registry with its
-// capabilities; each printed name is a valid -algo value.
+// capabilities; each printed name is a valid -algo value. -stream drives
+// the concurrent ingest engine with -workers goroutines issuing a -qmix
+// query/update mix and reports edges/sec and queries/sec.
+//
+// Invalid flags or spec strings produce a one-line error and exit status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"strings"
 	"time"
 
 	"connectit"
+	"connectit/internal/ingest"
+)
+
+var (
+	graphKind = flag.String("graph", "rmat", "graph source: rmat|ba|er|grid|web|file")
+	scale     = flag.Int("scale", 16, "log2 vertex count for rmat/web")
+	n         = flag.Int("n", 1<<16, "vertex count for ba/er, side length for grid")
+	mPerN     = flag.Int("degree", 10, "average degree (edges = degree*n)")
+	path      = flag.String("path", "", "edge list file for -graph file")
+	seed      = flag.Uint64("seed", 1, "random seed")
+
+	samplingName = flag.String("sampling", "kout", "sampling: none|kout|bfs|ldd")
+	k            = flag.Int("k", 2, "k-out parameter")
+	beta         = flag.Float64("beta", 0.2, "LDD beta parameter")
+
+	algo = flag.String("algo", "uf;rem-cas;naive;split-one",
+		`finish algorithm spec, e.g. "uf;rem-cas;naive;split-one", "lt;CRFA", "sv", "stergiou", "lp"`)
+
+	forest    = flag.Bool("forest", false, "compute spanning forest instead of components")
+	withStats = flag.Bool("stats", false, "report union-find path-length statistics")
+	list      = flag.Bool("list", false, "list every registered finish algorithm and exit")
+
+	stream   = flag.Bool("stream", false, "drive the concurrent ingest engine instead of a static run")
+	workers  = flag.Int("workers", 8, "concurrent producer goroutines for -stream")
+	qmix     = flag.Float64("qmix", 0.1, "fraction of stream operations that are queries, in [0, 1)")
+	epoch    = flag.Int("epoch", 0, "ingest epoch size for -stream (0 = default)")
+	noFilter = flag.Bool("no-prefilter", false, "disable the ingest intra-component pre-filter")
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("connectit: ")
-
-	var (
-		graphKind = flag.String("graph", "rmat", "graph source: rmat|ba|er|grid|web|file")
-		scale     = flag.Int("scale", 16, "log2 vertex count for rmat/web")
-		n         = flag.Int("n", 1<<16, "vertex count for ba/er, side length for grid")
-		mPerN     = flag.Int("degree", 10, "average degree (edges = degree*n)")
-		path      = flag.String("path", "", "edge list file for -graph file")
-		seed      = flag.Uint64("seed", 1, "random seed")
-
-		samplingName = flag.String("sampling", "kout", "sampling: none|kout|bfs|ldd")
-		k            = flag.Int("k", 2, "k-out parameter")
-		beta         = flag.Float64("beta", 0.2, "LDD beta parameter")
-
-		algo = flag.String("algo", "uf;rem-cas;naive;split-one",
-			`finish algorithm spec, e.g. "uf;rem-cas;naive;split-one", "lt;CRFA", "sv", "stergiou", "lp"`)
-
-		forest    = flag.Bool("forest", false, "compute spanning forest instead of components")
-		withStats = flag.Bool("stats", false, "report union-find path-length statistics")
-		list      = flag.Bool("list", false, "list every registered finish algorithm and exit")
-	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: connectit [flags]\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+	if err := run(); err != nil {
+		// Library errors already carry the "connectit:" prefix.
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "connectit:") {
+			msg = "connectit: " + msg
+		}
+		fmt.Fprintln(os.Stderr, msg)
+		os.Exit(1)
+	}
+}
 
+// validateFlags bounds every numeric flag before any allocation or shift
+// depends on it: bad values must yield a one-line error, never a panic or
+// an absurd allocation.
+func validateFlags() error {
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", flag.Args())
+	}
+	if *scale < 1 || *scale > 28 {
+		return fmt.Errorf("-scale %d out of range [1, 28]", *scale)
+	}
+	if *n < 1 || *n > 1<<28 {
+		return fmt.Errorf("-n %d out of range [1, %d]", *n, 1<<28)
+	}
+	if *mPerN < 0 || *mPerN > 4096 {
+		return fmt.Errorf("-degree %d out of range [0, 4096]", *mPerN)
+	}
+	if int64(*mPerN)<<uint(*scale) > 1<<31 || int64(*mPerN)*int64(*n) > 1<<31 {
+		return fmt.Errorf("-degree %d with -scale %d / -n %d requests more than 2^31 edges", *mPerN, *scale, *n)
+	}
+	if *k < 1 || *k > 64 {
+		return fmt.Errorf("-k %d out of range [1, 64]", *k)
+	}
+	if *beta <= 0 || *beta > 4 {
+		return fmt.Errorf("-beta %g out of range (0, 4]", *beta)
+	}
+	if *workers < 1 || *workers > 1<<12 {
+		return fmt.Errorf("-workers %d out of range [1, 4096]", *workers)
+	}
+	if *qmix < 0 || *qmix >= 1 {
+		return fmt.Errorf("-qmix %g out of range [0, 1)", *qmix)
+	}
+	if *epoch < 0 || *epoch > 1<<24 {
+		return fmt.Errorf("-epoch %d out of range [0, %d]", *epoch, 1<<24)
+	}
+	if *stream && *forest {
+		return errors.New("-stream and -forest are mutually exclusive")
+	}
+	return nil
+}
+
+func run() error {
 	if *list {
-		listAlgorithms()
-		return
+		return listAlgorithms()
 	}
-
-	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
-	if err != nil {
-		log.Fatal(err)
+	if err := validateFlags(); err != nil {
+		return err
 	}
-	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 
 	cfg, err := connectit.ParseConfig(*samplingName + ";" + *algo)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cfg.Seed = *seed
 	cfg.K = *k
@@ -73,19 +135,29 @@ func main() {
 
 	solver, err := connectit.Compile(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+
+	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
 	fmt.Printf("algorithm: %s\n", solver.Name())
+
+	if *stream {
+		return runStream(solver, g)
+	}
 
 	if *forest {
 		start := time.Now()
 		edges, err := solver.SpanningForest(g)
 		elapsed := time.Since(start)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("spanning forest: %d edges in %v\n", len(edges), elapsed)
-		return
+		return nil
 	}
 
 	start := time.Now()
@@ -99,27 +171,69 @@ func main() {
 	if *withStats {
 		fmt.Printf("stats: unions=%d TPL=%d MPL=%d\n", stats.Unions(), stats.TotalPathLength(), stats.MaxPathLength())
 	}
+	return nil
+}
+
+// runStream replays g's edges as a live stream: -workers producers push
+// interleaved updates and (a -qmix fraction of) connectivity queries into
+// the concurrent ingest engine.
+func runStream(solver *connectit.Solver, g *connectit.Graph) error {
+	if caps := solver.Capabilities(); !caps.Streaming {
+		return fmt.Errorf("algorithm %s does not stream", solver.Name())
+	}
+	st, err := solver.Stream(g.NumVertices(), connectit.StreamOptions{
+		EpochSize:        *epoch,
+		DisablePrefilter: *noFilter,
+	})
+	if err != nil {
+		return err
+	}
+	edges := g.Edges()
+	fmt.Printf("stream: %v, %d workers, %.0f%% queries\n", st.Type(), *workers, *qmix*100)
+	start := time.Now()
+	ingest.Drive(st.Update, st.Connected, edges, g.NumVertices(), *workers, *qmix)
+	st.Sync()
+	elapsed := time.Since(start)
+
+	s := st.Stats()
+	fmt.Printf("ingested %d updates, answered %d queries in %v\n", s.Updates, s.Queries, elapsed)
+	fmt.Printf("throughput: %.2fM updates/s, %.2fM queries/s\n",
+		float64(s.Updates)/elapsed.Seconds()/1e6, float64(s.Queries)/elapsed.Seconds()/1e6)
+	droppedPct := 0.0
+	if s.Updates > 0 {
+		droppedPct = 100 * float64(s.Filtered) / float64(s.Updates)
+	}
+	fmt.Printf("pre-filter: dropped %d of %d (%.1f%%), %d epochs\n",
+		s.Filtered, s.Updates, droppedPct, s.Epochs)
+	fmt.Printf("components: %d\n", st.NumComponents())
+	return nil
 }
 
 // listAlgorithms prints the registry-derived inventory: every finish
 // algorithm's canonical name plus its forest/streaming capabilities.
-func listAlgorithms() {
-	fmt.Printf("%-44s %-8s %s\n", "Algorithm", "Forest", "Streaming")
+func listAlgorithms() error {
+	fmt.Printf("%-44s %-8s %-22s %s\n", "Algorithm", "Forest", "Streaming", "WaitFreeQ")
 	for _, a := range connectit.Algorithms() {
 		s, err := connectit.Compile(connectit.Config{Algorithm: a})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		caps := s.Capabilities()
-		forest, streaming := "yes", "no"
+		forest, streaming, waitfree := "yes", "no", "-"
 		if !caps.SpanningForest {
 			forest = "no"
 		}
 		if caps.Streaming {
 			streaming = caps.StreamType.String()
+			if caps.WaitFreeQueries {
+				waitfree = "yes"
+			} else {
+				waitfree = "no"
+			}
 		}
-		fmt.Printf("%-44s %-8s %s\n", a.Name(), forest, streaming)
+		fmt.Printf("%-44s %-8s %-22s %s\n", a.Name(), forest, streaming, waitfree)
 	}
+	return nil
 }
 
 func makeGraph(kind string, scale, n, deg int, path string, seed uint64) (*connectit.Graph, error) {
@@ -131,22 +245,17 @@ func makeGraph(kind string, scale, n, deg int, path string, seed uint64) (*conne
 	case "er":
 		return connectit.NewErdosRenyi(n, deg*n/2, seed), nil
 	case "grid":
+		if n > 1<<14 {
+			return nil, fmt.Errorf("-graph grid: side length %d too large (max %d)", n, 1<<14)
+		}
 		return connectit.NewGrid2D(n, n), nil
 	case "web":
 		return connectit.NewWebLike(scale, deg*(1<<scale), 0.05, seed), nil
 	case "file":
 		if path == "" {
-			return nil, fmt.Errorf("-graph file requires -path")
+			return nil, errors.New("-graph file requires -path")
 		}
 		return connectit.LoadEdgeListFile(path)
 	}
-	return nil, fmt.Errorf("unknown graph kind %q", kind)
-}
-
-// usage is wired for -h output clarity.
-func init() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: connectit [flags]\n\nFlags:\n")
-		flag.PrintDefaults()
-	}
+	return nil, fmt.Errorf("unknown graph kind %q (want rmat|ba|er|grid|web|file)", kind)
 }

@@ -26,6 +26,7 @@ import (
 	"connectit/internal/bfs"
 	"connectit/internal/core"
 	"connectit/internal/graph"
+	"connectit/internal/ingest"
 	"connectit/internal/liutarjan"
 	"connectit/internal/sample"
 	"connectit/internal/stinger"
@@ -44,6 +45,16 @@ func main() {
 	log.SetFlags(0)
 	runName := flag.String("run", "", "experiment to run (or 'all'); empty lists experiments")
 	flag.Parse()
+	if err := run(*runName); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(runName string) error {
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %v (experiments are selected with -run)", flag.Args())
+	}
 
 	experiments := []experiment{
 		{"table1", "largest-graph shootout: ConnectIt vs baseline systems", table1},
@@ -64,28 +75,32 @@ func main() {
 		{"figure22", "k-out variant sweep: time, inter-component edges, coverage", figure22},
 		{"table8", "MapEdges/GatherEdges bounds vs ConnectIt", table8},
 		{"forest", "spanning forest overhead vs connectivity", forestOverhead},
+		{"ingest", "concurrent ingest engine: mixed update/query throughput vs STINGER", ingestMixed},
 	}
 
-	if *runName == "" {
+	if runName == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiments {
 			fmt.Printf("  %-10s %s\n", e.name, e.desc)
 		}
-		os.Exit(0)
+		return nil
 	}
+	ran := false
 	for _, e := range experiments {
-		if *runName == "all" || *runName == e.name {
+		if runName == "all" || runName == e.name {
 			fmt.Printf("== %s: %s ==\n", e.name, e.desc)
 			e.run()
 			fmt.Println()
-			if *runName != "all" {
-				return
+			ran = true
+			if runName != "all" {
+				return nil
 			}
 		}
 	}
-	if *runName != "all" {
-		log.Fatalf("unknown experiment %q", *runName)
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (run with no -run to list)", runName)
 	}
+	return nil
 }
 
 // ---- graph panel ----------------------------------------------------------
@@ -202,14 +217,6 @@ func familyRows() []connectit.Algorithm {
 		out = append(out, connectit.MustParseAlgorithm(spec))
 	}
 	return out
-}
-
-func mustLabels(g *connectit.Graph, cfg connectit.Config) []uint32 {
-	labels, err := connectit.Connectivity(g, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return labels
 }
 
 func table3() {
@@ -649,6 +656,46 @@ func table8() {
 		tNo := timeIt(func() { noSolver.Components(g) })
 		tS := timeIt(func() { sSolver.Components(g) })
 		fmt.Printf("%-8s %12s %14s %16s %14s\n", n, secs(tMap), secs(tGather), secs(tNo), secs(tS))
+	}
+}
+
+// ingestMixed drives the concurrent ingest engine (internal/ingest) with 8
+// producers at 90/10, 50/50, and 10/90 update:query mixes on one
+// representative algorithm per stream type, against a coarse-locked STINGER
+// baseline — the hybrid transactional/analytical regime Polynesia targets.
+func ingestMixed() {
+	s := scaleFor(16)
+	n := 1 << s
+	edges := connectit.BarabasiAlbertEdges(n, 10, 11)
+	const producers = 8
+	algos := []connectit.Algorithm{
+		connectit.MustParseAlgorithm("uf;rem-cas;naive;split-one"), // Type i
+		connectit.MustParseAlgorithm("sv"),                         // Type ii
+		connectit.MustParseAlgorithm("uf;rem-cas;naive;splice"),    // Type iii
+	}
+	fmt.Printf("%-36s %-8s %14s %14s\n", "Algorithm", "Mix", "updates/s", "queries/s")
+	for _, mix := range []float64{0.1, 0.5, 0.9} {
+		for _, alg := range algos {
+			solver := connectit.MustCompile(connectit.Config{Algorithm: alg})
+			st, err := solver.Stream(n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			ingest.Drive(st.Update, st.Connected, edges, n, producers, mix)
+			st.Sync()
+			elapsed := time.Since(start)
+			stats := st.Stats()
+			fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g\n", alg.Name(), 100*(1-mix), 100*mix,
+				float64(stats.Updates)/elapsed.Seconds(), float64(stats.Queries)/elapsed.Seconds())
+		}
+		// Coarse-locked STINGER: concurrent producers serialize on one lock.
+		sti := stinger.NewCoarse(n)
+		start := time.Now()
+		q := ingest.Drive(sti.Update, sti.Connected, edges, n, producers, mix)
+		elapsed := time.Since(start)
+		fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g\n", "STINGER (coarse lock)", 100*(1-mix), 100*mix,
+			float64(len(edges))/elapsed.Seconds(), float64(q)/elapsed.Seconds())
 	}
 }
 

@@ -1,11 +1,14 @@
-// Streaming connectivity: ingest a live edge stream in batches while
-// answering connectivity queries — the paper's batch-incremental setting
-// (§3.5, §4.4). Mirrors an insertion-heavy social feed: edges arrive in
-// batches, and each batch carries a mix of updates and queries.
+// Streaming connectivity: many producer goroutines push a live edge stream
+// into the concurrent ingest engine while queriers interleave wait-free
+// connectivity reads — the paper's batch-incremental setting (§3.5, §4.4)
+// served the way a production ingest tier would drive it. Mirrors an
+// insertion-heavy social feed: follower edges arrive concurrently, and the
+// product asks "are these two users connected?" while the stream is live.
 package main
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"connectit"
@@ -13,9 +16,10 @@ import (
 
 func main() {
 	const scale = 20
+	const producers = 8
 	n := 1 << scale
 	stream := connectit.RMATEdges(scale, 10*n, 3)
-	fmt.Printf("stream: %d vertices, %d edge insertions\n", n, len(stream))
+	fmt.Printf("stream: %d vertices, %d edge insertions, %d producers\n", n, len(stream), producers)
 
 	// Compile the finish algorithm once; the solver's capabilities say up
 	// front whether (and how) it streams.
@@ -28,32 +32,62 @@ func main() {
 	if caps := solver.Capabilities(); !caps.Streaming {
 		panic("algorithm does not stream")
 	}
-	inc, err := solver.NewIncremental(n)
+	st, err := solver.Stream(n)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("streaming type:", inc.Type())
+	fmt.Println("streaming type:", st.Type())
 
-	const batch = 100_000
-	queries := [][2]uint32{{0, uint32(n - 1)}, {1, 2}}
+	// Producers split the stream; a querier polls the engine concurrently
+	// for the moment the two "users" become connected.
+	target := [2]uint32{0, uint32(n - 1)}
 	start := time.Now()
-	var connectedAt int
-	for lo := 0; lo < len(stream); lo += batch {
-		hi := lo + batch
-		if hi > len(stream) {
-			hi = len(stream)
+	var connectedAt time.Duration
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st.Connected(target[0], target[1]) {
+				connectedAt = time.Since(start)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
 		}
-		res := inc.ProcessBatch(stream[lo:hi], queries)
-		if res[0] && connectedAt == 0 {
-			connectedAt = hi
-		}
-	}
-	elapsed := time.Since(start)
+	}()
 
-	fmt.Printf("ingested %d updates in %v (%.1fM updates/sec)\n",
-		len(stream), elapsed, float64(len(stream))/elapsed.Seconds()/1e6)
-	if connectedAt > 0 {
-		fmt.Printf("vertices 0 and %d first connected after ~%d insertions\n", n-1, connectedAt)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(stream); i += producers {
+				st.Update(stream[i].U, stream[i].V)
+			}
+		}(w)
 	}
-	fmt.Println("final components:", inc.NumComponents())
+	wg.Wait()
+	st.Sync()
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	if connectedAt == 0 && st.Connected(target[0], target[1]) {
+		// Connected only by the final leftover batch, after the querier quit.
+		connectedAt = elapsed
+	}
+
+	stats := st.Stats()
+	fmt.Printf("ingested %d updates in %v (%.1fM updates/sec across %d producers)\n",
+		stats.Updates, elapsed, float64(stats.Updates)/elapsed.Seconds()/1e6, producers)
+	fmt.Printf("pre-filter dropped %d intra-component updates (%.1f%%)\n",
+		stats.Filtered, 100*float64(stats.Filtered)/float64(stats.Updates))
+	if connectedAt > 0 {
+		fmt.Printf("vertices %d and %d connected after %v of stream time\n", target[0], target[1], connectedAt)
+	}
+	fmt.Println("final components:", st.NumComponents())
 }

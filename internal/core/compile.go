@@ -17,6 +17,11 @@ type Capabilities struct {
 	Streaming bool
 	// StreamType is the batch classification when Streaming is true.
 	StreamType StreamType
+	// WaitFreeQueries reports that connectivity queries never block on
+	// concurrent updates: true for Type (i) and (ii) streams, false for
+	// Type (iii), whose queries are phase-separated from updates by a
+	// barrier (Theorem 3).
+	WaitFreeQueries bool
 }
 
 // Compiled is a compiled ConnectIt algorithm instance: Compile validates
@@ -71,9 +76,10 @@ func (c *Compiled) Name() string { return c.cfg.Name() }
 // Capabilities reports what the compiled combination supports.
 func (c *Compiled) Capabilities() Capabilities {
 	return Capabilities{
-		SpanningForest: c.forestErr == nil,
-		Streaming:      c.streamErr == nil,
-		StreamType:     c.streamType,
+		SpanningForest:  c.forestErr == nil,
+		Streaming:       c.streamErr == nil,
+		StreamType:      c.streamType,
+		WaitFreeQueries: c.streamErr == nil && c.streamType != TypePhased,
 	}
 }
 

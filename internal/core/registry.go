@@ -105,3 +105,26 @@ func Algorithms() []Algorithm {
 	}
 	return out
 }
+
+// StreamingAlgorithm pairs a finish algorithm with its batch-incremental
+// classification (§3.5).
+type StreamingAlgorithm struct {
+	Algorithm Algorithm
+	Type      StreamType
+}
+
+// StreamingAlgorithms enumerates, in registry order, every finish algorithm
+// that supports batch-incremental execution, paired with its stream type.
+// The ingest engine's tests and benchmarks iterate this to cover all three
+// scheduling disciplines.
+func StreamingAlgorithms() []StreamingAlgorithm {
+	var out []StreamingAlgorithm
+	for _, f := range families {
+		for _, a := range f.Enumerate() {
+			if st, err := f.StreamSupport(a); err == nil {
+				out = append(out, StreamingAlgorithm{Algorithm: a, Type: st})
+			}
+		}
+	}
+	return out
+}

@@ -70,6 +70,9 @@ func NewIncremental(n int, cfg Config) (*Incremental, error) {
 // Type reports the streaming classification of the configured algorithm.
 func (inc *Incremental) Type() StreamType { return inc.stype }
 
+// Kind reports the finish family of the configured algorithm.
+func (inc *Incremental) Kind() FinishKind { return inc.kind }
+
 // Len returns the number of vertices.
 func (inc *Incremental) Len() int { return inc.n }
 
@@ -93,24 +96,14 @@ func (inc *Incremental) ProcessBatch(updates []graph.Edge, queries [][2]uint32) 
 			}
 		})
 	case TypePhased:
-		parallel.ForGrained(len(updates), 256, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				inc.dsu.Union(updates[i].U, updates[i].V)
-			}
-		})
+		inc.ApplyBatch(updates)
 		parallel.ForGrained(len(queries), 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				results[i] = inc.dsu.SameSet(queries[i][0], queries[i][1])
 			}
 		})
 	case TypeSynchronous:
-		if len(updates) > 0 {
-			if inc.kind == FinishShiloachVishkin {
-				shiloachvishkin.RunEdges(updates, inc.parent)
-			} else {
-				liutarjan.RunEdges(updates, inc.parent, nil, inc.lt)
-			}
-		}
+		inc.ApplyBatch(updates)
 		parallel.ForGrained(len(queries), 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				results[i] = inc.Connected(queries[i][0], queries[i][1])
@@ -118,6 +111,57 @@ func (inc *Incremental) ProcessBatch(updates []graph.Edge, queries [][2]uint32) 
 		})
 	}
 	return results
+}
+
+// ApplyBatch ingests a batch of edge insertions without answering queries.
+// It is ProcessBatch's update half, exposed for the ingest engine
+// (internal/ingest), which overlaps its own queries with the batch according
+// to the stream type. Concurrent ApplyBatch calls are permitted only for
+// TypeAsync; TypeSynchronous and TypePhased appliers must be serialized by
+// the caller (and TypePhased additionally barriered against queries).
+func (inc *Incremental) ApplyBatch(updates []graph.Edge) {
+	if len(updates) == 0 {
+		return
+	}
+	switch inc.stype {
+	case TypeAsync, TypePhased:
+		parallel.ForGrained(len(updates), 256, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				inc.dsu.Union(updates[i].U, updates[i].V)
+			}
+		})
+	case TypeSynchronous:
+		if inc.kind == FinishShiloachVishkin {
+			shiloachvishkin.RunEdges(updates, inc.parent)
+		} else {
+			// Atomic publication: Type ii queries chase parent wait-free
+			// while the batch applies.
+			liutarjan.RunEdgesAtomic(updates, inc.parent, nil, inc.lt)
+		}
+	}
+}
+
+// Update applies a single edge insertion. For TypeAsync and TypePhased it
+// is one concurrent union (for TypePhased the caller owns the phase
+// barrier); TypeSynchronous callers should batch instead — a single-edge
+// synchronous round costs O(n) — so Update falls back to ApplyBatch of one.
+func (inc *Incremental) Update(u, v uint32) {
+	if inc.dsu != nil {
+		inc.dsu.Union(u, v)
+		return
+	}
+	inc.ApplyBatch([]graph.Edge{{U: u, V: v}})
+}
+
+// Probe is a read-only bounded connectivity probe (unionfind.ProbeSame):
+// true means u and v are definitely connected, false carries no guarantee.
+// It is safe concurrently with updates of every stream type and is the
+// sampling probe behind the ingest engine's intra-component pre-filter.
+func (inc *Incremental) Probe(u, v uint32, budget int) bool {
+	if inc.dsu != nil {
+		return inc.dsu.ProbeSame(u, v, budget)
+	}
+	return unionfind.ProbeSame(inc.parent, u, v, budget)
 }
 
 // Connected answers a single connectivity query. It is wait-free for Type

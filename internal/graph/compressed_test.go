@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"testing"
+)
+
+// compressPanel is the graph set the round-trip tests sweep: it covers
+// empty graphs, isolated vertices, first-neighbor negative differences
+// (zig-zag coding), multi-byte varint gaps, and power-law degree skew.
+func compressPanel() map[string]*Graph {
+	// A sparse graph over a huge ID space: consecutive-neighbor differences
+	// need up to 4 varint bytes, and vertex 1<<22-1's first neighbor (0)
+	// encodes as a large negative zig-zag difference.
+	wide := Build(1<<22, []Edge{
+		{U: 0, V: 1<<22 - 1},
+		{U: 5, V: 1 << 21},
+		{U: 5, V: 1<<21 + 1},
+		{U: 1 << 10, V: 1 << 20},
+	})
+	return map[string]*Graph{
+		"empty":       Build(0, nil),
+		"isolated":    Build(17, nil),
+		"single-edge": Build(2, []Edge{{U: 0, V: 1}}),
+		"self-loops":  Build(5, []Edge{{U: 2, V: 2}, {U: 1, V: 3}}),
+		"path":        Path(257),
+		"cycle":       Cycle(64),
+		"star":        Star(128),
+		"cliques":     Cliques(9, 7),
+		"grid":        Grid2D(31, 17),
+		"rmat":        RMAT(11, 12000, 0.57, 0.19, 0.19, 5),
+		"er":          ErdosRenyi(500, 2000, 7),
+		"ba":          BarabasiAlbert(400, 6, 8),
+		"web":         WebLike(10, 4000, 0.2, 9),
+		"wide-ids":    wide,
+	}
+}
+
+// TestDecodeMatchesNeighbors checks Decode against the plain CSR adjacency
+// for every vertex: same neighbors, same ascending order.
+func TestDecodeMatchesNeighbors(t *testing.T) {
+	for name, g := range compressPanel() {
+		c := Compress(g)
+		if c.NumVertices() != g.NumVertices() {
+			t.Fatalf("%s: NumVertices %d != %d", name, c.NumVertices(), g.NumVertices())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			want := g.Neighbors(Vertex(v))
+			var got []Vertex
+			c.Decode(Vertex(v), func(u Vertex) { got = append(got, u) })
+			if len(got) != len(want) || int(c.Degrees[v]) != len(want) {
+				t.Fatalf("%s: vertex %d decoded %d neighbors, want %d", name, v, len(got), len(want))
+			}
+			prev := int64(-1)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: vertex %d neighbor %d = %d, want %d", name, v, i, got[i], want[i])
+				}
+				if int64(got[i]) <= prev {
+					t.Fatalf("%s: vertex %d neighbors not strictly ascending at %d", name, v, i)
+				}
+				prev = int64(got[i])
+			}
+		}
+	}
+}
+
+// TestCompressDecompressRoundTrip checks the full CSR round trip on the
+// panel, including offsets consistency of the reconstructed graph.
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	for name, g := range compressPanel() {
+		c := Compress(g)
+		back := c.Decompress()
+		if back.NumVertices() != g.NumVertices() || back.NumDirectedEdges() != g.NumDirectedEdges() {
+			t.Fatalf("%s: round-trip size mismatch: n %d->%d, m %d->%d", name,
+				g.NumVertices(), back.NumVertices(), g.NumDirectedEdges(), back.NumDirectedEdges())
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			a, b := g.Neighbors(Vertex(v)), back.Neighbors(Vertex(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d degree %d -> %d", name, v, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d neighbor %d: %d -> %d", name, v, i, a[i], b[i])
+				}
+			}
+		}
+		// A second compression of the reconstruction must be byte-identical:
+		// the encoding is canonical for a sorted CSR.
+		c2 := Compress(back)
+		if len(c2.Data) != len(c.Data) {
+			t.Fatalf("%s: re-compression size %d != %d", name, len(c2.Data), len(c.Data))
+		}
+		for i := range c.Data {
+			if c.Data[i] != c2.Data[i] {
+				t.Fatalf("%s: re-compression differs at byte %d", name, i)
+			}
+		}
+	}
+}
+
+// TestVarintZigzagRoundTrip exercises the codec primitives across the
+// boundary values of each varint length class.
+func TestVarintZigzagRoundTrip(t *testing.T) {
+	var buf [10]byte
+	values := []uint64{0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 1<<21 - 1, 1 << 21, 1<<28 - 1, 1 << 28, 1<<63 - 1}
+	for _, v := range values {
+		k := putVarint(buf[:], v)
+		got, n := getVarint(buf[:k])
+		if got != v || n != k {
+			t.Fatalf("varint %d: decoded %d (len %d, wrote %d)", v, got, n, k)
+		}
+	}
+	signed := []int64{0, 1, -1, 63, -64, 64, -65, 1 << 30, -(1 << 30), 1<<62 - 1, -(1 << 62)}
+	for _, d := range signed {
+		if got := unzigzag(zigzag(d)); got != d {
+			t.Fatalf("zigzag %d: round-tripped %d", d, got)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package ingest implements the concurrent streaming ingest engine: a
+// Stream accepts interleaved Update and Connected calls from arbitrarily
+// many goroutines and schedules them onto a core.Incremental according to
+// the compiled algorithm's stream type (§3.5 of the paper, DESIGN.md §9).
+//
+// Updates are spread over per-shard epoch buffers; a shard that reaches the
+// epoch size seals its buffer and applies it as one batch, so producers
+// self-throttle against the structure (backpressure) without a dedicated
+// applier goroutine. The three stream types map onto three scheduling
+// disciplines:
+//
+//   - Type i (async union-find): no buffering. Updates union directly and
+//     queries read directly; everything runs fully concurrently and every
+//     operation is linearizable at its own return.
+//   - Type ii (Shiloach-Vishkin, RootUp Liu-Tarjan): updates buffer into
+//     epochs and sealed epochs apply as synchronous rounds under an applier
+//     mutex; queries stay wait-free against the parent array at all times.
+//   - Type iii (Rem + SpliceAtomic): as Type ii, but the apply additionally
+//     takes the write side of a phase lock whose read side every query
+//     holds, realizing Theorem 3's update/query phase separation.
+//
+// Before a batch reaches the atomic union hot path, a sampling-based
+// pre-filter probes both endpoints' parent chains (read-only, bounded) and
+// drops edges whose endpoints are already in the same component; on
+// power-law streams the bulk of late updates are intra-component, so this
+// replaces contended CASes with a few cache-friendly loads.
+//
+// Visibility semantics: a Type i update is visible to every query that
+// starts after Update returns. A buffered (Type ii/iii) update becomes
+// visible when its epoch is applied — at the latest after the next Sync
+// returns. Queries never report connectivity that does not follow from
+// accepted updates (components only ever grow toward the union of all
+// accepted updates).
+package ingest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"connectit/internal/core"
+	"connectit/internal/graph"
+	"connectit/internal/parallel"
+)
+
+// Options tunes a Stream. The zero value selects the defaults.
+type Options struct {
+	// Shards is the number of update buffers concurrent producers are
+	// spread over. Default: GOMAXPROCS.
+	Shards int
+	// EpochSize is the number of buffered updates at which a shard seals
+	// its epoch and applies it as one batch. Default 4096. Type i streams
+	// never buffer and ignore it.
+	EpochSize int
+	// ProbeBudget bounds the read-only parent-chain probe of the
+	// intra-component pre-filter, in chase steps. Default 32.
+	ProbeBudget int
+	// DisablePrefilter turns the pre-filter off (every accepted update
+	// reaches the union hot path).
+	DisablePrefilter bool
+}
+
+const (
+	defaultEpochSize   = 4096
+	defaultProbeBudget = 32
+)
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.EpochSize <= 0 {
+		o.EpochSize = defaultEpochSize
+	}
+	if o.ProbeBudget <= 0 {
+		o.ProbeBudget = defaultProbeBudget
+	}
+	if o.DisablePrefilter {
+		o.ProbeBudget = 0
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a Stream's operation counters.
+type Stats struct {
+	// Updates is the number of accepted Update calls.
+	Updates uint64
+	// Queries is the number of Connected calls.
+	Queries uint64
+	// Filtered is the number of updates dropped by the pre-filter
+	// (self-loops and probed intra-component edges).
+	Filtered uint64
+	// Applied is the number of updates that reached the structure.
+	Applied uint64
+	// Epochs is the number of sealed-and-applied epochs (Type ii/iii).
+	Epochs uint64
+}
+
+// shard is one epoch buffer. The pad keeps neighboring shards' mutexes off
+// one cache line under heavy multi-producer traffic.
+type shard struct {
+	mu  sync.Mutex
+	buf []graph.Edge
+	_   [64 - 8]byte
+}
+
+// counterStripes is the stripe count of the hot-path counters; power of two.
+const counterStripes = 8
+
+// counter is a cache-line-striped counter: the wait-free Update/Connected
+// hot paths would otherwise serialize all producers on one atomic cache
+// line. Add spreads by a caller-supplied hash; Load sums the stripes.
+type counter struct {
+	stripes [counterStripes]struct {
+		v atomic.Uint64
+		_ [56]byte
+	}
+}
+
+func (c *counter) Add(h uint32, n uint64) { c.stripes[h%counterStripes].v.Add(n) }
+
+func (c *counter) Load() uint64 {
+	var total uint64
+	for i := range c.stripes {
+		total += c.stripes[i].v.Load()
+	}
+	return total
+}
+
+// Stream is a concurrent streaming connectivity structure. All methods are
+// safe for concurrent use by any number of goroutines.
+type Stream struct {
+	inc    *core.Incremental
+	stype  core.StreamType
+	opt    Options
+	shards []shard
+	rr     atomic.Uint32 // round-robin shard cursor
+	spare  sync.Pool     // recycled epoch buffers
+
+	// phase separates Type iii updates (write side) from queries (read
+	// side); applyMu serializes Type ii synchronous rounds.
+	phase   sync.RWMutex
+	applyMu sync.Mutex
+
+	// inflight counts epochs sealed but not yet fully applied. A seal
+	// increments it under the shard's lock — before the batch leaves the
+	// buffer — so Sync, which drains every shard and then waits for zero,
+	// can never miss an epoch that left a buffer before Sync observed it.
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflight     int
+
+	updates  counter
+	queries  counter
+	filtered counter
+	applied  counter
+	epochs   atomic.Uint64 // apply-path only, already serialized
+}
+
+// New wraps a core.Incremental in a Stream. The Incremental must not be
+// used directly while the Stream is live.
+func New(inc *core.Incremental, opt Options) *Stream {
+	opt = opt.withDefaults()
+	s := &Stream{inc: inc, stype: inc.Type(), opt: opt}
+	s.inflightCond = sync.NewCond(&s.inflightMu)
+	if s.stype != core.TypeAsync {
+		s.shards = make([]shard, opt.Shards)
+		for i := range s.shards {
+			s.shards[i].buf = make([]graph.Edge, 0, opt.EpochSize)
+		}
+		s.spare.New = func() any { return make([]graph.Edge, 0, opt.EpochSize) }
+	}
+	return s
+}
+
+// Type reports the scheduling discipline the stream runs under.
+func (s *Stream) Type() core.StreamType { return s.stype }
+
+// Len returns the number of vertices.
+func (s *Stream) Len() int { return s.inc.Len() }
+
+// Stats returns a snapshot of the operation counters. Counters are read
+// individually, so a snapshot taken mid-traffic is approximate.
+func (s *Stream) Stats() Stats {
+	return Stats{
+		Updates:  s.updates.Load(),
+		Queries:  s.queries.Load(),
+		Filtered: s.filtered.Load(),
+		Applied:  s.applied.Load(),
+		Epochs:   s.epochs.Load(),
+	}
+}
+
+// Update accepts the edge insertion (u, v). Vertices must be < Len().
+func (s *Stream) Update(u, v uint32) {
+	s.updates.Add(u^v, 1)
+	if u == v {
+		s.filtered.Add(u, 1)
+		return
+	}
+	if s.stype == core.TypeAsync {
+		// Fully concurrent: probe, then union in place.
+		if s.opt.ProbeBudget > 0 && s.inc.Probe(u, v, s.opt.ProbeBudget) {
+			s.filtered.Add(u^v, 1)
+			return
+		}
+		s.inc.Update(u, v)
+		s.applied.Add(u^v, 1)
+		return
+	}
+	s.enqueue(graph.Edge{U: u, V: v})
+}
+
+// Connected answers a connectivity query against every applied epoch (and,
+// for Type i, every completed Update). It is wait-free for Type i and ii;
+// for Type iii it waits out any in-flight apply phase.
+func (s *Stream) Connected(u, v uint32) bool {
+	s.queries.Add(u^v, 1)
+	if s.stype == core.TypePhased {
+		s.phase.RLock()
+		same := s.inc.Connected(u, v)
+		s.phase.RUnlock()
+		return same
+	}
+	return s.inc.Connected(u, v)
+}
+
+// enqueue appends e to a round-robin shard and applies the epoch if this
+// append sealed it. The appender pays for the apply, which backpressures
+// producers against the structure.
+func (s *Stream) enqueue(e graph.Edge) {
+	sh := &s.shards[(s.rr.Add(1)-1)%uint32(len(s.shards))]
+	var sealed []graph.Edge
+	sh.mu.Lock()
+	sh.buf = append(sh.buf, e)
+	if len(sh.buf) >= s.opt.EpochSize {
+		sealed = sh.buf
+		sh.buf = s.spare.Get().([]graph.Edge)[:0]
+		s.sealInflight()
+	}
+	sh.mu.Unlock()
+	if sealed != nil {
+		s.apply(sealed)
+		s.doneInflight()
+		s.spare.Put(sealed[:0])
+	}
+}
+
+// sealInflight registers an epoch that has left its shard buffer but is not
+// yet applied. Called with the sealing shard's mutex held, so the increment
+// happens before any Sync can observe that shard empty.
+func (s *Stream) sealInflight() {
+	s.inflightMu.Lock()
+	s.inflight++
+	s.inflightMu.Unlock()
+}
+
+// doneInflight retires a sealed epoch after its apply completed.
+func (s *Stream) doneInflight() {
+	s.inflightMu.Lock()
+	s.inflight--
+	if s.inflight == 0 {
+		s.inflightCond.Broadcast()
+	}
+	s.inflightMu.Unlock()
+}
+
+// apply runs one sealed epoch under the stream type's exclusion discipline.
+func (s *Stream) apply(batch []graph.Edge) {
+	switch s.stype {
+	case core.TypePhased:
+		s.phase.Lock()
+		s.applyLocked(batch)
+		s.phase.Unlock()
+	default: // TypeSynchronous (TypeAsync never buffers)
+		s.applyMu.Lock()
+		s.applyLocked(batch)
+		s.applyMu.Unlock()
+	}
+	s.epochs.Add(1)
+}
+
+// applyLocked pre-filters and applies one batch; the caller holds the
+// stream type's apply exclusion.
+func (s *Stream) applyLocked(batch []graph.Edge) {
+	if s.opt.ProbeBudget > 0 {
+		batch = s.prefilter(batch)
+	}
+	s.inc.ApplyBatch(batch)
+	s.applied.Add(0, uint64(len(batch)))
+}
+
+// prefilter drops edges whose endpoints already share a component,
+// compacting batch in place. Probes are read-only and run in parallel;
+// dropped slots are marked as self-loops and squeezed out sequentially.
+func (s *Stream) prefilter(batch []graph.Edge) []graph.Edge {
+	budget := s.opt.ProbeBudget
+	parallel.ForGrained(len(batch), 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := batch[i]
+			if s.inc.Probe(e.U, e.V, budget) {
+				batch[i].V = batch[i].U
+			}
+		}
+	})
+	w := 0
+	for i := range batch {
+		if batch[i].U != batch[i].V {
+			batch[w] = batch[i]
+			w++
+		}
+	}
+	s.filtered.Add(0, uint64(len(batch)-w))
+	return batch[:w]
+}
+
+// Sync applies every buffered update and waits for in-flight epochs, so
+// that every Update accepted before Sync began is visible to queries after
+// Sync returns. It is safe to call concurrently with traffic; epochs sealed
+// by concurrent producers while Sync runs are waited for too, so under
+// sustained saturation Sync reflects a slightly later point in the stream.
+func (s *Stream) Sync() {
+	if s.stype == core.TypeAsync {
+		return
+	}
+	var batch []graph.Edge
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if len(sh.buf) > 0 {
+			batch = append(batch, sh.buf...)
+			sh.buf = sh.buf[:0]
+		}
+		sh.mu.Unlock()
+	}
+	if len(batch) > 0 {
+		s.apply(batch)
+	}
+	// Wait out epochs that were sealed (removed from their buffer) but not
+	// yet fully applied by the producer that sealed them.
+	s.inflightMu.Lock()
+	for s.inflight > 0 {
+		s.inflightCond.Wait()
+	}
+	s.inflightMu.Unlock()
+}
+
+// quiesce acquires the stream type's apply exclusion and returns the
+// release. Holding it keeps buffered-type updates out of the structure
+// (queries stay unaffected except for Type iii, whose phase lock they
+// share). For Type i there is no exclusion to take.
+func (s *Stream) quiesce() (release func()) {
+	switch s.stype {
+	case core.TypePhased:
+		s.phase.Lock()
+		return s.phase.Unlock
+	case core.TypeSynchronous:
+		s.applyMu.Lock()
+		return s.applyMu.Unlock
+	}
+	return func() {}
+}
+
+// Labels syncs and returns a connectivity labeling snapshot. Type i updates
+// arriving during the snapshot may or may not be reflected.
+func (s *Stream) Labels() []uint32 {
+	s.Sync()
+	defer s.quiesce()()
+	return s.inc.Labels()
+}
+
+// NumComponents syncs and counts the current components.
+func (s *Stream) NumComponents() int {
+	s.Sync()
+	defer s.quiesce()()
+	return s.inc.NumComponents()
+}
+
+// String describes the stream's configuration.
+func (s *Stream) String() string {
+	return fmt.Sprintf("ingest.Stream{n=%d %v shards=%d epoch=%d probe=%d}",
+		s.inc.Len(), s.stype, s.opt.Shards, s.opt.EpochSize, s.opt.ProbeBudget)
+}

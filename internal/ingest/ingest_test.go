@@ -1,0 +1,152 @@
+package ingest
+
+import (
+	"testing"
+
+	"connectit/internal/core"
+)
+
+// mustStream opens a Stream for the given algorithm spec.
+func mustStream(t *testing.T, n int, spec string, opt Options) *Stream {
+	t.Helper()
+	cfg, err := core.ParseConfig("none;" + spec)
+	if err != nil {
+		t.Fatalf("ParseConfig(%q): %v", spec, err)
+	}
+	inc, err := core.NewIncremental(n, cfg)
+	if err != nil {
+		t.Fatalf("NewIncremental(%q): %v", spec, err)
+	}
+	return New(inc, opt)
+}
+
+// typeSpecs is one representative spec per scheduling discipline.
+var typeSpecs = []struct {
+	spec string
+	want core.StreamType
+}{
+	{"uf;async;naive;split-one", core.TypeAsync},
+	{"uf;rem-cas;split;split-one", core.TypeAsync},
+	{"sv", core.TypeSynchronous},
+	{"lt;CRFA", core.TypeSynchronous},
+	{"uf;rem-cas;naive;splice", core.TypePhased},
+	{"uf;rem-lock;naive;splice", core.TypePhased},
+}
+
+func TestStreamTypes(t *testing.T) {
+	for _, tc := range typeSpecs {
+		s := mustStream(t, 8, tc.spec, Options{})
+		if s.Type() != tc.want {
+			t.Errorf("%s: stream type %v, want %v", tc.spec, s.Type(), tc.want)
+		}
+	}
+}
+
+func TestStreamSequentialPath(t *testing.T) {
+	// A path built one edge at a time, with a Sync+query after each epoch
+	// boundary, on every discipline.
+	const n = 1000
+	for _, tc := range typeSpecs {
+		t.Run(tc.spec, func(t *testing.T) {
+			s := mustStream(t, n, tc.spec, Options{EpochSize: 64, Shards: 2})
+			for v := uint32(0); v < n-1; v++ {
+				s.Update(v, v+1)
+			}
+			s.Sync()
+			if !s.Connected(0, n-1) {
+				t.Fatalf("path endpoints not connected after Sync")
+			}
+			if s.Connected(0, n-1) != true || s.NumComponents() != 1 {
+				t.Fatalf("want single component, got %d", s.NumComponents())
+			}
+			st := s.Stats()
+			if st.Updates != n-1 {
+				t.Fatalf("stats updates = %d, want %d", st.Updates, n-1)
+			}
+			if st.Applied+st.Filtered != st.Updates {
+				t.Fatalf("applied %d + filtered %d != updates %d", st.Applied, st.Filtered, st.Updates)
+			}
+		})
+	}
+}
+
+func TestStreamPrefilterDropsIntraComponent(t *testing.T) {
+	// After a component is fully connected, re-sending its edges must be
+	// filtered (Type i filters per call; buffered types filter at apply).
+	const n = 256
+	s := mustStream(t, n, "uf;async;naive;split-one", Options{})
+	for v := uint32(0); v < n-1; v++ {
+		s.Update(v, v+1)
+	}
+	before := s.Stats()
+	for v := uint32(0); v < n-1; v++ {
+		s.Update(v, v+1)
+	}
+	after := s.Stats()
+	if got := after.Filtered - before.Filtered; got != n-1 {
+		t.Fatalf("pre-filter dropped %d of %d redundant updates", got, n-1)
+	}
+	if after.Applied != before.Applied {
+		t.Fatalf("redundant updates reached the hot path: applied %d -> %d", before.Applied, after.Applied)
+	}
+
+	// Buffered discipline: the whole redundant epoch is dropped at apply.
+	sb := mustStream(t, n, "sv", Options{EpochSize: 32})
+	for v := uint32(0); v < n-1; v++ {
+		sb.Update(v, v+1)
+	}
+	sb.Sync()
+	for v := uint32(0); v < n-1; v++ {
+		sb.Update(v, v+1)
+	}
+	sb.Sync()
+	st := sb.Stats()
+	if st.Filtered < n-1 {
+		t.Fatalf("buffered pre-filter dropped %d, want >= %d", st.Filtered, n-1)
+	}
+	if !sb.Connected(0, n-1) {
+		t.Fatal("filtering broke connectivity")
+	}
+}
+
+func TestStreamSelfLoopsAndDisable(t *testing.T) {
+	s := mustStream(t, 16, "uf;async;naive;split-one", Options{DisablePrefilter: true})
+	s.Update(3, 3)
+	s.Update(0, 1)
+	s.Update(0, 1) // redundant, but pre-filter disabled: must still apply
+	st := s.Stats()
+	if st.Filtered != 1 {
+		t.Fatalf("self-loop not filtered: %+v", st)
+	}
+	if st.Applied != 2 {
+		t.Fatalf("disabled pre-filter still dropped updates: %+v", st)
+	}
+	if !s.Connected(0, 1) || s.Connected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+}
+
+func TestStreamQueriesSeeOnlyAcceptedUpdates(t *testing.T) {
+	for _, tc := range typeSpecs {
+		s := mustStream(t, 64, tc.spec, Options{EpochSize: 8})
+		if s.Connected(1, 2) {
+			t.Fatalf("%s: empty stream reports connectivity", tc.spec)
+		}
+		s.Update(1, 2)
+		s.Sync()
+		if !s.Connected(1, 2) || s.Connected(1, 3) {
+			t.Fatalf("%s: wrong connectivity after one update", tc.spec)
+		}
+	}
+}
+
+func TestStreamingAlgorithmsEnumerates(t *testing.T) {
+	seen := map[core.StreamType]int{}
+	for _, sa := range core.StreamingAlgorithms() {
+		seen[sa.Type]++
+	}
+	// 34 async UF variants + 2 Rem+SpliceAtomic phased + SV + 8 RootUp LT.
+	if seen[core.TypeAsync] == 0 || seen[core.TypeSynchronous] == 0 || seen[core.TypePhased] == 0 {
+		t.Fatalf("StreamingAlgorithms missing a discipline: %v", seen)
+	}
+}

@@ -154,9 +154,22 @@ func Run(g *graph.Graph, parent []uint32, favored []bool, v Variant) int {
 	return RunEdges(edges, parent, favored, v)
 }
 
-// RunEdges is Run over an explicit edge list (used by the streaming layer,
-// which feeds batches in COO form). favored may be nil.
+// RunEdges is Run over an explicit edge list (batches in COO form). It
+// publishes round results with plain stores; use RunEdgesAtomic when
+// concurrent readers chase parent while a batch applies.
 func RunEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant) int {
+	return runEdges(edges, parent, favored, v, false)
+}
+
+// RunEdgesAtomic is RunEdges with the round-end copy-back published via
+// atomic stores, for the streaming layer's §3.5 Type ii wait-free queries,
+// which load parent atomically while a batch is mid-apply. The static path
+// keeps RunEdges' vectorized copy — it has no concurrent readers.
+func RunEdgesAtomic(edges []graph.Edge, parent []uint32, favored []bool, v Variant) int {
+	return runEdges(edges, parent, favored, v, true)
+}
+
+func runEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant, atomicPublish bool) int {
 	ord := minlabel.Order{Favored: favored}
 	n := len(parent)
 	next := make([]uint32, n)
@@ -192,7 +205,11 @@ func RunEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant) in
 				connectChanged.Store(true)
 			}
 		})
-		copyParallel(parent, next)
+		if atomicPublish {
+			storeParallel(parent, next)
+		} else {
+			copyParallel(parent, next)
+		}
 
 		shortcutChanged := shortcut(ord, parent, v.Shortcut)
 
@@ -290,6 +307,16 @@ func alter(edges []graph.Edge, parent []uint32) ([]graph.Edge, bool) {
 func copyParallel(dst, src []uint32) {
 	parallel.ForGrained(len(src), 4096, func(lo, hi int) {
 		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// storeParallel is copyParallel with atomic per-element stores, for arrays
+// that concurrent wait-free readers load atomically.
+func storeParallel(dst, src []uint32) {
+	parallel.ForGrained(len(src), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.StoreUint32(&dst[i], src[i])
+		}
 	})
 }
 

@@ -20,6 +20,8 @@
 package stinger
 
 import (
+	"sync"
+
 	"connectit/internal/concurrent"
 	"connectit/internal/graph"
 	"connectit/internal/parallel"
@@ -167,4 +169,33 @@ func (s *Stinger) NumComponents() int {
 		seen[l] = struct{}{}
 	}
 	return len(seen)
+}
+
+// Coarse wraps a Stinger behind one mutex, modeling a coarse-locked
+// streaming service: concurrent producers and queriers fully serialize.
+// It is the baseline the concurrent ingest engine's mixed-workload
+// experiments and benchmarks compare against.
+type Coarse struct {
+	mu  sync.Mutex
+	s   *Stinger
+	buf [1]graph.Edge // reused single-edge batch, amortized inside the lock
+}
+
+// NewCoarse initializes a coarse-locked STINGER over n vertices.
+func NewCoarse(n int) *Coarse { return &Coarse{s: New(n)} }
+
+// Update inserts one edge under the global lock.
+func (c *Coarse) Update(u, v uint32) {
+	c.mu.Lock()
+	c.buf[0] = graph.Edge{U: u, V: v}
+	c.s.InsertBatch(c.buf[:])
+	c.mu.Unlock()
+}
+
+// Connected answers a connectivity query under the global lock.
+func (c *Coarse) Connected(u, v uint32) bool {
+	c.mu.Lock()
+	same := c.s.Connected(u, v)
+	c.mu.Unlock()
+	return same
 }

@@ -87,6 +87,43 @@ func (d *DSU) findHalve(u uint32) uint32 {
 	}
 }
 
+// ProbeSame is a read-only bounded connectivity probe over any parent
+// array whose pointers never leave a component (every union-find variant
+// here, plus the min-label parent arrays of Shiloach-Vishkin and RootUp
+// Liu-Tarjan): it chases both chains in lockstep for at most budget steps,
+// performs no compression writes, and takes no locks. A true result means
+// u and v are definitely connected (the chains met, and connectivity is
+// monotone under insertions); false means "distinct roots or budget
+// exhausted" and carries no negative guarantee. It is safe to run
+// concurrently with unions and finds of every variant — including Rem +
+// SpliceAtomic, whose phase-concurrency restriction applies to finds that
+// compress, not to read-only chases — and is the pre-filter probe of the
+// streaming ingest engine (internal/ingest).
+func ProbeSame(parent []uint32, u, v uint32, budget int) bool {
+	if u == v {
+		return true
+	}
+	for i := 0; i < budget; i++ {
+		pu := atomic.LoadUint32(&parent[u])
+		pv := atomic.LoadUint32(&parent[v])
+		if pu == pv {
+			// The chains met: a common vertex witnesses connectivity.
+			return true
+		}
+		if pu == u && pv == v {
+			// Both are (currently) distinct roots: not connected right now.
+			return false
+		}
+		u, v = pu, pv
+	}
+	return false
+}
+
+// ProbeSame is the bounded read-only probe over this DSU's parent array.
+func (d *DSU) ProbeSame(u, v uint32, budget int) bool {
+	return ProbeSame(d.parent, u, v, budget)
+}
+
 // findTwoTrySplit is the find of Union-JTB [59]: at each step it attempts
 // the splitting CAS up to twice before advancing, which bounds the expected
 // work per operation.

@@ -1,0 +1,60 @@
+package connectit
+
+import (
+	"connectit/internal/core"
+	"connectit/internal/ingest"
+)
+
+// Stream is the concurrent streaming ingest engine: it accepts interleaved
+// Update(u, v) and Connected(u, v) calls from arbitrarily many goroutines,
+// internally sharding updates into epochs scheduled per the compiled
+// algorithm's StreamType (§3.5; DESIGN.md §9), with a sampling-based
+// pre-filter that drops intra-component edges before they reach the atomic
+// union hot path. Build one with NewStream or Solver.Stream.
+//
+// Unlike Incremental's synchronous call-per-batch ProcessBatch, a Stream is
+// the serving-path surface: producers and queriers drive it concurrently
+// and the engine enforces each stream type's concurrency discipline
+// internally.
+type Stream = ingest.Stream
+
+// StreamOptions tunes a Stream's sharding, epoch size, and pre-filter; the
+// zero value selects the defaults.
+type StreamOptions = ingest.Options
+
+// StreamStats is a snapshot of a Stream's operation counters.
+type StreamStats = ingest.Stats
+
+// NewStream compiles cfg and opens a concurrent ingest stream over n
+// initially isolated vertices. Algorithms that cannot stream return the
+// ErrUnsupported error Compile captures. It is a thin wrapper over
+// Compile + Solver.Stream.
+func NewStream(n int, cfg Config, opt ...StreamOptions) (*Stream, error) {
+	s, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Stream(n, opt...)
+}
+
+// Stream opens a concurrent ingest stream over n initially isolated
+// vertices running the compiled finish algorithm. At most one StreamOptions
+// may be supplied; omitting it selects the defaults. Unlike the Solver
+// itself, the returned Stream is safe for unrestricted concurrent use: the
+// engine schedules updates and queries per the algorithm's StreamType.
+func (s *Solver) Stream(n int, opt ...StreamOptions) (*Stream, error) {
+	inc, err := s.NewIncremental(n)
+	if err != nil {
+		return nil, err
+	}
+	var o ingest.Options
+	if len(opt) > 0 {
+		o = opt[0]
+	}
+	return ingest.New(inc, o), nil
+}
+
+// StreamingAlgorithms enumerates every finish algorithm that supports
+// batch-incremental execution, paired with its StreamType, in registry
+// order.
+func StreamingAlgorithms() []core.StreamingAlgorithm { return core.StreamingAlgorithms() }
