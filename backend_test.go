@@ -1,0 +1,88 @@
+package connectit
+
+import (
+	"testing"
+
+	"connectit/internal/testutil"
+)
+
+// TestBackendEquivalenceAllAlgorithms runs every registered finish
+// algorithm on both backends over the standard graph panel and checks that
+// CSR and compressed produce the same partition (and the true one). With
+// sampling disabled every algorithm traverses the whole edge set, so the
+// compressed decode path is exercised end to end.
+func TestBackendEquivalenceAllAlgorithms(t *testing.T) {
+	panel := testutil.Panel()
+	for name, g := range panel {
+		truth := testutil.Components(g)
+		c := Compress(g)
+		for _, a := range Algorithms() {
+			solver, err := Compile(Config{Algorithm: a, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// NoSampling labelings are solver-owned scratch: copy the CSR
+			// result before the compressed run overwrites it.
+			csrLabels := append([]uint32(nil), solver.Components(g)...)
+			compLabels, err := solver.ComponentsOn(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			testutil.CheckPartition(t, name+"/"+a.Name()+"/csr", csrLabels, truth)
+			testutil.CheckPartition(t, name+"/"+a.Name()+"/compressed", compLabels, truth)
+		}
+	}
+}
+
+// TestBackendEquivalenceSampled crosses the four sampling modes with one
+// representative algorithm per family on both backends: the sampling phase
+// (k-out selection, BFS frontiers, LDD cluster growth) must also agree with
+// the truth when run over the compressed encoding.
+func TestBackendEquivalenceSampled(t *testing.T) {
+	panel := testutil.Panel()
+	specs := []string{
+		"none;uf;rem-cas;naive;split-one",
+		"kout;uf;rem-cas;naive;split-one",
+		"bfs;uf;hooks;naive;split-one",
+		"ldd;sv",
+		"kout;lt;CRFA",
+		"bfs;lt;PUF",
+		"ldd;stergiou",
+		"kout;lp",
+	}
+	for name, g := range panel {
+		truth := testutil.Components(g)
+		c := Compress(g)
+		for _, spec := range specs {
+			cfg, err := ParseConfig(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Seed = 42
+			solver := MustCompile(cfg)
+			csrLabels := append([]uint32(nil), solver.Components(g)...)
+			compLabels := solver.ComponentsCompressed(c)
+			testutil.CheckPartition(t, name+"/"+spec+"/csr", csrLabels, truth)
+			testutil.CheckPartition(t, name+"/"+spec+"/compressed", compLabels, truth)
+		}
+	}
+}
+
+// TestComponentsOnUnknownRep checks the dispatch error for representations
+// outside the registered backends.
+func TestComponentsOnUnknownRep(t *testing.T) {
+	solver := MustCompile(DefaultConfig())
+	if _, err := solver.ComponentsOn(fakeRep{}); err == nil {
+		t.Fatal("expected ErrUnsupported for unknown representation")
+	}
+}
+
+type fakeRep struct{}
+
+func (fakeRep) NumVertices() int                                  { return 0 }
+func (fakeRep) NumEdges() int                                     { return 0 }
+func (fakeRep) NumDirectedEdges() int                             { return 0 }
+func (fakeRep) Degree(Vertex) int                                 { return 0 }
+func (fakeRep) NeighborsInto(Vertex, []Vertex) []Vertex           { return nil }
+func (fakeRep) NeighborsIntoLimit(Vertex, []Vertex, int) []Vertex { return nil }
+func (fakeRep) SizeBytes() int                                    { return 0 }

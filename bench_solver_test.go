@@ -45,6 +45,51 @@ func BenchmarkSolverReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverBackends compares the two graph representations on the
+// paper's compressed-graph axis (RMAT at scale 20): resident graph bytes
+// and solve throughput, CSR vs running directly on the byte-compressed
+// encoding. The graph-bytes and bytes/directed-edge metrics make the
+// space/throughput tradeoff diffable across PRs — compressed should hold
+// ≥2x smaller resident bytes at no more than ~2x slowdown.
+func BenchmarkSolverBackends(b *testing.B) {
+	scale := 20
+	if testing.Short() {
+		scale = 16
+	}
+	g := NewRMAT(scale, 16*(1<<scale), 3)
+	c := Compress(g)
+	report := func(b *testing.B, rep GraphRep) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(rep.SizeBytes()), "graph-bytes")
+		b.ReportMetric(float64(rep.SizeBytes())/float64(rep.NumDirectedEdges()), "bytes/edge")
+	}
+	for _, spec := range []string{
+		"none;uf;rem-cas;naive;split-one",
+		"kout;uf;rem-cas;naive;split-one",
+		"bfs;uf;rem-cas;naive;split-one",
+		"kout;lt;PRF",
+	} {
+		cfg, err := ParseConfig(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(spec+"/CSR", func(b *testing.B) {
+			solver := MustCompile(cfg)
+			report(b, g)
+			for i := 0; i < b.N; i++ {
+				solver.Components(g)
+			}
+		})
+		b.Run(spec+"/Compressed", func(b *testing.B) {
+			solver := MustCompile(cfg)
+			report(b, c)
+			for i := 0; i < b.N; i++ {
+				solver.ComponentsCompressed(c)
+			}
+		})
+	}
+}
+
 // BenchmarkCompile measures compilation itself: validation plus closure
 // construction, no graph work.
 func BenchmarkCompile(b *testing.B) {

@@ -10,12 +10,24 @@
 //	connectit -stream -workers 8 -qmix 0.5 -algo "uf;rem-cas;naive;split-one"
 //	connectit -list
 //
+// The graph representation is selected with -format: "csr" (flat CSR,
+// default), "compressed" (byte-compressed CSR; every algorithm runs
+// directly on the encoding), or "bin" (memory-map a .cbin file named by
+// -path, opening in O(1)). -convert writes the graph to a .cbin file and
+// exits, and -v prints the per-backend memory footprint (SizeBytes and
+// bytes/edge) so the space/throughput tradeoff is visible:
+//
+//	connectit -graph rmat -scale 20 -convert rmat20.cbin
+//	connectit -format bin -path rmat20.cbin -v -algo "uf;rem-cas;naive;split-one"
+//	connectit -graph rmat -scale 18 -format compressed -v
+//
 // -list enumerates every finish algorithm in the registry with its
 // capabilities; each printed name is a valid -algo value. -stream drives
 // the concurrent ingest engine with -workers goroutines issuing a -qmix
 // query/update mix and reports edges/sec and queries/sec.
 //
-// Invalid flags or spec strings produce a one-line error and exit status 1.
+// Invalid flags, spec strings, or malformed input files produce a one-line
+// error and exit status 1.
 package main
 
 import (
@@ -48,6 +60,10 @@ var (
 	forest    = flag.Bool("forest", false, "compute spanning forest instead of components")
 	withStats = flag.Bool("stats", false, "report union-find path-length statistics")
 	list      = flag.Bool("list", false, "list every registered finish algorithm and exit")
+
+	format  = flag.String("format", "csr", "graph representation: csr|compressed|bin (bin memory-maps the .cbin file named by -path)")
+	convert = flag.String("convert", "", "write the graph to this .cbin file and exit")
+	verbose = flag.Bool("v", false, "print per-backend memory footprint (SizeBytes, bytes/edge)")
 
 	stream   = flag.Bool("stream", false, "drive the concurrent ingest engine instead of a static run")
 	workers  = flag.Int("workers", 8, "concurrent producer goroutines for -stream")
@@ -110,6 +126,20 @@ func validateFlags() error {
 	if *stream && *forest {
 		return errors.New("-stream and -forest are mutually exclusive")
 	}
+	switch *format {
+	case "csr", "compressed", "bin":
+	default:
+		return fmt.Errorf("unknown -format %q (want csr|compressed|bin)", *format)
+	}
+	if *format == "bin" && *path == "" {
+		return errors.New("-format bin requires -path naming a .cbin file")
+	}
+	if *stream && *format != "csr" {
+		return errors.New("-stream replays COO batches and requires -format csr")
+	}
+	if *forest && *format != "csr" {
+		return errors.New("-forest records witnesses into the flat adjacency and requires -format csr")
+	}
 	return nil
 }
 
@@ -138,20 +168,44 @@ func run() error {
 		return err
 	}
 
-	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
+	rep, csr, err := makeRep()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	if *convert != "" {
+		c, ok := rep.(*connectit.CompressedGraph)
+		if !ok {
+			c = connectit.Compress(csr)
+		}
+		if err := connectit.SaveCBIN(*convert, c); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: n=%d m=%d, %s\n", *convert, c.NumVertices(), c.NumEdges(), footprint(c))
+		return nil
+	}
+
+	fmt.Printf("graph: n=%d m=%d (format %s)\n", rep.NumVertices(), rep.NumEdges(), *format)
 	fmt.Printf("algorithm: %s\n", solver.Name())
+	if *verbose {
+		if csr != nil {
+			fmt.Printf("footprint[csr]: %s\n", footprint(csr))
+		}
+		if c, ok := rep.(*connectit.CompressedGraph); ok {
+			fmt.Printf("footprint[compressed]: %s\n", footprint(c))
+			if csr != nil {
+				fmt.Printf("footprint ratio: %.2fx smaller\n", float64(csr.SizeBytes())/float64(c.SizeBytes()))
+			}
+		}
+	}
 
 	if *stream {
-		return runStream(solver, g)
+		return runStream(solver, csr)
 	}
 
 	if *forest {
 		start := time.Now()
-		edges, err := solver.SpanningForest(g)
+		edges, err := solver.SpanningForest(csr)
 		elapsed := time.Since(start)
 		if err != nil {
 			return err
@@ -161,17 +215,50 @@ func run() error {
 	}
 
 	start := time.Now()
-	labels := solver.Components(g)
+	labels, err := solver.ComponentsOn(rep)
 	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
 	comps := connectit.NumComponents(labels)
 	_, largest := connectit.LargestComponent(labels)
 	fmt.Printf("components: %d (largest %d vertices, %.1f%%) in %v\n",
 		comps, largest, 100*float64(largest)/float64(len(labels)), elapsed)
-	fmt.Printf("throughput: %.1fM edges/s\n", float64(g.NumEdges())/elapsed.Seconds()/1e6)
+	fmt.Printf("throughput: %.1fM edges/s\n", float64(rep.NumEdges())/elapsed.Seconds()/1e6)
 	if *withStats {
 		fmt.Printf("stats: unions=%d TPL=%d MPL=%d\n", stats.Unions(), stats.TotalPathLength(), stats.MaxPathLength())
 	}
 	return nil
+}
+
+// footprint renders a backend's resident size and bytes per directed edge.
+func footprint(rep connectit.GraphRep) string {
+	bytesPerEdge := 0.0
+	if de := rep.NumDirectedEdges(); de > 0 {
+		bytesPerEdge = float64(rep.SizeBytes()) / float64(de)
+	}
+	return fmt.Sprintf("%d bytes (%.2f bytes/directed-edge)", rep.SizeBytes(), bytesPerEdge)
+}
+
+// makeRep builds or loads the graph in the representation selected by
+// -format. csr is non-nil whenever the flat graph was materialized along
+// the way (every format except bin); the stream/forest paths require it.
+func makeRep() (rep connectit.GraphRep, csr *connectit.Graph, err error) {
+	if *format == "bin" {
+		c, err := connectit.LoadCBIN(*path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, nil, nil
+	}
+	g, err := makeGraph(*graphKind, *scale, *n, *mPerN, *path, *seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if *format == "compressed" {
+		return connectit.Compress(g), g, nil
+	}
+	return g, g, nil
 }
 
 // runStream replays g's edges as a live stream: -workers producers push

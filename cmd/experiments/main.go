@@ -74,6 +74,7 @@ func run(runName string) error {
 		{"figure19", "LDD beta sweep: time, inter-component edges, coverage", figure19},
 		{"figure22", "k-out variant sweep: time, inter-component edges, coverage", figure22},
 		{"table8", "MapEdges/GatherEdges bounds vs ConnectIt", table8},
+		{"compressed", "CSR vs compressed backend: throughput and space", compressedBackend},
 		{"forest", "spanning forest overhead vs connectivity", forestOverhead},
 		{"ingest", "concurrent ingest engine: mixed update/query throughput vs STINGER", ingestMixed},
 	}
@@ -656,6 +657,34 @@ func table8() {
 		tNo := timeIt(func() { noSolver.Components(g) })
 		tS := timeIt(func() { sSolver.Components(g) })
 		fmt.Printf("%-8s %12s %14s %16s %14s\n", n, secs(tMap), secs(tGather), secs(tNo), secs(tS))
+	}
+}
+
+// compressedBackend reproduces the shape of the paper's compressed-graph
+// evaluation (§3.6: ConnectIt runs directly on compressed inputs at a
+// modest decode overhead, buying back the memory that lets the largest
+// graphs fit): per panel graph, both backends' resident bytes, and the
+// CSR-vs-compressed running time of one representative algorithm per
+// family with sampling disabled (the whole edge set is traversed, so the
+// slowdown isolates decode cost).
+func compressedBackend() {
+	names, graphs := panel()
+	algos := []string{"uf;rem-cas;naive;split-one", "uf;jtb;two-try", "sv", "lt;PRF", "stergiou", "lp"}
+	for _, name := range names {
+		g := graphs[name]
+		c := connectit.Compress(g)
+		fmt.Printf("%s: csr=%d bytes, compressed=%d bytes (%.2fx smaller, %.2f vs %.2f bytes/directed-edge)\n",
+			name, g.SizeBytes(), c.SizeBytes(), float64(g.SizeBytes())/float64(c.SizeBytes()),
+			float64(g.SizeBytes())/float64(g.NumDirectedEdges()),
+			float64(c.SizeBytes())/float64(c.NumDirectedEdges()))
+		fmt.Printf("  %-32s %12s %14s %10s\n", "Algorithm", "CSR (s)", "Compressed (s)", "Slowdown")
+		for _, spec := range algos {
+			solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.MustParseAlgorithm(spec)})
+			tCSR := timeIt(func() { solver.Components(g) })
+			tComp := timeIt(func() { solver.ComponentsCompressed(c) })
+			fmt.Printf("  %-32s %12s %14s %9.2fx\n", spec, secs(tCSR), secs(tComp),
+				float64(tComp)/float64(tCSR))
+		}
 	}
 }
 

@@ -33,6 +33,21 @@
 // one-shot helpers Connectivity, SpanningForest, and NewIncremental remain
 // as thin wrappers over Compile for single runs.
 //
+// # Graph representations
+//
+// Graphs are pluggable behind the GraphRep interface, with two first-class
+// backends: the flat CSR Graph and the byte-compressed CompressedGraph
+// (Ligra+-style difference coding, §3.6 of the paper — roughly half the
+// resident bytes on power-law inputs). Every algorithm runs directly on
+// either backend; nothing is re-materialized:
+//
+//	c := connectit.Compress(g)                  // or connectit.LoadCBIN("huge.cbin")
+//	labels, err := solver.ComponentsOn(c)       // decode-while-traverse kernels
+//
+// SaveCBIN/LoadCBIN persist compressed graphs in a versioned binary format
+// that loads by memory-mapping: a 200-GB-class graph opens in O(1) and
+// pages in on demand.
+//
 // See DESIGN.md for the registry/Solver architecture and the full system
 // inventory, and EXPERIMENTS.md for the reproduction of the paper's
 // evaluation.

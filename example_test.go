@@ -69,6 +69,29 @@ func ExampleLiuTarjanAlgorithm() {
 	// 2
 }
 
+// The representation layer: the same compiled solver runs directly on the
+// byte-compressed backend (or on a representation picked at load time via
+// ComponentsOn) — no flat CSR is materialized.
+func ExampleSolver_ComponentsOn() {
+	g := connectit.BuildGraph(5, []connectit.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	compressed := connectit.Compress(g)
+	solver, err := connectit.Compile(connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	labels, err := solver.ComponentsOn(compressed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(connectit.NumComponents(labels))
+	fmt.Println(compressed.SizeBytes() > 0)
+	// Output:
+	// 2
+	// true
+}
+
 // Spanning forest via a root-based algorithm: |F| = n - #components.
 func ExampleSpanningForest() {
 	g := connectit.BuildGraph(5, []connectit.Edge{

@@ -6,17 +6,50 @@ import (
 	"connectit/internal/graph"
 )
 
-// This file re-exports the graph construction surface of the library:
-// builders, file IO, and the synthetic generators used by the paper's
+// This file re-exports the graph-representation surface of the library:
+// builders, the compressed backend, file IO (edge lists and the .cbin
+// binary format), and the synthetic generators used by the paper's
 // evaluation.
 
+// GraphRep is the pluggable graph-representation interface: both the flat
+// CSR Graph and the byte-compressed CompressedGraph satisfy it, and
+// Solver.ComponentsOn runs on whichever representation was built or
+// loaded. See internal/graph.Rep for the iteration contract.
+type GraphRep = graph.Rep
+
+// CompressedGraph is the byte-compressed CSR backend (Ligra+-style
+// difference coding): every algorithm runs directly on the encoding via
+// the representation layer, at roughly half the resident bytes of the flat
+// CSR on power-law graphs. Build one with Compress, or open a .cbin file
+// with LoadCBIN.
+type CompressedGraph = graph.CompressedGraph
+
 // BuildGraph constructs a symmetric CSR graph with n vertices from an
-// undirected edge list, dropping self loops and duplicate edges.
+// undirected edge list, dropping self loops and duplicate edges. It panics
+// if an endpoint is >= n; TryBuildGraph reports that as an error instead.
 func BuildGraph(n int, edges []Edge) *Graph { return graph.Build(n, edges) }
 
+// TryBuildGraph is BuildGraph with endpoint validation reported as an
+// error, for edge lists from untrusted sources.
+func TryBuildGraph(n int, edges []Edge) (*Graph, error) { return graph.TryBuild(n, edges) }
+
+// Compress byte-encodes g into the compressed backend.
+func Compress(g *Graph) *CompressedGraph { return graph.Compress(g) }
+
 // LoadEdgeListFile reads a whitespace-separated edge-list file ("u v" per
-// line, '#'/'%' comments) and builds a symmetric graph.
+// line, '#'/'%' comments) and builds a symmetric graph. Malformed input is
+// reported as an error carrying the offending line number.
 func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// SaveCBIN writes a compressed graph to path in the versioned .cbin binary
+// format, the companion of LoadCBIN.
+func SaveCBIN(path string, c *CompressedGraph) error { return graph.SaveCBIN(path, c) }
+
+// LoadCBIN memory-maps a .cbin file written by SaveCBIN: the encoded
+// adjacency is never copied and pages in on demand as it is traversed
+// (only the much smaller offset index is scanned for validity). Call Close
+// on the result to release the mapping.
+func LoadCBIN(path string) (*CompressedGraph, error) { return graph.LoadCBIN(path) }
 
 // ReadEdgeList parses an edge list from r and returns the edges plus the
 // implied vertex count.

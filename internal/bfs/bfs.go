@@ -29,8 +29,10 @@ type Result struct {
 	Visited int
 }
 
-// Run performs a parallel direction-optimizing BFS from src.
-func Run(g *graph.Graph, src graph.Vertex) *Result {
+// Run performs a parallel direction-optimizing BFS from src. It is generic
+// over the graph representation (graph.Rep), so the frontier expansions run
+// directly on compressed encodings without materializing a flat CSR.
+func Run[G graph.Rep](g G, src graph.Vertex) *Result {
 	n := g.NumVertices()
 	parent := make([]graph.Vertex, n)
 	parallel.For(n, func(i int) { parent[i] = graph.None })
@@ -62,14 +64,16 @@ func Run(g *graph.Graph, src graph.Vertex) *Result {
 
 // topDown expands the sparse frontier: each frontier vertex claims its
 // unvisited neighbors with a CAS on the parent entry.
-func topDown(g *graph.Graph, parent []graph.Vertex, frontier []graph.Vertex) []graph.Vertex {
+func topDown[G graph.Rep](g G, parent []graph.Vertex, frontier []graph.Vertex) []graph.Vertex {
 	var mu sync.Mutex
 	var next []graph.Vertex
 	parallel.ForGrained(len(frontier), 128, func(lo, hi int) {
 		local := make([]graph.Vertex, 0, 4*(hi-lo))
+		var buf []graph.Vertex
 		for i := lo; i < hi; i++ {
 			v := frontier[i]
-			for _, u := range g.Neighbors(v) {
+			buf = g.NeighborsInto(v, buf)
+			for _, u := range buf {
 				if atomic.LoadUint32(&parent[u]) == graph.None &&
 					atomic.CompareAndSwapUint32(&parent[u], graph.None, v) {
 					local = append(local, u)
@@ -89,16 +93,18 @@ func topDown(g *graph.Graph, parent []graph.Vertex, frontier []graph.Vertex) []g
 // frontier (membership tested via the epoch array). Each unvisited vertex
 // writes only its own parent entry; the next frontier is gathered from the
 // epoch marks.
-func bottomUp(g *graph.Graph, parent []graph.Vertex, frontier []graph.Vertex, epoch []uint32, round uint32) []graph.Vertex {
+func bottomUp[G graph.Rep](g G, parent []graph.Vertex, frontier []graph.Vertex, epoch []uint32, round uint32) []graph.Vertex {
 	n := g.NumVertices()
 	cur := round*2 - 1 // odd mark: current frontier; even mark: claimed
 	parallel.For(len(frontier), func(i int) { atomic.StoreUint32(&epoch[frontier[i]], cur) })
 	parallel.ForGrained(n, 1024, func(lo, hi int) {
+		var buf []graph.Vertex
 		for v := lo; v < hi; v++ {
 			if atomic.LoadUint32(&parent[v]) != graph.None {
 				continue
 			}
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for _, u := range buf {
 				if atomic.LoadUint32(&epoch[u]) == cur {
 					atomic.StoreUint32(&parent[v], u)
 					atomic.StoreUint32(&epoch[v], cur+1)

@@ -31,12 +31,20 @@ type Capabilities struct {
 // repeated runs over same-sized graphs avoid re-allocation on the finish
 // hot path. It is the engine behind the public connectit.Solver.
 //
+// A Compiled carries one monomorphized runner per registered graph
+// representation (flat CSR and byte-compressed CSR), so the same instance
+// runs directly on whichever representation was built or loaded —
+// Components for CSR, ComponentsCompressed for compressed, ComponentsOn to
+// dispatch on a representation chosen at load time.
+//
 // A Compiled is not safe for concurrent use — it owns scratch state.
 // Compile one instance per goroutine; compilation is cheap.
 type Compiled struct {
 	cfg    Config
 	family *Family
-	run    *Runner
+	run    *Runner[*graph.Graph]
+	runC   *Runner[*graph.CompressedGraph]
+	forest ForestFunc
 
 	forestErr  error
 	streamType StreamType
@@ -63,6 +71,10 @@ func Compile(cfg Config) (*Compiled, error) {
 	c.forestErr = f.ForestSupport(cfg.Algorithm)
 	c.streamType, c.streamErr = f.StreamSupport(cfg.Algorithm)
 	c.run = f.NewRunner(cfg)
+	c.runC = f.NewCompressedRunner(cfg)
+	if c.forestErr == nil && f.NewForest != nil {
+		c.forest = f.NewForest(cfg)
+	}
 	return c, nil
 }
 
@@ -83,11 +95,13 @@ func (c *Compiled) Capabilities() Capabilities {
 	}
 }
 
-// prepare runs the sampling phase (phase one of Algorithm 1) and returns
-// the star-form labeling, the skip flags for the most frequent sampled
-// component, and — when forest is set — the sampled partial forest. The
-// labels (NoSampling) and skip buffers are instance scratch.
-func (c *Compiled) prepare(g *graph.Graph, forest bool) ([]uint32, []bool, [][2]uint32) {
+// prepare runs the sampling phase (phase one of Algorithm 1) over any
+// representation and returns the star-form labeling, the skip flags for the
+// most frequent sampled component, and — when forest is set — the sampled
+// partial forest. The labels (NoSampling) and skip buffers are instance
+// scratch. It is a free generic function because Go methods cannot take
+// type parameters.
+func prepare[G graph.Rep](c *Compiled, g G, forest bool) ([]uint32, []bool, [][2]uint32) {
 	n := g.NumVertices()
 	if c.cfg.Sampling == NoSampling {
 		if cap(c.labels) < n {
@@ -114,6 +128,15 @@ func (c *Compiled) prepare(g *graph.Graph, forest bool) ([]uint32, []bool, [][2]
 	return labels, skip, res.Forest
 }
 
+// components runs Algorithm 1 over one monomorphized backend runner.
+func components[G graph.Rep](c *Compiled, g G, run *Runner[G]) []uint32 {
+	if g.NumVertices() == 0 {
+		return nil
+	}
+	labels, skip, _ := prepare(c, g, false)
+	return run.Finish(g, labels, skip)
+}
+
 // Components runs the compiled combination over g (Algorithm 1) and
 // returns a connectivity labeling: labels[u] == labels[v] iff u and v are
 // connected. It cannot fail — all validation happened in Compile.
@@ -122,11 +145,28 @@ func (c *Compiled) prepare(g *graph.Graph, forest bool) ([]uint32, []bool, [][2]
 // the instance and is overwritten by the next run; copy it if it must
 // outlive the next call. Sampled configurations return a fresh slice.
 func (c *Compiled) Components(g *graph.Graph) []uint32 {
-	if g.NumVertices() == 0 {
-		return nil
+	return components(c, g, c.run)
+}
+
+// ComponentsCompressed is Components directly over the byte-compressed
+// representation: sampling and finish decode neighbors off the encoding,
+// never materializing a flat CSR.
+func (c *Compiled) ComponentsCompressed(g *graph.CompressedGraph) []uint32 {
+	return components(c, g, c.runC)
+}
+
+// ComponentsOn dispatches Components on the concrete representation behind
+// r — the load-time-chosen backend path used by the CLI and the public
+// Solver. The dispatch happens once per run; the selected kernel is the
+// same monomorphized code Components/ComponentsCompressed run.
+func (c *Compiled) ComponentsOn(r graph.Rep) ([]uint32, error) {
+	switch g := r.(type) {
+	case *graph.Graph:
+		return c.Components(g), nil
+	case *graph.CompressedGraph:
+		return c.ComponentsCompressed(g), nil
 	}
-	labels, skip, _ := c.prepare(g, false)
-	return c.run.Finish(g, labels, skip)
+	return nil, fmt.Errorf("%w: graph representation %T", ErrUnsupported, r)
 }
 
 // SpanningForest computes a spanning forest of g (Algorithm 2): the
@@ -141,8 +181,8 @@ func (c *Compiled) SpanningForest(g *graph.Graph) ([][2]uint32, error) {
 	if g.NumVertices() == 0 {
 		return nil, nil
 	}
-	labels, skip, acc := c.prepare(g, true)
-	return c.run.Forest(g, labels, skip, acc)
+	labels, skip, acc := prepare(c, g, true)
+	return c.forest(g, labels, skip, acc)
 }
 
 // NewIncremental creates a batch-incremental streaming structure over n

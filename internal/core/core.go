@@ -126,9 +126,10 @@ func Identity(n int) []uint32 {
 	return labels
 }
 
-// runSampling executes the configured sampling phase and returns the star
-// labeling plus (optionally) the partial spanning forest.
-func runSampling(g *graph.Graph, cfg Config, forest bool) *sample.Result {
+// runSampling executes the configured sampling phase over any graph
+// representation and returns the star labeling plus (optionally) the
+// partial spanning forest.
+func runSampling[G graph.Rep](g G, cfg Config, forest bool) *sample.Result {
 	switch cfg.Sampling {
 	case KOutSampling:
 		k := cfg.K
@@ -260,14 +261,18 @@ func LargestComponent(labels []uint32) (uint32, int) {
 
 // MapEdges performs one parallel pass over every directed edge, returning a
 // per-vertex reduction of f — the paper's MAPEDGES baseline primitive
-// (Table 8), the cost of reading the graph.
-func MapEdges(g *graph.Graph) []uint32 {
+// (Table 8), the cost of reading the graph. Generic over the
+// representation, it doubles as the decode-throughput probe for the
+// compressed backend.
+func MapEdges[G graph.Rep](g G) []uint32 {
 	n := g.NumVertices()
 	out := make([]uint32, n)
 	parallel.ForGrained(n, 256, func(lo, hi int) {
+		var buf []graph.Vertex
 		for v := lo; v < hi; v++ {
 			var s uint32
-			for range g.Neighbors(graph.Vertex(v)) {
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for range buf {
 				s++
 			}
 			out[v] = s
@@ -280,13 +285,15 @@ func MapEdges(g *graph.Graph) []uint32 {
 // indirect read through the neighbor into data — the paper's GATHEREDGES
 // lower-bound primitive (Table 8): every correct connectivity algorithm
 // performs at least this access pattern.
-func GatherEdges(g *graph.Graph, data []uint32) []uint32 {
+func GatherEdges[G graph.Rep](g G, data []uint32) []uint32 {
 	n := g.NumVertices()
 	out := make([]uint32, n)
 	parallel.ForGrained(n, 256, func(lo, hi int) {
+		var buf []graph.Vertex
 		for v := lo; v < hi; v++ {
 			var s uint32
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for _, u := range buf {
 				s += atomic.LoadUint32(&data[u])
 			}
 			out[v] = s

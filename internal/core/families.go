@@ -15,6 +15,12 @@ import (
 // Registration order fixes the enumeration order of Algorithms: the 36
 // union-find variants, Shiloach-Vishkin, the sixteen Liu-Tarjan variants,
 // Stergiou, and Label-Propagation.
+//
+// Every family's execution hooks are built by one generic constructor
+// instantiated per graph representation (NewRunner for the flat CSR,
+// NewCompressedRunner for the byte-compressed backend), so each backend's
+// finish loop monomorphizes over its representation — the compressed path
+// decodes neighbors straight off the encoding with no interface calls.
 
 // liutarjanByCode indexes the paper's sixteen Liu-Tarjan variants by their
 // four-letter code.
@@ -72,7 +78,9 @@ func init() {
 			}
 			return TypeAsync, nil
 		},
-		NewRunner: newUFRunner,
+		NewRunner:           newUFRunner[*graph.Graph],
+		NewCompressedRunner: newUFRunner[*graph.CompressedGraph],
+		NewForest:           newUFForest,
 		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
 			return &Incremental{
 				kind:  FinishUnionFind,
@@ -91,20 +99,16 @@ func init() {
 		Enumerate: func() []Algorithm {
 			return []Algorithm{{Kind: FinishShiloachVishkin}}
 		},
-		ParseParams:   noParams(FinishShiloachVishkin),
-		Validate:      func(Algorithm) error { return nil },
-		ForestSupport: func(Algorithm) error { return nil },
-		StreamSupport: func(Algorithm) (StreamType, error) { return TypeSynchronous, nil },
-		NewRunner: func(cfg Config) *Runner {
-			return &Runner{
-				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
-					shiloachvishkin.Run(g, labels, skip)
-					return labels
-				},
-				Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
-					_, acc = shiloachvishkin.RunForest(g, labels, skip, acc)
-					return acc, nil
-				},
+		ParseParams:         noParams(FinishShiloachVishkin),
+		Validate:            func(Algorithm) error { return nil },
+		ForestSupport:       func(Algorithm) error { return nil },
+		StreamSupport:       func(Algorithm) (StreamType, error) { return TypeSynchronous, nil },
+		NewRunner:           newSVRunner[*graph.Graph],
+		NewCompressedRunner: newSVRunner[*graph.CompressedGraph],
+		NewForest: func(cfg Config) ForestFunc {
+			return func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+				_, acc = shiloachvishkin.RunForest(g, labels, skip, acc)
+				return acc, nil
 			}
 		},
 		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
@@ -144,17 +148,13 @@ func init() {
 			}
 			return TypeSynchronous, nil
 		},
-		NewRunner: func(cfg Config) *Runner {
+		NewRunner:           newLTRunner[*graph.Graph],
+		NewCompressedRunner: newLTRunner[*graph.CompressedGraph],
+		NewForest: func(cfg Config) ForestFunc {
 			v := cfg.Algorithm.LT
-			return &Runner{
-				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
-					liutarjan.Run(g, labels, skip, v)
-					return labels
-				},
-				Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
-					_, acc, err := liutarjan.RunForest(g, labels, skip, v, acc)
-					return acc, err
-				},
+			return func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+				_, acc, err := liutarjan.RunForest(g, labels, skip, v, acc)
+				return acc, err
 			}
 		},
 		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
@@ -163,42 +163,30 @@ func init() {
 	})
 
 	RegisterFamily(&Family{
-		Kind:          FinishStergiou,
-		Name:          "stergiou",
-		Doc:           "Stergiou et al.'s two-array min-label algorithm (§B.2.5)",
-		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishStergiou}} },
-		ParseParams:   noParams(FinishStergiou),
-		Validate:      func(Algorithm) error { return nil },
-		ForestSupport: unsupportedForest(FinishStergiou),
-		StreamSupport: unsupportedStream(FinishStergiou),
-		NewRunner: func(cfg Config) *Runner {
-			return &Runner{
-				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
-					liutarjan.RunStergiou(g, labels, skip)
-					return labels
-				},
-			}
-		},
+		Kind:                FinishStergiou,
+		Name:                "stergiou",
+		Doc:                 "Stergiou et al.'s two-array min-label algorithm (§B.2.5)",
+		Enumerate:           func() []Algorithm { return []Algorithm{{Kind: FinishStergiou}} },
+		ParseParams:         noParams(FinishStergiou),
+		Validate:            func(Algorithm) error { return nil },
+		ForestSupport:       unsupportedForest(FinishStergiou),
+		StreamSupport:       unsupportedStream(FinishStergiou),
+		NewRunner:           newStergiouRunner[*graph.Graph],
+		NewCompressedRunner: newStergiouRunner[*graph.CompressedGraph],
 	})
 
 	RegisterFamily(&Family{
-		Kind:          FinishLabelProp,
-		Name:          "lp",
-		Aliases:       []string{"label-propagation", "label-prop", "labelprop"},
-		Doc:           "folklore frontier-based label propagation (§B.2.6)",
-		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishLabelProp}} },
-		ParseParams:   noParams(FinishLabelProp),
-		Validate:      func(Algorithm) error { return nil },
-		ForestSupport: unsupportedForest(FinishLabelProp),
-		StreamSupport: unsupportedStream(FinishLabelProp),
-		NewRunner: func(cfg Config) *Runner {
-			return &Runner{
-				Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
-					labelprop.Run(g, labels, skip)
-					return labels
-				},
-			}
-		},
+		Kind:                FinishLabelProp,
+		Name:                "lp",
+		Aliases:             []string{"label-propagation", "label-prop", "labelprop"},
+		Doc:                 "folklore frontier-based label propagation (§B.2.6)",
+		Enumerate:           func() []Algorithm { return []Algorithm{{Kind: FinishLabelProp}} },
+		ParseParams:         noParams(FinishLabelProp),
+		Validate:            func(Algorithm) error { return nil },
+		ForestSupport:       unsupportedForest(FinishLabelProp),
+		StreamSupport:       unsupportedStream(FinishLabelProp),
+		NewRunner:           newLPRunner[*graph.Graph],
+		NewCompressedRunner: newLPRunner[*graph.CompressedGraph],
 	})
 }
 
@@ -227,52 +215,99 @@ func ufOptions(cfg Config) unionfind.Options {
 	return opt
 }
 
-// newUFRunner compiles the union-find finish hooks. The runner retains one
-// DSU per mode (connectivity, forest) and Resets it each run, so repeated
-// runs on same-sized graphs reuse the auxiliary allocations (hooks, locks,
-// priorities, witnesses) instead of paying New every time.
-func newUFRunner(cfg Config) *Runner {
-	opt := ufOptions(cfg)
-	d := unionfind.MustNew(0, opt)
-	var df *unionfind.DSU
-	return &Runner{
-		Finish: func(g *graph.Graph, labels []uint32, skip []bool) []uint32 {
-			d.Reset(labels)
-			unionFindFinish(g, d, skip)
-			return d.Labels()
-		},
-		Forest: func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
-			if df == nil {
-				fopt := opt
-				fopt.RecordWitness = true
-				df = unionfind.MustNew(0, fopt)
-			}
-			df.Reset(labels)
-			n := g.NumVertices()
-			parallel.ForGrained(n, 256, func(lo, hi int) {
-				for v := lo; v < hi; v++ {
-					if skip != nil && skip[v] {
-						continue
-					}
-					for _, u := range g.Neighbors(graph.Vertex(v)) {
-						df.UnionWitness(uint32(v), u, uint32(v), u)
-					}
-				}
-			})
-			return df.WitnessEdges(acc), nil
+// newSVRunner compiles the Shiloach-Vishkin finish hook for one backend.
+func newSVRunner[G graph.Rep](cfg Config) *Runner[G] {
+	return &Runner[G]{
+		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
+			shiloachvishkin.Run(g, labels, skip)
+			return labels
 		},
 	}
 }
 
+// newLTRunner compiles a Liu-Tarjan finish hook for one backend.
+func newLTRunner[G graph.Rep](cfg Config) *Runner[G] {
+	v := cfg.Algorithm.LT
+	return &Runner[G]{
+		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
+			liutarjan.Run(g, labels, skip, v)
+			return labels
+		},
+	}
+}
+
+// newStergiouRunner compiles the Stergiou finish hook for one backend.
+func newStergiouRunner[G graph.Rep](cfg Config) *Runner[G] {
+	return &Runner[G]{
+		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
+			liutarjan.RunStergiou(g, labels, skip)
+			return labels
+		},
+	}
+}
+
+// newLPRunner compiles the Label-Propagation finish hook for one backend.
+func newLPRunner[G graph.Rep](cfg Config) *Runner[G] {
+	return &Runner[G]{
+		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
+			labelprop.Run(g, labels, skip)
+			return labels
+		},
+	}
+}
+
+// newUFRunner compiles the union-find finish hook for one backend. The
+// runner retains one DSU and Resets it each run, so repeated runs on
+// same-sized graphs reuse the auxiliary allocations (hooks, locks,
+// priorities) instead of paying New every time.
+func newUFRunner[G graph.Rep](cfg Config) *Runner[G] {
+	d := unionfind.MustNew(0, ufOptions(cfg))
+	return &Runner[G]{
+		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
+			d.Reset(labels)
+			unionFindFinish(g, d, skip)
+			return d.Labels()
+		},
+	}
+}
+
+// newUFForest compiles the union-find witness-recording forest hook. The
+// DSU is created lazily on the first forest run and retained for reuse.
+func newUFForest(cfg Config) ForestFunc {
+	opt := ufOptions(cfg)
+	opt.RecordWitness = true
+	var df *unionfind.DSU
+	return func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
+		if df == nil {
+			df = unionfind.MustNew(0, opt)
+		}
+		df.Reset(labels)
+		n := g.NumVertices()
+		parallel.ForGrained(n, 256, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if skip != nil && skip[v] {
+					continue
+				}
+				for _, u := range g.Neighbors(graph.Vertex(v)) {
+					df.UnionWitness(uint32(v), u, uint32(v), u)
+				}
+			}
+		})
+		return df.WitnessEdges(acc), nil
+	}
+}
+
 // unionFindFinish applies every edge incident to an unskipped vertex.
-func unionFindFinish(g *graph.Graph, d *unionfind.DSU, skip []bool) {
+func unionFindFinish[G graph.Rep](g G, d *unionfind.DSU, skip []bool) {
 	n := g.NumVertices()
 	parallel.ForGrained(n, 256, func(lo, hi int) {
+		var buf []graph.Vertex
 		for v := lo; v < hi; v++ {
 			if skip != nil && skip[v] {
 				continue
 			}
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for _, u := range buf {
 				d.Union(uint32(v), u)
 			}
 		}

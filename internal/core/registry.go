@@ -37,24 +37,36 @@ type Family struct {
 	// error wrapping ErrUnsupported when a cannot run batch-incrementally.
 	StreamSupport func(a Algorithm) (StreamType, error)
 	// NewRunner compiles the per-solver execution hooks for a validated
-	// configuration. Runners may retain scratch state across runs; each
-	// Compiled owns exactly one.
-	NewRunner func(cfg Config) *Runner
+	// configuration on the flat CSR backend. Runners may retain scratch
+	// state across runs; each Compiled owns exactly one per backend.
+	NewRunner func(cfg Config) *Runner[*graph.Graph]
+	// NewCompressedRunner is NewRunner for the byte-compressed backend. The
+	// families register the same generic constructor instantiated per
+	// backend, so both hot loops monomorphize over their representation.
+	NewCompressedRunner func(cfg Config) *Runner[*graph.CompressedGraph]
+	// NewForest compiles the spanning-forest hook (CSR only — witness
+	// recording indexes the flat adjacency). nil when ForestSupport always
+	// fails.
+	NewForest func(cfg Config) ForestFunc
 	// NewIncremental constructs the streaming structure for a validated
 	// configuration whose StreamSupport succeeded with st.
 	NewIncremental func(n int, cfg Config, st StreamType) *Incremental
 }
 
-// Runner holds the compiled finish-phase hooks of one algorithm
-// instantiation. Finish refines a star-form labeling (skip semantics per
-// DESIGN.md §4) to full connectivity in place and returns the final
-// labeling. Forest additionally records one witness edge per hook and
-// appends the finish-phase forest edges to acc; it is only invoked when
-// ForestSupport returned nil.
-type Runner struct {
-	Finish func(g *graph.Graph, labels []uint32, skip []bool) []uint32
-	Forest func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error)
+// Runner holds the compiled finish-phase hook of one algorithm
+// instantiation over one concrete graph representation. Finish refines a
+// star-form labeling (skip semantics per DESIGN.md §4) to full connectivity
+// in place and returns the final labeling. The type parameter keeps the
+// neighbor-iteration path free of interface dispatch: each backend gets its
+// own instantiation of the kernel.
+type Runner[G graph.Rep] struct {
+	Finish func(g G, labels []uint32, skip []bool) []uint32
 }
+
+// ForestFunc is the compiled spanning-forest hook: it records one witness
+// edge per hook and appends the finish-phase forest edges to acc. It is
+// only invoked when ForestSupport returned nil.
+type ForestFunc func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error)
 
 var (
 	families       []*Family

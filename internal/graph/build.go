@@ -1,45 +1,80 @@
 package graph
 
 import (
+	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"connectit/internal/parallel"
 )
 
 // Build constructs a symmetric CSR graph with n vertices from an undirected
 // edge list. Self loops are dropped and parallel edges are deduplicated;
-// adjacency lists are sorted ascending. Build panics if an endpoint is >= n.
+// adjacency lists are sorted ascending. Build panics if an endpoint is >= n;
+// TryBuild is the error-returning variant for untrusted input.
 func Build(n int, edges []Edge) *Graph {
-	for _, e := range edges {
-		if int(e.U) >= n || int(e.V) >= n {
-			panic("graph: edge endpoint out of range")
-		}
+	g, err := TryBuild(n, edges)
+	if err != nil {
+		panic(err.Error())
 	}
-	// Count directed degrees (both directions), skipping self loops.
+	return g
+}
+
+// TryBuild is Build with endpoint validation reported as an error instead
+// of a panic — the file-loading path uses it so malformed inputs surface as
+// one-line errors. The construction is a parallel pipeline: endpoint
+// validation, a parallel atomic degree histogram, an exclusive scan placing
+// each adjacency list, a parallel scatter of both edge directions, and a
+// parallel per-vertex sort/dedupe compaction.
+func TryBuild(n int, edges []Edge) (*Graph, error) {
+	var bad atomic.Int64
+	bad.Store(-1)
+	parallel.ForGrained(len(edges), 4096, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if int(e.U) >= n || int(e.V) >= n {
+				bad.Store(int64(i))
+				return
+			}
+		}
+	})
+	if i := bad.Load(); i >= 0 {
+		e := edges[i]
+		return nil, fmt.Errorf("graph: edge {%d, %d} endpoint out of range [0, %d)", e.U, e.V, n)
+	}
+	// Parallel degree histogram (both directions), skipping self loops.
 	deg := make([]uint64, n+1)
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
+	parallel.ForGrained(len(edges), 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				continue
+			}
+			atomic.AddUint64(&deg[e.U], 1)
+			atomic.AddUint64(&deg[e.V], 1)
 		}
-		deg[e.U]++
-		deg[e.V]++
-	}
+	})
 	total := parallel.ScanExclusive(deg[: n+1 : n+1])
 	adj := make([]Vertex, total)
 	fill := make([]uint64, n)
-	copy(fill, deg[:n])
-	for _, e := range edges {
-		if e.U == e.V {
-			continue
+	parallel.ForGrained(n, 4096, func(lo, hi int) {
+		copy(fill[lo:hi], deg[lo:hi])
+	})
+	// Parallel scatter: each edge claims its two slots with fetch-adds, so
+	// lists fill unordered; the sort below canonicalizes them.
+	parallel.ForGrained(len(edges), 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if e.U == e.V {
+				continue
+			}
+			adj[atomic.AddUint64(&fill[e.U], 1)-1] = e.V
+			adj[atomic.AddUint64(&fill[e.V], 1)-1] = e.U
 		}
-		adj[fill[e.U]] = e.V
-		fill[e.U]++
-		adj[fill[e.V]] = e.U
-		fill[e.V]++
-	}
+	})
 	g := &Graph{Offsets: deg, Adj: adj}
 	dedupe(g)
-	return g
+	return g, nil
 }
 
 // dedupe sorts each adjacency list and removes duplicate neighbors,

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// generatorPanel instantiates every synthetic generator in gen.go at test
+// scale, alongside raw-edge-stream builds that stress the parallel scatter
+// with duplicates and self loops.
+func generatorPanel() map[string]*Graph {
+	return map[string]*Graph{
+		"rmat":       RMAT(11, 12000, 0.57, 0.19, 0.19, 3),
+		"rmat-skew":  RMAT(10, 20000, 0.5, 0.1, 0.1, 9),
+		"ba":         BarabasiAlbert(1200, 5, 4),
+		"er":         ErdosRenyi(2000, 6000, 5),
+		"grid":       Grid2D(37, 23),
+		"path":       Path(513),
+		"cycle":      Cycle(100),
+		"star":       Star(300),
+		"cliques":    Cliques(7, 9),
+		"weblike":    WebLike(10, 5000, 0.3, 6),
+		"empty":      Build(0, nil),
+		"single":     Build(1, nil),
+		"isolated":   Build(64, nil),
+		"self-loops": Build(5, []Edge{{U: 0, V: 0}, {U: 1, V: 1}, {U: 2, V: 3}}),
+		"dups":       Build(4, []Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}, {U: 2, V: 3}}),
+	}
+}
+
+// TestBuildInvariants property-checks every generator's output: the CSR is
+// symmetric, each adjacency list is strictly ascending (sorted, deduped),
+// self-loop-free, and the offsets are consistent with the degree sum.
+func TestBuildInvariants(t *testing.T) {
+	for name, g := range generatorPanel() {
+		n := g.NumVertices()
+		if int(g.Offsets[n]) != len(g.Adj) {
+			t.Fatalf("%s: Offsets[n]=%d, len(Adj)=%d", name, g.Offsets[n], len(g.Adj))
+		}
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(Vertex(v))
+		}
+		if degSum != g.NumDirectedEdges() || degSum != 2*g.NumEdges() {
+			t.Fatalf("%s: degree sum %d, directed %d, 2m %d", name, degSum, g.NumDirectedEdges(), 2*g.NumEdges())
+		}
+		seen := make(map[[2]Vertex]bool)
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(Vertex(v))
+			for i, u := range nbrs {
+				if u == Vertex(v) {
+					t.Fatalf("%s: self loop at %d", name, v)
+				}
+				if int(u) >= n {
+					t.Fatalf("%s: neighbor %d out of range", name, u)
+				}
+				if i > 0 && nbrs[i-1] >= u {
+					t.Fatalf("%s: adjacency of %d not strictly ascending at %d", name, v, i)
+				}
+				seen[[2]Vertex{Vertex(v), u}] = true
+			}
+		}
+		for e := range seen {
+			if !seen[[2]Vertex{e[1], e[0]}] {
+				t.Fatalf("%s: edge (%d,%d) has no reverse", name, e[0], e[1])
+			}
+		}
+	}
+}
+
+// TestBuildMatchesSequential cross-checks the parallel pipeline against a
+// trivially correct sequential construction.
+func TestBuildMatchesSequential(t *testing.T) {
+	edges := RMATEdges(10, 9000, 0.57, 0.19, 0.19, 11)
+	n := 1 << 10
+	g := Build(n, edges)
+	adj := make(map[Vertex]map[Vertex]bool)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		for _, p := range [][2]Vertex{{e.U, e.V}, {e.V, e.U}} {
+			if adj[p[0]] == nil {
+				adj[p[0]] = make(map[Vertex]bool)
+			}
+			adj[p[0]][p[1]] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(Vertex(v))
+		if len(nbrs) != len(adj[Vertex(v)]) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, len(nbrs), len(adj[Vertex(v)]))
+		}
+		for _, u := range nbrs {
+			if !adj[Vertex(v)][u] {
+				t.Fatalf("vertex %d: spurious neighbor %d", v, u)
+			}
+		}
+	}
+}
+
+func TestTryBuildRange(t *testing.T) {
+	if _, err := TryBuild(3, []Edge{{U: 0, V: 3}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if _, err := TryBuild(0, []Edge{{U: 0, V: 0}}); err == nil {
+		t.Fatal("expected out-of-range error for n=0")
+	}
+	if g, err := TryBuild(3, []Edge{{U: 0, V: 2}}); err != nil || g.NumEdges() != 1 {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build did not panic on out-of-range endpoint")
+		}
+	}()
+	Build(2, []Edge{{U: 0, V: 2}})
+}
+
+// TestReadEdgeListParallelChunks drives the chunked parallel parser across
+// an input large enough to split into several chunks and checks the result
+// against the naive line-by-line interpretation.
+func TestReadEdgeListParallelChunks(t *testing.T) {
+	var sb strings.Builder
+	var want []Edge
+	maxV := 0
+	for i := 0; i < 40000; i++ {
+		switch i % 7 {
+		case 3:
+			fmt.Fprintf(&sb, "# comment %d\n", i)
+		case 5:
+			sb.WriteString("   \n")
+		default:
+			u, v := i%311, (i*17)%997
+			fmt.Fprintf(&sb, "%d\t%d  extra-%d\n", u, v, i)
+			want = append(want, Edge{Vertex(u), Vertex(v)})
+			if u+1 > maxV {
+				maxV = u + 1
+			}
+			if v+1 > maxV {
+				maxV = v + 1
+			}
+		}
+	}
+	if sb.Len() < 128<<10 {
+		t.Fatalf("input too small to exercise chunking: %d bytes", sb.Len())
+	}
+	edges, n, err := ReadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != maxV || len(edges) != len(want) {
+		t.Fatalf("n=%d len=%d, want n=%d len=%d", n, len(edges), maxV, len(want))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+// TestReadEdgeListErrorLines checks that malformed lines report their exact
+// 1-based line number, including when the bad line lands beyond the first
+// parallel chunk.
+func TestReadEdgeListErrorLines(t *testing.T) {
+	cases := []struct {
+		in   string
+		line int
+	}{
+		{"0 1\nbogus\n2 3\n", 2},
+		{"0\n", 1},
+		{"# c\n\n0 1\n1 x\n", 4},
+		{"5000000000 1\n", 1}, // endpoint beyond uint32
+		{"0 1\n1 -2\n", 2},
+	}
+	// A bad line far past the 64 KiB minimum chunk size: the second chunk
+	// must still report the global line number.
+	var sb strings.Builder
+	lines := 0
+	for sb.Len() < 200<<10 {
+		fmt.Fprintf(&sb, "%d %d\n", lines%100, (lines+1)%100)
+		lines++
+	}
+	sb.WriteString("broken line\n")
+	cases = append(cases, struct {
+		in   string
+		line int
+	}{sb.String(), lines + 1})
+
+	for _, c := range cases {
+		_, _, err := ReadEdgeList(strings.NewReader(c.in))
+		if err == nil {
+			t.Fatalf("no error for %.30q", c.in)
+		}
+		want := fmt.Sprintf("line %d:", c.line)
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not carry %q", err, want)
+		}
+	}
+}
+
+func BenchmarkReadEdgeList(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200000; i++ {
+		fmt.Fprintf(&sb, "%d %d\n", i%4096, (i*31)%4096)
+	}
+	in := sb.String()
+	b.SetBytes(int64(len(in)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ReadEdgeList(strings.NewReader(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	edges := RMATEdges(16, 16*(1<<16), 0.57, 0.19, 0.19, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(1<<16, edges)
+	}
+}

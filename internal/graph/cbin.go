@@ -1,0 +1,300 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"unsafe"
+
+	"connectit/internal/parallel"
+)
+
+// This file implements the versioned .cbin on-disk format for compressed
+// graphs. The layout is a header followed by the three CompressedGraph
+// arrays verbatim (little-endian), so a memory-mapped file IS the in-memory
+// representation — huge graphs open in O(1) without materializing anything:
+//
+//	offset  0: magic   "CBIN" (4 bytes)
+//	offset  4: version uint32 (currently 1)
+//	offset  8: n       uint64 (vertex count)
+//	offset 16: m       uint64 (directed edge count)
+//	offset 24: dataLen uint64 (encoded adjacency bytes)
+//	offset 32: offsets (n+1)×uint32, degrees n×uint32, data dataLen bytes
+//
+// The 32-byte header keeps the offsets array 4-aligned for the mmap cast.
+
+const (
+	cbinMagic   = "CBIN"
+	cbinVersion = 1
+	cbinHeader  = 32
+)
+
+// ErrBadCBIN reports a malformed, truncated, or wrong-version .cbin input.
+var ErrBadCBIN = fmt.Errorf("graph: invalid cbin file")
+
+// WriteCBIN writes c in the .cbin format.
+func WriteCBIN(w io.Writer, c *CompressedGraph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [cbinHeader]byte
+	copy(hdr[0:4], cbinMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], cbinVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(c.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:24], c.m)
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.Data)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, c.Offsets); err != nil {
+		return err
+	}
+	if err := writeU32s(bw, c.Degrees); err != nil {
+		return err
+	}
+	if _, err := bw.Write(c.Data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeU32s encodes vals little-endian through a batch buffer — one Write
+// per 64 KiB rather than per word, so saving a scale-20+ graph is bound by
+// I/O, not call overhead.
+func writeU32s(w io.Writer, vals []uint32) error {
+	var batch [1 << 16]byte
+	pos := 0
+	for _, v := range vals {
+		binary.LittleEndian.PutUint32(batch[pos:], v)
+		pos += 4
+		if pos == len(batch) {
+			if _, err := w.Write(batch[:]); err != nil {
+				return err
+			}
+			pos = 0
+		}
+	}
+	if pos > 0 {
+		if _, err := w.Write(batch[:pos]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCBIN writes c to path in the .cbin format.
+func SaveCBIN(path string, c *CompressedGraph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCBIN(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// cbinDims validates a .cbin header and returns (n, m, dataLen). size is the
+// total input length in bytes when known (mmap/stat), or -1 for streams.
+func cbinDims(hdr []byte, size int64) (n, m, dataLen uint64, err error) {
+	if len(hdr) < cbinHeader {
+		return 0, 0, 0, fmt.Errorf("%w: %d-byte input shorter than the %d-byte header", ErrBadCBIN, len(hdr), cbinHeader)
+	}
+	if string(hdr[0:4]) != cbinMagic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadCBIN, hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != cbinVersion {
+		return 0, 0, 0, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadCBIN, v, cbinVersion)
+	}
+	n = binary.LittleEndian.Uint64(hdr[8:16])
+	m = binary.LittleEndian.Uint64(hdr[16:24])
+	dataLen = binary.LittleEndian.Uint64(hdr[24:32])
+	if dataLen > maxCompressedBytes {
+		return 0, 0, 0, fmt.Errorf("%w: data length %d beyond the 4 GiB offset cap", ErrBadCBIN, dataLen)
+	}
+	// Every neighbor encodes as at least one byte, so m can never exceed
+	// dataLen; catching it here rejects garbage headers cheaply.
+	if m > dataLen {
+		return 0, 0, 0, fmt.Errorf("%w: %d directed edges cannot fit in %d data bytes", ErrBadCBIN, m, dataLen)
+	}
+	want := uint64(cbinHeader) + 4*(n+1) + 4*n + dataLen
+	if n > (1<<56)/8 || (size >= 0 && want != uint64(size)) {
+		return 0, 0, 0, fmt.Errorf("%w: header implies %d bytes, file has %d", ErrBadCBIN, want, size)
+	}
+	return n, m, dataLen, nil
+}
+
+// checkCBINIndex validates the offset/degree index shared by the mmap and
+// streaming loaders: the offsets must span the data monotonically, every
+// vertex's degree must fit in its byte span (each neighbor encodes as at
+// least one byte), and the degrees must sum to the header's edge count.
+// The scan is parallel and touches only the index arrays, never the edge
+// payload — a graph still opens without reading its adjacency. Corruption
+// inside the varint payload itself is not detectable without decoding and
+// surfaces as garbage neighbors at traversal time.
+func checkCBINIndex(c *CompressedGraph, dataLen uint64) error {
+	n := len(c.Degrees)
+	if c.Offsets[0] != 0 || uint64(c.Offsets[n]) != dataLen {
+		return fmt.Errorf("%w: offset index does not span the %d data bytes", ErrBadCBIN, dataLen)
+	}
+	var bad atomic.Bool
+	var degSum atomic.Uint64
+	parallel.ForGrained(n, 1<<14, func(lo, hi int) {
+		var local uint64
+		for v := lo; v < hi; v++ {
+			if c.Offsets[v+1] < c.Offsets[v] || uint64(c.Degrees[v]) > uint64(c.Offsets[v+1]-c.Offsets[v]) {
+				bad.Store(true)
+				return
+			}
+			local += uint64(c.Degrees[v])
+		}
+		degSum.Add(local)
+	})
+	if bad.Load() {
+		return fmt.Errorf("%w: offset/degree index is inconsistent", ErrBadCBIN)
+	}
+	if degSum.Load() != c.m {
+		return fmt.Errorf("%w: degree sum %d != header edge count %d", ErrBadCBIN, degSum.Load(), c.m)
+	}
+	return nil
+}
+
+// ReadCBIN reads a .cbin graph from a stream into freshly allocated arrays.
+// LoadCBIN is preferred for files: it memory-maps instead of copying.
+//
+// Array storage grows incrementally as bytes actually arrive, so a
+// corrupted header's vertex count cannot force a giant up-front
+// allocation: a short stream fails with ErrBadCBIN after allocating at
+// most proportionally to its real length.
+func ReadCBIN(r io.Reader) (*CompressedGraph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [cbinHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadCBIN, err)
+	}
+	n, m, dataLen, err := cbinDims(hdr[:], -1)
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := readU32s(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated offsets: %v", ErrBadCBIN, err)
+	}
+	degrees, err := readU32s(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated degrees: %v", ErrBadCBIN, err)
+	}
+	data, err := readBytes(br, dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated data: %v", ErrBadCBIN, err)
+	}
+	c := &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: m}
+	if err := checkCBINIndex(c, dataLen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// readU32s decodes count little-endian uint32 values in bounded chunks.
+func readU32s(r io.Reader, count uint64) ([]uint32, error) {
+	const chunk = 1 << 16
+	out := make([]uint32, 0, min(count, chunk))
+	buf := make([]byte, 4*min(count, chunk))
+	for remaining := count; remaining > 0; {
+		c := min(remaining, chunk)
+		b := buf[:4*c]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint32(b[4*i:]))
+		}
+		remaining -= c
+	}
+	return out, nil
+}
+
+// readBytes reads count bytes in bounded chunks.
+func readBytes(r io.Reader, count uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, min(count, chunk))
+	for remaining := count; remaining > 0; {
+		c := min(remaining, chunk)
+		start := len(out)
+		out = append(out, make([]byte, c)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+		remaining -= c
+	}
+	return out, nil
+}
+
+// LoadCBIN opens a .cbin file by memory-mapping it: the returned graph's
+// arrays alias the mapping, so the encoded adjacency — the dominant term —
+// is never read at load time and pages in on demand as it is traversed;
+// only the offset/degree index is scanned (in parallel) to validate the
+// file. Call Close to release the mapping. On platforms without mmap it
+// falls back to reading the file into memory.
+func LoadCBIN(path string) (*CompressedGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	mapped, err := mmapFile(f, st.Size())
+	if err != nil {
+		// No mmap on this platform (or an exotic file): fall back to a copy.
+		c, rerr := ReadCBIN(f)
+		if rerr != nil {
+			return nil, rerr
+		}
+		return c, nil
+	}
+	c, err := cbinFromMapping(mapped, st.Size())
+	if err != nil {
+		munmap(mapped)
+		return nil, err
+	}
+	return c, nil
+}
+
+// cbinFromMapping casts a mapped .cbin image into a CompressedGraph whose
+// arrays alias the mapping.
+func cbinFromMapping(mapped []byte, size int64) (*CompressedGraph, error) {
+	n, m, dataLen, err := cbinDims(mapped, size)
+	if err != nil {
+		return nil, err
+	}
+	offEnd := cbinHeader + 4*int(n+1)
+	degEnd := offEnd + 4*int(n)
+	c := &CompressedGraph{
+		Offsets: u32slice(mapped, cbinHeader, int(n+1)),
+		Degrees: u32slice(mapped, offEnd, int(n)),
+		Data:    mapped[degEnd : degEnd+int(dataLen) : degEnd+int(dataLen)],
+		m:       m,
+		mapped:  mapped,
+	}
+	if err := checkCBINIndex(c, dataLen); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// u32slice reinterprets count little-endian uint32 values at m[off:] without
+// copying. The .cbin header is 32 bytes and mmap regions are page-aligned,
+// so the cast is always 4-aligned. Like the rest of the mmap fast path it
+// assumes a little-endian host (every supported target); the ReadCBIN
+// fallback is byte-order independent.
+func u32slice(m []byte, off, count int) []uint32 {
+	if count == 0 {
+		return []uint32{}
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&m[off])), count)
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkSameGraph fails unless c describes exactly g.
+func checkSameGraph(t *testing.T, name string, g *Graph, c *CompressedGraph) {
+	t.Helper()
+	if c.NumVertices() != g.NumVertices() || c.NumDirectedEdges() != g.NumDirectedEdges() ||
+		c.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: size mismatch: n %d/%d, 2m %d/%d", name,
+			c.NumVertices(), g.NumVertices(), c.NumDirectedEdges(), g.NumDirectedEdges())
+	}
+	var buf []Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		want := g.Neighbors(Vertex(v))
+		buf = c.NeighborsInto(Vertex(v), buf)
+		if c.Degree(Vertex(v)) != len(want) || len(buf) != len(want) {
+			t.Fatalf("%s: vertex %d decoded %d neighbors, want %d", name, v, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("%s: vertex %d neighbor %d = %d, want %d", name, v, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCBINRoundTrip writes every compression-panel graph to .cbin and loads
+// it back through both paths: the mmap loader (LoadCBIN) and the streaming
+// reader (ReadCBIN).
+func TestCBINRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range compressPanel() {
+		c := Compress(g)
+		path := filepath.Join(dir, name+".cbin")
+		if err := SaveCBIN(path, c); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+
+		mapped, err := LoadCBIN(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		checkSameGraph(t, name+"/mmap", g, mapped)
+		if err := mapped.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		if err := mapped.Close(); err != nil {
+			t.Fatalf("%s: double close: %v", name, err)
+		}
+
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := ReadCBIN(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		checkSameGraph(t, name+"/stream", g, streamed)
+		if err := streamed.Close(); err != nil { // no-op for non-mapped graphs
+			t.Fatalf("%s: stream close: %v", name, err)
+		}
+	}
+}
+
+// TestCBINCornerGraphs covers the explicit corner cases of the issue:
+// empty graphs, isolated vertices, and single-vertex stars.
+func TestCBINCornerGraphs(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range map[string]*Graph{
+		"empty":          Build(0, nil),
+		"one-isolated":   Build(1, nil),
+		"all-isolated":   Build(100, nil),
+		"single-star":    Star(2), // one center, one leaf
+		"tiny-star":      Star(1), // a star reduced to a single vertex
+		"center-only":    Build(6, []Edge{{U: 0, V: 5}}),
+		"self-loop-only": Build(3, []Edge{{U: 1, V: 1}}),
+	} {
+		c := Compress(g)
+		checkSameGraph(t, name+"/compress", g, c)
+		path := filepath.Join(dir, name+".cbin")
+		if err := SaveCBIN(path, c); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		back, err := LoadCBIN(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		checkSameGraph(t, name+"/load", g, back)
+		back.Close()
+	}
+}
+
+// TestCBINRejectsCorruption corrupts a valid .cbin image in every header
+// field and checks that both loaders reject it with ErrBadCBIN.
+func TestCBINRejectsCorruption(t *testing.T) {
+	g := RMAT(9, 3000, 0.57, 0.19, 0.19, 8)
+	var buf bytes.Buffer
+	if err := WriteCBIN(&buf, Compress(g)); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), valid...))
+		if _, err := ReadCBIN(bytes.NewReader(b)); !errors.Is(err, ErrBadCBIN) {
+			t.Fatalf("%s: ReadCBIN err = %v, want ErrBadCBIN", name, err)
+		}
+		path := filepath.Join(t.TempDir(), name+".cbin")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCBIN(path); !errors.Is(err, ErrBadCBIN) {
+			t.Fatalf("%s: LoadCBIN err = %v, want ErrBadCBIN", name, err)
+		}
+	}
+
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("bad-version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[4:8], 99)
+		return b
+	})
+	corrupt("short-header", func(b []byte) []byte { return b[:16] })
+	corrupt("truncated-body", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt("huge-n", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[8:16], 1<<60)
+		return b
+	})
+	corrupt("edges-exceed-data", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:24], 1<<40)
+		return b
+	})
+	corrupt("data-len-mismatch", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:32], binary.LittleEndian.Uint64(b[24:32])+8)
+		return b
+	})
+	corrupt("offset-span", func(b []byte) []byte {
+		// First offset must be 0; a nonzero value breaks the index span.
+		binary.LittleEndian.PutUint32(b[cbinHeader:], 7)
+		return b
+	})
+	corrupt("offset-monotonicity", func(b []byte) []byte {
+		// An interior offset past its successor breaks the monotonic index.
+		binary.LittleEndian.PutUint32(b[cbinHeader+4*100:], 1<<31)
+		return b
+	})
+	corrupt("degree-exceeds-span", func(b []byte) []byte {
+		// A degree larger than its vertex's byte span cannot decode (every
+		// neighbor needs at least one byte); it also breaks the degree sum.
+		binary.LittleEndian.PutUint32(b[cbinHeader+4*(g.NumVertices()+1):], 1<<30)
+		return b
+	})
+}

@@ -1,6 +1,10 @@
 package graph
 
-import "connectit/internal/parallel"
+import (
+	"fmt"
+
+	"connectit/internal/parallel"
+)
 
 // CompressedGraph is a byte-compressed CSR graph mirroring the Ligra+
 // difference coding used by the paper (§3.6): each vertex's sorted neighbor
@@ -9,17 +13,33 @@ import "connectit/internal/parallel"
 // since it can be negative). Decoding sums the differences back into
 // neighbor IDs while traversing.
 //
-// Compression in the paper exists to fit 128-billion-edge graphs in memory;
-// here it exercises the same decode-while-traversing code path and lets
-// Table 8's MapEdges/GatherEdges baselines run over compressed input.
+// CompressedGraph is a first-class backend of the representation layer
+// (Rep): every finish algorithm and sampling scheme runs directly on the
+// encoded form via NeighborsInto's decode-into-scratch path, the same
+// design that lets the paper process 200B+-edge graphs without
+// re-materializing a flat CSR. The per-vertex byte-offset index makes
+// decoding random-access, and the uint32 offsets keep the index half the
+// size of the flat CSR's (the encoded adjacency is capped at 4 GiB per
+// graph — about 2 billion directed edges at typical byte-code rates; larger
+// inputs must be sharded).
 type CompressedGraph struct {
-	Offsets []uint64 // byte offset of each vertex's encoded list; len n+1
+	Offsets []uint32 // byte offset of each vertex's encoded list; len n+1
 	Degrees []uint32 // degree of each vertex; len n
 	Data    []byte   // varint-encoded neighbor differences
+
+	m      uint64 // directed edge count (sum of Degrees)
+	mapped []byte // whole mmap'd region when loaded via LoadCBIN; nil otherwise
 }
 
-// Compress byte-encodes g. Adjacency lists must be sorted ascending, which
-// Build guarantees.
+// maxCompressedBytes is the encoded-adjacency cap implied by the uint32
+// byte-offset index.
+const maxCompressedBytes = 1<<32 - 1
+
+// Compress byte-encodes g in parallel: a first pass sizes every vertex's
+// encoded list, an exclusive scan places them, and a second pass encodes
+// into the placed slots. Adjacency lists must be sorted ascending, which
+// Build guarantees. It panics if the encoded adjacency would exceed the
+// 4 GiB offset-index cap.
 func Compress(g *Graph) *CompressedGraph {
 	n := g.NumVertices()
 	sizes := make([]uint64, n+1)
@@ -42,6 +62,15 @@ func Compress(g *Graph) *CompressedGraph {
 		}
 	})
 	total := parallel.ScanExclusive(sizes)
+	if total > maxCompressedBytes {
+		panic(fmt.Sprintf("graph: compressed adjacency needs %d bytes, beyond the 4 GiB offset-index cap", total))
+	}
+	offsets := make([]uint32, n+1)
+	parallel.ForGrained(n+1, 4096, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			offsets[v] = uint32(sizes[v])
+		}
+	})
 	data := make([]byte, total)
 	degrees := make([]uint32, n)
 	parallel.ForGrained(n, 256, func(lo, hi int) {
@@ -61,14 +90,31 @@ func Compress(g *Graph) *CompressedGraph {
 			}
 		}
 	})
-	return &CompressedGraph{Offsets: sizes, Degrees: degrees, Data: data}
+	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}
 }
 
 // NumVertices returns the number of vertices.
 func (c *CompressedGraph) NumVertices() int { return len(c.Degrees) }
 
-// SizeBytes returns the encoded adjacency size in bytes.
-func (c *CompressedGraph) SizeBytes() int { return len(c.Data) }
+// NumDirectedEdges returns the number of directed edges stored.
+func (c *CompressedGraph) NumDirectedEdges() int { return int(c.m) }
+
+// NumEdges returns the number of undirected edges m.
+func (c *CompressedGraph) NumEdges() int { return int(c.m) / 2 }
+
+// Degree returns the degree of v.
+func (c *CompressedGraph) Degree(v Vertex) int { return int(c.Degrees[v]) }
+
+// SizeBytes returns the resident size of the compressed structure in bytes:
+// the offset index, the degree array, and the encoded adjacency.
+func (c *CompressedGraph) SizeBytes() int {
+	return 4*len(c.Offsets) + 4*len(c.Degrees) + len(c.Data)
+}
+
+// String summarizes the graph.
+func (c *CompressedGraph) String() string {
+	return fmt.Sprintf("compressed{n=%d m=%d bytes=%d}", c.NumVertices(), c.NumEdges(), c.SizeBytes())
+}
 
 // Decode calls visit for each neighbor of v in ascending order.
 func (c *CompressedGraph) Decode(v Vertex, visit func(u Vertex)) {
@@ -76,7 +122,7 @@ func (c *CompressedGraph) Decode(v Vertex, visit func(u Vertex)) {
 	if deg == 0 {
 		return
 	}
-	pos := c.Offsets[v]
+	pos := uint64(c.Offsets[v])
 	raw, k := getVarint(c.Data[pos:])
 	pos += uint64(k)
 	cur := int64(v) + unzigzag(raw)
@@ -89,8 +135,79 @@ func (c *CompressedGraph) Decode(v Vertex, visit func(u Vertex)) {
 	}
 }
 
-// Decompress reconstructs the plain CSR graph (used by tests to verify the
-// round trip).
+// NeighborsInto decodes v's neighbors into buf (growing it when its capacity
+// is insufficient) and returns the decoded slice. The result is valid until
+// the next call reusing the same buf.
+func (c *CompressedGraph) NeighborsInto(v Vertex, buf []Vertex) []Vertex {
+	return c.decodeInto(v, buf, int(c.Degrees[v]))
+}
+
+// NeighborsIntoLimit decodes only the first min(limit, Degree(v)) neighbors
+// of v — the bounded-work path for kernels that inspect an adjacency prefix.
+func (c *CompressedGraph) NeighborsIntoLimit(v Vertex, buf []Vertex, limit int) []Vertex {
+	count := int(c.Degrees[v])
+	if limit < count {
+		count = limit
+	}
+	return c.decodeInto(v, buf, count)
+}
+
+// decodeInto decodes the first count neighbors of v into buf. The loop is
+// written against a hoisted data slice with a single-byte fast path (the
+// bulk of power-law adjacencies) so no per-neighbor function call or
+// re-slice survives on the decode hot path.
+func (c *CompressedGraph) decodeInto(v Vertex, buf []Vertex, count int) []Vertex {
+	if count <= 0 {
+		return buf[:0]
+	}
+	if cap(buf) < count {
+		buf = make([]Vertex, count)
+	} else {
+		buf = buf[:count]
+	}
+	data := c.Data
+	pos := int(c.Offsets[v])
+	var raw uint64
+	var shift uint
+	for {
+		b := data[pos]
+		pos++
+		if b < 0x80 {
+			raw |= uint64(b) << shift
+			break
+		}
+		raw |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	cur := int64(v) + unzigzag(raw)
+	buf[0] = Vertex(cur)
+	for i := 1; i < count; i++ {
+		b := data[pos]
+		pos++
+		if b < 0x80 {
+			cur += int64(b)
+		} else {
+			d := uint64(b & 0x7f)
+			shift := uint(7)
+			for {
+				b = data[pos]
+				pos++
+				if b < 0x80 {
+					d |= uint64(b) << shift
+					break
+				}
+				d |= uint64(b&0x7f) << shift
+				shift += 7
+			}
+			cur += int64(d)
+		}
+		buf[i] = Vertex(cur)
+	}
+	return buf
+}
+
+// Decompress reconstructs the plain CSR graph (used by tests and the CLI's
+// format conversion).
 func (c *CompressedGraph) Decompress() *Graph {
 	n := c.NumVertices()
 	offsets := make([]uint64, n+1)
@@ -109,6 +226,18 @@ func (c *CompressedGraph) Decompress() *Graph {
 		}
 	})
 	return &Graph{Offsets: offsets, Adj: adj}
+}
+
+// Close releases the memory mapping backing a graph opened with LoadCBIN.
+// It is a no-op for graphs built in memory or loaded without mmap. The
+// graph must not be used after Close.
+func (c *CompressedGraph) Close() error {
+	if c.mapped == nil {
+		return nil
+	}
+	m := c.mapped
+	c.mapped, c.Offsets, c.Degrees, c.Data = nil, nil, nil, nil
+	return munmap(m)
 }
 
 func zigzag(x int64) uint64   { return uint64((x << 1) ^ (x >> 63)) }

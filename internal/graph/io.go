@@ -2,50 +2,175 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"os"
-	"strconv"
-	"strings"
+
+	"connectit/internal/parallel"
 )
 
 // ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
-// lines starting with '#' or '%' are comments) and returns the edges and the
-// implied vertex count (max endpoint + 1).
+// extra fields are ignored; lines starting with '#' or '%' are comments)
+// and returns the edges and the implied vertex count (max endpoint + 1).
+//
+// The input is read once and cut into newline-aligned chunks that parse in
+// parallel with manual field splitting — no per-line string, Fields, or
+// TrimSpace allocations — while errors still report the exact 1-based line
+// number of the offending input line.
 func ReadEdgeList(r io.Reader) (edges []Edge, n int, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ParseEdgeList(data)
+}
+
+// edgeChunk is the parse state of one newline-aligned span of the input.
+type edgeChunk struct {
+	lo, hi  int // byte range
+	edges   []Edge
+	maxV    uint64 // max endpoint + 1 seen
+	lines   int    // lines fully scanned (complete on success)
+	errLine int    // chunk-local 1-based line of the first error, 0 if none
+	err     error  // error without the line prefix
+}
+
+// ParseEdgeList is ReadEdgeList over bytes already in memory.
+func ParseEdgeList(data []byte) ([]Edge, int, error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	chunks := splitChunks(data)
+	parallel.ForGrained(len(chunks), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			parseEdgeChunk(data, &chunks[i])
+		}
+	})
 	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || text[0] == '#' || text[0] == '%' {
-			continue
+	total := 0
+	var maxV uint64
+	for i := range chunks {
+		c := &chunks[i]
+		if c.err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: %w", line+c.errLine, c.err)
 		}
-		fields := strings.Fields(text)
-		if len(fields) < 2 {
-			return nil, 0, fmt.Errorf("graph: line %d: expected two endpoints, got %q", line, text)
-		}
-		u, err := strconv.ParseUint(fields[0], 10, 32)
-		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: %v", line, err)
-		}
-		v, err := strconv.ParseUint(fields[1], 10, 32)
-		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: %v", line, err)
-		}
-		edges = append(edges, Edge{Vertex(u), Vertex(v)})
-		if int(u)+1 > n {
-			n = int(u) + 1
-		}
-		if int(v)+1 > n {
-			n = int(v) + 1
+		line += c.lines
+		total += len(c.edges)
+		if c.maxV > maxV {
+			maxV = c.maxV
 		}
 	}
-	return edges, n, sc.Err()
+	out := make([]Edge, total)
+	pos := 0
+	starts := make([]int, len(chunks))
+	for i := range chunks {
+		starts[i] = pos
+		pos += len(chunks[i].edges)
+	}
+	parallel.ForGrained(len(chunks), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out[starts[i]:], chunks[i].edges)
+		}
+	})
+	return out, int(maxV), nil
+}
+
+// splitChunks cuts data into newline-aligned spans, one unit of parallel
+// parsing each.
+func splitChunks(data []byte) []edgeChunk {
+	target := len(data)/(4*parallel.Procs()) + 1
+	if target < 64<<10 {
+		target = 64 << 10
+	}
+	var chunks []edgeChunk
+	for lo := 0; lo < len(data); {
+		hi := lo + target
+		if hi >= len(data) {
+			hi = len(data)
+		} else if nl := bytes.IndexByte(data[hi:], '\n'); nl >= 0 {
+			hi += nl + 1
+		} else {
+			hi = len(data)
+		}
+		chunks = append(chunks, edgeChunk{lo: lo, hi: hi})
+		lo = hi
+	}
+	return chunks
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\r' || b == '\v' || b == '\f' }
+
+// parseEdgeChunk scans c's byte range line by line with manual field
+// splitting, recording edges, the running max endpoint, and the chunk-local
+// line of the first malformed line.
+func parseEdgeChunk(data []byte, c *edgeChunk) {
+	i := c.lo
+	for i < c.hi {
+		end := c.hi
+		if nl := bytes.IndexByte(data[i:c.hi], '\n'); nl >= 0 {
+			end = i + nl
+		}
+		c.lines++
+		lineStart, lineEnd := i, end
+		i = end + 1
+
+		// Skip leading whitespace; blank lines and comments fall through.
+		j := lineStart
+		for j < lineEnd && isSpace(data[j]) {
+			j++
+		}
+		if j == lineEnd || data[j] == '#' || data[j] == '%' {
+			continue
+		}
+		u, j, ok := parseEndpoint(data, j, lineEnd)
+		if !ok {
+			c.errLine = c.lines
+			c.err = fmt.Errorf("expected two endpoints, got %q", data[lineStart:lineEnd])
+			return
+		}
+		for j < lineEnd && isSpace(data[j]) {
+			j++
+		}
+		v, _, ok := parseEndpoint(data, j, lineEnd)
+		if !ok {
+			c.errLine = c.lines
+			c.err = fmt.Errorf("expected two endpoints, got %q", data[lineStart:lineEnd])
+			return
+		}
+		c.edges = append(c.edges, Edge{Vertex(u), Vertex(v)})
+		if u+1 > c.maxV {
+			c.maxV = u + 1
+		}
+		if v+1 > c.maxV {
+			c.maxV = v + 1
+		}
+	}
+}
+
+// parseEndpoint parses one decimal uint32 field of data[j:end], returning
+// the value, the index just past the field, and whether the field was a
+// well-formed in-range number followed by whitespace or end of line.
+func parseEndpoint(data []byte, j, end int) (uint64, int, bool) {
+	start := j
+	var v uint64
+	for j < end && data[j] >= '0' && data[j] <= '9' {
+		v = v*10 + uint64(data[j]-'0')
+		if v > math.MaxUint32 {
+			return 0, j, false
+		}
+		j++
+	}
+	if j == start || (j < end && !isSpace(data[j])) {
+		return 0, j, false
+	}
+	return v, j, true
 }
 
 // LoadEdgeListFile reads an edge-list file and builds a symmetric graph.
+// Malformed lines and out-of-range endpoints are reported as errors, never
+// panics.
 func LoadEdgeListFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -56,7 +181,7 @@ func LoadEdgeListFile(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Build(n, edges), nil
+	return TryBuild(n, edges)
 }
 
 // WriteEdgeList writes the undirected edge list of g ("u v" per line).

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile always fails on platforms without a unix mmap; LoadCBIN falls
+// back to reading the file into memory.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+func munmap(m []byte) error { return os.ErrInvalid }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. Zero-length files cannot be
+// mapped portably; an error routes the caller to the read fallback.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("graph: cannot mmap %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(m []byte) error { return syscall.Munmap(m) }

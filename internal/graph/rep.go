@@ -1,0 +1,76 @@
+package graph
+
+// Rep is the pluggable graph-representation abstraction: the contract every
+// backend (flat CSR, byte-compressed CSR, and any future representation)
+// satisfies, and the constraint the algorithm kernels are generic over.
+//
+// Kernels take a type parameter `[G Rep]` rather than an interface value, so
+// Go instantiates the hot loops per backend: the per-vertex NeighborsInto
+// call resolves through the generic dictionary once per vertex, and the
+// per-neighbor inner loop is a plain slice range with no dynamic dispatch.
+// Rep doubles as a runtime interface for code that holds "whichever
+// representation was loaded" (the CLI, the Solver's ComponentsOn dispatch).
+//
+// The iteration contract is a neighbor-slice/decoder pair: NeighborsInto
+// returns v's sorted adjacency list, reusing buf as decode scratch when the
+// representation is not stored flat. The canonical hot-loop shape is
+//
+//	var buf []graph.Vertex
+//	for v := lo; v < hi; v++ {
+//		buf = g.NeighborsInto(graph.Vertex(v), buf)
+//		for _, u := range buf { ... }
+//	}
+//
+// which is allocation-free in steady state for both backends: CSR ignores
+// buf and returns its internal slice; compressed representations decode into
+// buf and return it (possibly grown), so reassigning keeps the scratch
+// alive across iterations.
+type Rep interface {
+	// NumVertices returns the number of vertices n.
+	NumVertices() int
+	// NumEdges returns the number of undirected edges m.
+	NumEdges() int
+	// NumDirectedEdges returns the number of stored directed edges (2m for
+	// a symmetrized graph).
+	NumDirectedEdges() int
+	// Degree returns the degree of v.
+	Degree(v Vertex) int
+	// NeighborsInto returns v's neighbors in ascending order, valid until
+	// the next call that reuses buf. Implementations either return an
+	// internal slice (ignoring buf) or decode into buf, growing it as
+	// needed.
+	NeighborsInto(v Vertex, buf []Vertex) []Vertex
+	// NeighborsIntoLimit returns at least the first min(limit, Degree(v))
+	// neighbors of v — the full list when the representation stores it
+	// flat anyway. Kernels that inspect only an adjacency prefix (k-out
+	// sampling) use it to bound decode work on compressed encodings.
+	NeighborsIntoLimit(v Vertex, buf []Vertex, limit int) []Vertex
+	// SizeBytes returns the resident size of the adjacency structure in
+	// bytes (offsets, degree/index arrays, and edge storage), the
+	// space-vs-throughput statistic the CLI and benchmarks report.
+	SizeBytes() int
+}
+
+// Compile-time checks that both first-class backends satisfy Rep.
+var (
+	_ Rep = (*Graph)(nil)
+	_ Rep = (*CompressedGraph)(nil)
+)
+
+// NeighborsInto returns the adjacency list of v. The CSR representation
+// stores adjacency flat, so buf is ignored and the internal slice is
+// returned; it must not be modified.
+func (g *Graph) NeighborsInto(v Vertex, buf []Vertex) []Vertex {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborsIntoLimit returns the full adjacency list of v: the flat CSR
+// pays nothing for the extra entries.
+func (g *Graph) NeighborsIntoLimit(v Vertex, buf []Vertex, limit int) []Vertex {
+	return g.Adj[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// SizeBytes returns the resident size of the CSR arrays in bytes.
+func (g *Graph) SizeBytes() int {
+	return 8*len(g.Offsets) + 4*len(g.Adj)
+}

@@ -20,8 +20,9 @@ import (
 // when non-nil, marks the vertices of the sampled most-frequent component:
 // their out-edges are not traversed and their IDs compare smaller than every
 // other label, so their labels can only spread inward via their neighbors'
-// own edge scans (Theorem 4). It returns the number of rounds.
-func Run(g *graph.Graph, parent []uint32, favored []bool) int {
+// own edge scans (Theorem 4). It is generic over the graph representation
+// (graph.Rep) and returns the number of rounds.
+func Run[G graph.Rep](g G, parent []uint32, favored []bool) int {
 	n := g.NumVertices()
 	skip := favored
 	ord := minlabel.Order{Favored: favored}
@@ -37,9 +38,11 @@ func Run(g *graph.Graph, parent []uint32, favored []bool) int {
 	for len(frontier) > 0 {
 		round++
 		parallel.ForGrained(len(frontier), 128, func(lo, hi int) {
+			var buf []graph.Vertex
 			for i := lo; i < hi; i++ {
 				v := frontier[i]
-				for _, u := range g.Neighbors(v) {
+				buf = g.NeighborsInto(v, buf)
+				for _, u := range buf {
 					pv := atomic.LoadUint32(&parent[v])
 					// Push v's label to u.
 					if ord.WriteMin(&parent[u], pv) {

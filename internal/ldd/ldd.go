@@ -51,8 +51,10 @@ type Result struct {
 	Rounds int
 }
 
-// Decompose partitions g into low-diameter clusters.
-func Decompose(g *graph.Graph, opt Options) *Result {
+// Decompose partitions g into low-diameter clusters. It is generic over the
+// graph representation (graph.Rep), so cluster growth runs directly on
+// compressed encodings.
+func Decompose[G graph.Rep](g G, opt Options) *Result {
 	n := g.NumVertices()
 	beta := opt.Beta
 	if beta <= 0 || beta > 1 {
@@ -133,11 +135,13 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 				atomic.StoreUint32(&epoch[frontier[i]], cur)
 			})
 			parallel.ForGrained(n, 1024, func(lo, hi int) {
+				var buf []graph.Vertex
 				for v := lo; v < hi; v++ {
 					if atomic.LoadUint32(&cluster[v]) != graph.None {
 						continue
 					}
-					for _, u := range g.Neighbors(graph.Vertex(v)) {
+					buf = g.NeighborsInto(graph.Vertex(v), buf)
+					for _, u := range buf {
 						if atomic.LoadUint32(&epoch[u]) == cur {
 							atomic.StoreUint32(&cluster[v], atomic.LoadUint32(&cluster[u]))
 							atomic.StoreUint32(&parent[v], u)
@@ -151,11 +155,12 @@ func Decompose(g *graph.Graph, opt Options) *Result {
 		} else {
 			var mu sync.Mutex
 			parallel.ForGrained(len(frontier), 64, func(lo, hi int) {
-				var local []graph.Vertex
+				var local, buf []graph.Vertex
 				for i := lo; i < hi; i++ {
 					v := frontier[i]
 					cv := cluster[v]
-					for _, u := range g.Neighbors(v) {
+					buf = g.NeighborsInto(v, buf)
+					for _, u := range buf {
 						if atomic.LoadUint32(&cluster[u]) == graph.None &&
 							atomic.CompareAndSwapUint32(&cluster[u], graph.None, cv) {
 							atomic.StoreUint32(&parent[u], v)

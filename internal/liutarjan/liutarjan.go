@@ -117,17 +117,22 @@ var ordNatural = minlabel.Order{}
 
 // CollectEdges gathers the undirected edges that the finish phase must
 // process: every edge with at least one unskipped endpoint, exactly once.
-func CollectEdges(g *graph.Graph, skip []bool) []graph.Edge {
+// It is generic over the graph representation (graph.Rep): the edge-list
+// materialization the Liu-Tarjan framework needs decodes straight off
+// compressed encodings.
+func CollectEdges[G graph.Rep](g G, skip []bool) []graph.Edge {
 	n := g.NumVertices()
 	var mu sync.Mutex
 	var out []graph.Edge
 	parallel.ForGrained(n, 256, func(lo, hi int) {
 		var local []graph.Edge
+		var buf []graph.Vertex
 		for v := lo; v < hi; v++ {
 			if skip != nil && skip[v] {
 				continue
 			}
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for _, u := range buf {
 				// Keep (v,u) once: from the smaller unskipped endpoint, or
 				// from v when u is skipped (the only side that sees it).
 				if graph.Vertex(v) < u || (skip != nil && skip[u]) {
@@ -149,7 +154,7 @@ func CollectEdges(g *graph.Graph, skip []bool) []graph.Edge {
 // most-frequent component: their out-edges are skipped and their IDs compare
 // smaller than every other label (the paper's relabel-to-smallest-IDs
 // construction, Theorem 4). It returns the number of rounds.
-func Run(g *graph.Graph, parent []uint32, favored []bool, v Variant) int {
+func Run[G graph.Rep](g G, parent []uint32, favored []bool, v Variant) int {
 	edges := CollectEdges(g, favored)
 	return RunEdges(edges, parent, favored, v)
 }
@@ -324,7 +329,7 @@ func storeParallel(dst, src []uint32) {
 // against a previous-round snapshot array, then a single shortcut, repeated
 // to fixpoint. favored has the same semantics as in Run. It returns the
 // number of rounds.
-func RunStergiou(g *graph.Graph, parent []uint32, favored []bool) int {
+func RunStergiou[G graph.Rep](g G, parent []uint32, favored []bool) int {
 	edges := CollectEdges(g, favored)
 	return RunStergiouEdges(edges, parent, favored)
 }

@@ -67,8 +67,9 @@ func (v KOutVariant) String() string {
 // KOut runs k-out sampling: it selects up to k edges out of each vertex per
 // the variant, computes their connected components with a union-find
 // (Union-Rem-CAS with SplitAtomicOne, the paper's fastest), and fully
-// compresses the result into stars.
-func KOut(g *graph.Graph, k int, variant KOutVariant, seed uint64, forest bool) *Result {
+// compresses the result into stars. It is generic over the graph
+// representation (graph.Rep).
+func KOut[G graph.Rep](g G, k int, variant KOutVariant, seed uint64, forest bool) *Result {
 	n := g.NumVertices()
 	if k < 1 {
 		k = 2
@@ -79,10 +80,16 @@ func KOut(g *graph.Graph, k int, variant KOutVariant, seed uint64, forest bool) 
 		Find:          unionfind.FindNaive,
 		RecordWitness: forest,
 	})
+	// Each vertex inspects at most k adjacency positions (except MaxDeg,
+	// which scans for the highest-degree neighbor), so the random indices
+	// are drawn first and only the prefix up to the largest one is decoded
+	// — on the compressed backend this cuts the sampling decode from the
+	// whole graph to an expected fraction of it.
 	parallel.ForGrained(n, 256, func(lo, hi int) {
+		var buf []graph.Vertex
+		idxs := make([]uint64, k)
 		for v := lo; v < hi; v++ {
-			nbrs := g.Neighbors(graph.Vertex(v))
-			deg := len(nbrs)
+			deg := uint64(g.Degree(graph.Vertex(v)))
 			if deg == 0 {
 				continue
 			}
@@ -93,21 +100,35 @@ func KOut(g *graph.Graph, k int, variant KOutVariant, seed uint64, forest bool) 
 					d.Union(uint32(v), u)
 				}
 			}
+			// Gather the adjacency indices this vertex will touch.
+			var picks []uint64
 			switch variant {
 			case KOutAfforest:
-				for i := 0; i < k && i < deg; i++ {
-					unite(nbrs[i])
+				picks = idxs[:0]
+				for i := 0; uint64(i) < deg && i < k; i++ {
+					picks = append(picks, uint64(i))
 				}
 			case KOutPure:
+				picks = idxs[:0]
 				for i := 0; i < k; i++ {
-					unite(nbrs[graph.Hash64(uint64(v)<<20^uint64(i)^seed)%uint64(deg)])
+					picks = append(picks, graph.Hash64(uint64(v)<<20^uint64(i)^seed)%deg)
 				}
-			case KOutHybrid:
-				unite(nbrs[0])
+			case KOutHybrid, KOutMaxDeg:
+				picks = append(idxs[:0], 0)
 				for i := 1; i < k; i++ {
-					unite(nbrs[graph.Hash64(uint64(v)<<20^uint64(i)^seed)%uint64(deg)])
+					picks = append(picks, graph.Hash64(uint64(v)<<20^uint64(i)^seed)%deg)
 				}
-			case KOutMaxDeg:
+			}
+			limit := uint64(0)
+			for _, i := range picks {
+				if i+1 > limit {
+					limit = i + 1
+				}
+			}
+			var nbrs []graph.Vertex
+			if variant == KOutMaxDeg {
+				// MaxDeg inspects the whole list for the best neighbor.
+				nbrs = g.NeighborsInto(graph.Vertex(v), buf)
 				best := nbrs[0]
 				for _, u := range nbrs {
 					if g.Degree(u) > g.Degree(best) {
@@ -115,9 +136,13 @@ func KOut(g *graph.Graph, k int, variant KOutVariant, seed uint64, forest bool) 
 					}
 				}
 				unite(best)
-				for i := 1; i < k; i++ {
-					unite(nbrs[graph.Hash64(uint64(v)<<20^uint64(i)^seed)%uint64(deg)])
-				}
+				picks = picks[1:]
+			} else {
+				nbrs = g.NeighborsIntoLimit(graph.Vertex(v), buf, int(limit))
+			}
+			buf = nbrs
+			for _, i := range picks {
+				unite(nbrs[i])
 			}
 		}
 	})
@@ -134,8 +159,9 @@ func KOut(g *graph.Graph, k int, variant KOutVariant, seed uint64, forest bool) 
 // BFS runs BFS sampling: up to c direction-optimizing BFS attempts from
 // random sources, stopping as soon as an attempt covers more than 10% of the
 // vertices (Algorithm 5). If no attempt does, the identity labeling is
-// returned, exactly as the paper specifies.
-func BFS(g *graph.Graph, c int, seed uint64, forest bool) *Result {
+// returned, exactly as the paper specifies. It is generic over the graph
+// representation (graph.Rep).
+func BFS[G graph.Rep](g G, c int, seed uint64, forest bool) *Result {
 	n := g.NumVertices()
 	identity := func() *Result {
 		labels := make([]uint32, n)
@@ -185,8 +211,8 @@ func BFS(g *graph.Graph, c int, seed uint64, forest bool) *Result {
 // connectivity labeling (Algorithm 6). The decomposition's round budget is
 // capped at O(log n / beta): late-waking vertices are left as singletons,
 // which keeps the labeling valid (Definition 3.1) while bounding the
-// sampling cost.
-func LDD(g *graph.Graph, beta float64, permute bool, seed uint64, forest bool) *Result {
+// sampling cost. It is generic over the graph representation (graph.Rep).
+func LDD[G graph.Rep](g G, beta float64, permute bool, seed uint64, forest bool) *Result {
 	if beta <= 0 || beta > 1 {
 		beta = 0.2
 	}
@@ -275,16 +301,22 @@ func Coverage(labels []uint32, label uint32) float64 {
 // InterComponentEdges counts the directed edges of g whose endpoints carry
 // different labels — the work remaining for the finish phase (the paper's
 // inter-component edge statistic, Tables 6-7 and Figures 20/23).
-func InterComponentEdges(g *graph.Graph, labels []uint32) uint64 {
+func InterComponentEdges[G graph.Rep](g G, labels []uint32) uint64 {
 	n := g.NumVertices()
-	return parallel.ReduceAdd(n, func(i int) uint64 {
-		var c uint64
-		li := labels[i]
-		for _, u := range g.Neighbors(graph.Vertex(i)) {
-			if labels[u] != li {
-				c++
+	var total atomic.Uint64
+	parallel.ForGrained(n, 1024, func(lo, hi int) {
+		var local uint64
+		var buf []graph.Vertex
+		for i := lo; i < hi; i++ {
+			li := labels[i]
+			buf = g.NeighborsInto(graph.Vertex(i), buf)
+			for _, u := range buf {
+				if labels[u] != li {
+					local++
+				}
 			}
 		}
-		return c
+		total.Add(local)
 	})
+	return total.Load()
 }

@@ -19,9 +19,10 @@ import (
 // Run finishes connectivity over g starting from the labeling in parent
 // (identity for a full run, or a sampled labeling satisfying Definition
 // 3.1). Vertices with skip[v] true do not have their out-edges processed
-// (the sampled most-frequent component). skip may be nil. It returns the
-// number of rounds executed.
-func Run(g *graph.Graph, parent []uint32, skip []bool) int {
+// (the sampled most-frequent component). skip may be nil. It is generic
+// over the graph representation (graph.Rep) and returns the number of
+// rounds executed.
+func Run[G graph.Rep](g G, parent []uint32, skip []bool) int {
 	n := g.NumVertices()
 	rounds := 0
 	for {
@@ -29,11 +30,13 @@ func Run(g *graph.Graph, parent []uint32, skip []bool) int {
 		var changed atomic.Bool
 		parallel.ForGrained(n, 256, func(lo, hi int) {
 			local := false
+			var buf []graph.Vertex
 			for v := lo; v < hi; v++ {
 				if skip != nil && skip[v] {
 					continue
 				}
-				for _, u := range g.Neighbors(graph.Vertex(v)) {
+				buf = g.NeighborsInto(graph.Vertex(v), buf)
+				for _, u := range buf {
 					pv := atomic.LoadUint32(&parent[v])
 					pu := atomic.LoadUint32(&parent[u])
 					if pv == pu {

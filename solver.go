@@ -59,6 +59,21 @@ func (s *Solver) Capabilities() Capabilities { return s.c.Capabilities() }
 // outlive the next call. Sampled configurations return a fresh slice.
 func (s *Solver) Components(g *Graph) []uint32 { return s.c.Components(g) }
 
+// ComponentsCompressed is Components directly over the byte-compressed
+// backend: sampling and finish decode neighbors off the encoding without
+// materializing a flat CSR.
+func (s *Solver) ComponentsCompressed(g *CompressedGraph) []uint32 {
+	return s.c.ComponentsCompressed(g)
+}
+
+// ComponentsOn runs the compiled combination on whichever representation g
+// holds — the path for graphs chosen at load time (-format in the CLI, or
+// a LoadCBIN-mapped file). The dispatch is a single type switch per run;
+// the kernels executed are the same monomorphized code Components and
+// ComponentsCompressed run. Representations other than *Graph and
+// *CompressedGraph return ErrUnsupported.
+func (s *Solver) ComponentsOn(g GraphRep) ([]uint32, error) { return s.c.ComponentsOn(g) }
+
 // SpanningForest computes a spanning forest of g. For combinations the
 // paper excludes (Rem+SpliceAtomic union-find, non-RootUp Liu-Tarjan,
 // Stergiou, Label-Propagation) it returns the ErrUnsupported error
