@@ -51,7 +51,7 @@ func BenchmarkStreamMixedRatio(b *testing.B) {
 		for _, a := range algos {
 			b.Run(fmt.Sprintf("%s/%s", mix.name, a.name), func(b *testing.B) {
 				solver := MustCompile(Config{Algorithm: a.alg})
-				var updates, queries uint64
+				var updates, queries, epochs, rounds uint64
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					st, err := solver.Stream(n)
@@ -62,10 +62,16 @@ func BenchmarkStreamMixedRatio(b *testing.B) {
 					st.Sync()
 					updates += uint64(len(edges))
 					queries += q
+					stats := st.Stats()
+					epochs += stats.Epochs
+					rounds += stats.Rounds
 				}
 				secs := b.Elapsed().Seconds()
 				b.ReportMetric(float64(updates)/secs, "updates/s")
 				b.ReportMetric(float64(queries)/secs, "queries/s")
+				if rounds > 0 {
+					b.ReportMetric(float64(epochs)/float64(rounds), "epochs/round")
+				}
 			})
 		}
 		b.Run(fmt.Sprintf("%s/stinger-coarse", mix.name), func(b *testing.B) {
@@ -114,13 +120,13 @@ func BenchmarkStreamPrefilter(b *testing.B) {
 }
 
 // BenchmarkStreamEpochSize sweeps the epoch size of a buffered (Type ii)
-// stream: small epochs pay per-round overhead, large epochs batch better
-// but delay visibility.
+// stream: small epochs pay per-round overhead (softened by coalescing),
+// large epochs batch better but delay visibility.
 func BenchmarkStreamEpochSize(b *testing.B) {
 	n := 1 << 15
 	edges := BarabasiAlbertEdges(n, 8, 23)
 	solver := MustCompile(Config{Algorithm: MustParseAlgorithm("sv")})
-	for _, size := range []int{256, 4096, 65536} {
+	for _, size := range []int{64, 256, 4096, 65536} {
 		b.Run(fmt.Sprintf("epoch=%d", size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st, err := solver.Stream(n, StreamOptions{EpochSize: size})
@@ -133,5 +139,46 @@ func BenchmarkStreamEpochSize(b *testing.B) {
 			secs := b.Elapsed().Seconds()
 			b.ReportMetric(float64(b.N)*float64(len(edges))/secs, "updates/s")
 		})
+	}
+}
+
+// BenchmarkStreamCoalesce isolates the coalescing pipeline's Type ii win:
+// the same concurrent 90/10 workload at small epoch sizes with the
+// coalesce bound at its default (queued epochs fold into shared O(n)
+// synchronous rounds) versus 1 (every epoch pays its own round, the
+// pre-pipeline behavior).
+func BenchmarkStreamCoalesce(b *testing.B) {
+	n := 1 << 15
+	edges := BarabasiAlbertEdges(n, 8, 29)
+	solver := MustCompile(Config{Algorithm: MustParseAlgorithm("sv")})
+	for _, size := range []int{64, 512} {
+		for _, tc := range []struct {
+			name  string
+			bound int
+		}{
+			{"coalesce-on", 0},
+			{"coalesce-off", 1},
+		} {
+			b.Run(fmt.Sprintf("epoch=%d/%s", size, tc.name), func(b *testing.B) {
+				var epochs, rounds uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := solver.Stream(n, StreamOptions{EpochSize: size, CoalesceBound: tc.bound})
+					if err != nil {
+						b.Fatal(err)
+					}
+					driveMixed(st.Update, st.Connected, edges, n, 0.1)
+					st.Sync()
+					stats := st.Stats()
+					epochs += stats.Epochs
+					rounds += stats.Rounds
+				}
+				secs := b.Elapsed().Seconds()
+				b.ReportMetric(float64(b.N)*float64(len(edges))/secs, "updates/s")
+				if rounds > 0 {
+					b.ReportMetric(float64(epochs)/float64(rounds), "epochs/round")
+				}
+			})
+		}
 	}
 }

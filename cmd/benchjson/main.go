@@ -1,0 +1,178 @@
+// Command benchjson converts between `go test -bench` output and the
+// committed BENCH_*.json baseline format, so the bench-smoke CI job can
+// diff a PR's stream-benchmark run against the baseline with benchstat.
+//
+// Modes:
+//
+//	go test -bench Stream ... | benchjson -o BENCH_stream.json
+//	    Parse benchmark lines from stdin (non-benchmark lines are
+//	    ignored) into a normalized, sorted JSON document.
+//
+//	benchjson -text BENCH_stream.json
+//	    Re-emit a JSON document as benchmark-format text on stdout —
+//	    benchstat's input format — so old-vs-new comparison is
+//	    `benchjson -text old.json > old.txt; benchstat old.txt new.txt`.
+//
+// The JSON keeps every reported metric (ns/op, updates/s, epochs/round,
+// ...) per benchmark, plus the recording context (commit, Go version,
+// GOMAXPROCS) so a baseline is interpretable months later.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result: its name, iteration count, and every
+// value/unit metric pair from its output line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the committed baseline document.
+type Doc struct {
+	Commit     string  `json:"commit,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var (
+	out    = flag.String("o", "", "write JSON to this file instead of stdout")
+	text   = flag.String("text", "", "convert this JSON baseline back to benchmark text on stdout")
+	commit = flag.String("commit", "", "commit hash to record in the JSON document")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *text != "" {
+		return emitText(*text)
+	}
+	return parseStdin()
+}
+
+// parseBenchLine parses one "BenchmarkName iters v1 u1 v2 u2 ..." line;
+// ok is false for anything that is not a benchmark result.
+func parseBenchLine(line string) (e Entry, ok bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return e, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return e, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return e, false
+	}
+	e = Entry{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return e, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+// stripProcs removes the trailing "-N" GOMAXPROCS suffix the testing
+// package appends on multi-proc runs ("BenchmarkFoo/bar-4"). Baselines are
+// recorded on whatever hardware ran them; without normalization a 1-proc
+// baseline ("BenchmarkFoo/bar") and a 4-proc CI run would never pair up in
+// benchstat. The document's gomaxprocs field keeps the information.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func parseStdin() error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var entries []Entry
+	for sc.Scan() {
+		if e, ok := parseBenchLine(strings.TrimSpace(sc.Text())); ok {
+			entries = append(entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	doc := Doc{
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: entries,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, enc, 0o644)
+	}
+	_, err = os.Stdout.Write(enc)
+	return err
+}
+
+func emitText(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	// Plain decimal formatting: benchstat's line parser wants "value unit"
+	// with no exponent notation.
+	dec := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for _, e := range doc.Benchmarks {
+		fmt.Fprintf(w, "%s %d", e.Name, e.Iterations)
+		// ns/op first (benchstat's primary), then the rest sorted for
+		// stable output.
+		if v, ok := e.Metrics["ns/op"]; ok {
+			fmt.Fprintf(w, " %s ns/op", dec(v))
+		}
+		units := make([]string, 0, len(e.Metrics))
+		for u := range e.Metrics {
+			if u != "ns/op" {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(w, " %s %s", dec(e.Metrics[u]), u)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

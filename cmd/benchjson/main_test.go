@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	e, ok := parseBenchLine("BenchmarkStreamMixedRatio/90-10/type-ii/sv 3 14040301 ns/op 1856266 updates/s 1.03 epochs/round")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if e.Name != "BenchmarkStreamMixedRatio/90-10/type-ii/sv" || e.Iterations != 3 {
+		t.Fatalf("parsed %+v", e)
+	}
+	want := map[string]float64{"ns/op": 14040301, "updates/s": 1856266, "epochs/round": 1.03}
+	for u, v := range want {
+		if e.Metrics[u] != v {
+			t.Fatalf("metric %s = %v, want %v", u, e.Metrics[u], v)
+		}
+	}
+	// The GOMAXPROCS suffix must be stripped so baselines recorded on
+	// different hardware pair up in benchstat.
+	e4, ok := parseBenchLine("BenchmarkStreamCoalesce/epoch=64/coalesce-on-4 1 1000 ns/op")
+	if !ok || e4.Name != "BenchmarkStreamCoalesce/epoch=64/coalesce-on" {
+		t.Fatalf("procs suffix not stripped: %+v", e4)
+	}
+	for _, name := range []string{"BenchmarkFoo/bar", "BenchmarkFoo-", "BenchmarkFoo/a-b"} {
+		if got := stripProcs(name); got != name {
+			t.Fatalf("stripProcs(%q) = %q, want unchanged", name, got)
+		}
+	}
+	for _, bad := range []string{
+		"ok  	connectit	1.025s",
+		"goos: linux",
+		"BenchmarkBroken 3",
+		"BenchmarkBroken three 1 ns/op",
+		"PASS",
+		"",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("line %q wrongly accepted as a benchmark result", bad)
+		}
+	}
+}

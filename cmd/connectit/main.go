@@ -24,7 +24,9 @@
 // -list enumerates every finish algorithm in the registry with its
 // capabilities; each printed name is a valid -algo value. -stream drives
 // the concurrent ingest engine with -workers goroutines issuing a -qmix
-// query/update mix and reports edges/sec and queries/sec.
+// query/update mix and reports edges/sec, queries/sec, and the coalescing
+// pipeline's epochs-per-round; -epoch and -coalesce tune the pipeline
+// (DESIGN.md §9).
 //
 // Invalid flags, spec strings, or malformed input files produce a one-line
 // error and exit status 1.
@@ -69,6 +71,7 @@ var (
 	workers  = flag.Int("workers", 8, "concurrent producer goroutines for -stream")
 	qmix     = flag.Float64("qmix", 0.1, "fraction of stream operations that are queries, in [0, 1)")
 	epoch    = flag.Int("epoch", 0, "ingest epoch size for -stream (0 = default)")
+	coalesce = flag.Int("coalesce", 0, "max buffered updates per coalesced apply round for -stream (0 = default, 1 = no coalescing)")
 	noFilter = flag.Bool("no-prefilter", false, "disable the ingest intra-component pre-filter")
 )
 
@@ -123,6 +126,9 @@ func validateFlags() error {
 	if *epoch < 0 || *epoch > 1<<24 {
 		return fmt.Errorf("-epoch %d out of range [0, %d]", *epoch, 1<<24)
 	}
+	if *coalesce < 0 || *coalesce > 1<<28 {
+		return fmt.Errorf("-coalesce %d out of range [0, %d]", *coalesce, 1<<28)
+	}
 	if *stream && *forest {
 		return errors.New("-stream and -forest are mutually exclusive")
 	}
@@ -176,7 +182,9 @@ func run() error {
 	if *convert != "" {
 		c, ok := rep.(*connectit.CompressedGraph)
 		if !ok {
-			c = connectit.Compress(csr)
+			if c, err = connectit.TryCompress(csr); err != nil {
+				return err
+			}
 		}
 		if err := connectit.SaveCBIN(*convert, c); err != nil {
 			return err
@@ -256,7 +264,11 @@ func makeRep() (rep connectit.GraphRep, csr *connectit.Graph, err error) {
 		return nil, nil, err
 	}
 	if *format == "compressed" {
-		return connectit.Compress(g), g, nil
+		c, err := connectit.TryCompress(g)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, g, nil
 	}
 	return g, g, nil
 }
@@ -270,6 +282,7 @@ func runStream(solver *connectit.Solver, g *connectit.Graph) error {
 	}
 	st, err := solver.Stream(g.NumVertices(), connectit.StreamOptions{
 		EpochSize:        *epoch,
+		CoalesceBound:    *coalesce,
 		DisablePrefilter: *noFilter,
 	})
 	if err != nil {
@@ -290,8 +303,11 @@ func runStream(solver *connectit.Solver, g *connectit.Graph) error {
 	if s.Updates > 0 {
 		droppedPct = 100 * float64(s.Filtered) / float64(s.Updates)
 	}
-	fmt.Printf("pre-filter: dropped %d of %d (%.1f%%), %d epochs\n",
-		s.Filtered, s.Updates, droppedPct, s.Epochs)
+	fmt.Printf("pre-filter: dropped %d of %d (%.1f%%)\n", s.Filtered, s.Updates, droppedPct)
+	if s.Rounds > 0 {
+		fmt.Printf("apply pipeline: %d epochs in %d rounds (%d coalesced, %.2f epochs/round)\n",
+			s.Epochs, s.Rounds, s.Coalesced, float64(s.Epochs)/float64(s.Rounds))
+	}
 	fmt.Printf("components: %d\n", st.NumComponents())
 	return nil
 }

@@ -702,7 +702,7 @@ func ingestMixed() {
 		connectit.MustParseAlgorithm("sv"),                         // Type ii
 		connectit.MustParseAlgorithm("uf;rem-cas;naive;splice"),    // Type iii
 	}
-	fmt.Printf("%-36s %-8s %14s %14s\n", "Algorithm", "Mix", "updates/s", "queries/s")
+	fmt.Printf("%-36s %-8s %14s %14s %12s\n", "Algorithm", "Mix", "updates/s", "queries/s", "epochs/round")
 	for _, mix := range []float64{0.1, 0.5, 0.9} {
 		for _, alg := range algos {
 			solver := connectit.MustCompile(connectit.Config{Algorithm: alg})
@@ -715,16 +715,51 @@ func ingestMixed() {
 			st.Sync()
 			elapsed := time.Since(start)
 			stats := st.Stats()
-			fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g\n", alg.Name(), 100*(1-mix), 100*mix,
-				float64(stats.Updates)/elapsed.Seconds(), float64(stats.Queries)/elapsed.Seconds())
+			perRound := "-"
+			if stats.Rounds > 0 {
+				perRound = fmt.Sprintf("%.2f", float64(stats.Epochs)/float64(stats.Rounds))
+			}
+			fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g %12s\n", alg.Name(), 100*(1-mix), 100*mix,
+				float64(stats.Updates)/elapsed.Seconds(), float64(stats.Queries)/elapsed.Seconds(), perRound)
 		}
 		// Coarse-locked STINGER: concurrent producers serialize on one lock.
 		sti := stinger.NewCoarse(n)
 		start := time.Now()
 		q := ingest.Drive(sti.Update, sti.Connected, edges, n, producers, mix)
 		elapsed := time.Since(start)
-		fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g\n", "STINGER (coarse lock)", 100*(1-mix), 100*mix,
-			float64(len(edges))/elapsed.Seconds(), float64(q)/elapsed.Seconds())
+		fmt.Printf("%-36s %.0f/%.0f %14.3g %14.3g %12s\n", "STINGER (coarse lock)", 100*(1-mix), 100*mix,
+			float64(len(edges))/elapsed.Seconds(), float64(q)/elapsed.Seconds(), "-")
+	}
+
+	// The Type ii coalescing sweep: at small epochs each sealed epoch used
+	// to pay its own O(n) synchronous round; the coalescing pipeline folds
+	// queued epochs into shared rounds, which is where the small-epoch
+	// throughput comes back (DESIGN.md §9).
+	fmt.Printf("\nType ii (sv) epoch-size sweep, 90/10 mix, coalescing on vs off:\n")
+	fmt.Printf("%-10s %14s %14s %12s\n", "epoch", "on upd/s", "off upd/s", "epochs/round")
+	solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.MustParseAlgorithm("sv")})
+	for _, epoch := range []int{64, 256, 1024, 4096} {
+		var onRate, offRate float64
+		var perRound string
+		for _, bound := range []int{0, 1} { // 0 = default bound, 1 = off
+			st, err := solver.Stream(n, connectit.StreamOptions{EpochSize: epoch, CoalesceBound: bound})
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			ingest.Drive(st.Update, st.Connected, edges, n, producers, 0.1)
+			st.Sync()
+			rate := float64(len(edges)) / time.Since(start).Seconds()
+			if bound == 0 {
+				onRate = rate
+				if stats := st.Stats(); stats.Rounds > 0 {
+					perRound = fmt.Sprintf("%.2f", float64(stats.Epochs)/float64(stats.Rounds))
+				}
+			} else {
+				offRate = rate
+			}
+		}
+		fmt.Printf("%-10d %14.3g %14.3g %12s\n", epoch, onRate, offRate, perRound)
 	}
 }
 

@@ -33,8 +33,15 @@ func BuildGraph(n int, edges []Edge) *Graph { return graph.Build(n, edges) }
 // error, for edge lists from untrusted sources.
 func TryBuildGraph(n int, edges []Edge) (*Graph, error) { return graph.TryBuild(n, edges) }
 
-// Compress byte-encodes g into the compressed backend.
+// Compress byte-encodes g into the compressed backend. It panics if the
+// encoded adjacency would exceed the backend's 4 GiB offset-index cap;
+// TryCompress reports that as an error instead.
 func Compress(g *Graph) *CompressedGraph { return graph.Compress(g) }
+
+// TryCompress is Compress with the offset-index cap reported as an error,
+// for graphs whose encoded size is not known in advance (file conversions
+// and other untrusted inputs), mirroring BuildGraph/TryBuildGraph.
+func TryCompress(g *Graph) (*CompressedGraph, error) { return graph.TryCompress(g) }
 
 // LoadEdgeListFile reads a whitespace-separated edge-list file ("u v" per
 // line, '#'/'%' comments) and builds a symmetric graph. Malformed input is

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"slices"
+
+	"connectit/internal/graph"
+	"connectit/internal/parallel"
+)
+
+// Batch preprocessing per Algorithm 3 (§3.5): before a large batch reaches
+// the union loop, its edges are normalized, parallel-semisorted by a hash
+// of the endpoint pair, and deduplicated. Streams repeat edges heavily
+// (social streams resend hot pairs; coalesced epochs concatenate shards
+// that saw the same edge), and every duplicate that survives to the union
+// loop costs a contended find/CAS for Type i/iii or inflates the
+// synchronous round for Type ii — removing them up front costs one sort of
+// the batch, embarrassingly parallel across buckets.
+
+// dedupMinBatch is the batch size below which preprocessing costs more
+// than the duplicates it removes: small batches go straight to the union
+// loop.
+const dedupMinBatch = 1 << 12
+
+// selfLoopKey is the normalized key given to self-loops so one compaction
+// pass drops them alongside duplicates. It only collides with the edge
+// (MaxUint32, MaxUint32), which is itself a self-loop.
+const selfLoopKey = ^uint64(0)
+
+// preprocessBatch returns updates with self-loops and duplicate edges
+// removed (treating (u,v) and (v,u) as the same edge), in semisorted
+// order. The input slice is not modified. The semisort is the two-pass
+// parallel counting pattern of internal/parallel: hash-partition the
+// normalized keys into buckets, sort and compact each bucket
+// independently, and concatenate by prefix sums.
+func preprocessBatch(updates []graph.Edge) []graph.Edge {
+	m := len(updates)
+	if m == 0 {
+		return nil
+	}
+
+	// Normalize: undirected key min<<32|max; self-loops get the sentinel.
+	keys := make([]uint64, m)
+	parallel.ForGrained(m, 2048, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, v := updates[i].U, updates[i].V
+			if u == v {
+				keys[i] = selfLoopKey
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			keys[i] = uint64(u)<<32 | uint64(v)
+		}
+	})
+
+	// With one worker the hash partition is pure overhead (two extra passes
+	// over the batch): sort and compact the keys directly.
+	if parallel.Procs() == 1 {
+		slices.Sort(keys)
+		w := 0
+		for i, k := range keys {
+			if k == selfLoopKey {
+				break // sentinels sort last
+			}
+			if i > 0 && k == keys[i-1] {
+				continue
+			}
+			keys[w] = k
+			w++
+		}
+		out := make([]graph.Edge, w)
+		for i, k := range keys[:w] {
+			out[i] = graph.Edge{U: uint32(k >> 32), V: uint32(k)}
+		}
+		return out
+	}
+
+	// Hash-partition into buckets sized for ~8K keys each, so per-bucket
+	// sorts stay cache-resident and load-balance across workers.
+	logB := 0
+	for m>>(logB+13) > 0 && logB < 9 {
+		logB++
+	}
+	nb := 1 << logB
+	shift := 64 - logB
+
+	const grain = 8192
+	blocks := (m + grain - 1) / grain
+
+	// Pass 1: per-(bucket, block) histogram, laid out bucket-major so one
+	// exclusive scan yields every block's write cursor and every bucket's
+	// start. Block c writes only column c: no contention.
+	counts := make([]uint64, nb*blocks)
+	parallel.ForGrained(blocks, 1, func(blo, bhi int) {
+		for c := blo; c < bhi; c++ {
+			lo, hi := c*grain, min((c+1)*grain, m)
+			for i := lo; i < hi; i++ {
+				counts[int(bucketOf(keys[i], shift))*blocks+c]++
+			}
+		}
+	})
+	parallel.ScanExclusive(counts)
+
+	// Pass 2: scatter keys to their bucket slots.
+	sorted := make([]uint64, m)
+	parallel.ForGrained(blocks, 1, func(blo, bhi int) {
+		cursors := make([]uint64, nb)
+		for c := blo; c < bhi; c++ {
+			for b := 0; b < nb; b++ {
+				cursors[b] = counts[b*blocks+c]
+			}
+			lo, hi := c*grain, min((c+1)*grain, m)
+			for i := lo; i < hi; i++ {
+				b := bucketOf(keys[i], shift)
+				sorted[cursors[b]] = keys[i]
+				cursors[b]++
+			}
+		}
+	})
+
+	// Pass 3: sort each bucket and compact duplicates (and self-loop
+	// sentinels) in place; uniq counts feed the final placement scan.
+	uniq := make([]uint64, nb)
+	bucketSpan := func(b int) (uint64, uint64) {
+		start := counts[b*blocks]
+		end := uint64(m)
+		if b+1 < nb {
+			end = counts[(b+1)*blocks]
+		}
+		return start, end
+	}
+	parallel.ForGrained(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			start, end := bucketSpan(b)
+			bucket := sorted[start:end]
+			slices.Sort(bucket)
+			w := 0
+			for i := range bucket {
+				if bucket[i] == selfLoopKey {
+					break // sentinels sort last within the bucket
+				}
+				if i > 0 && bucket[i] == bucket[i-1] {
+					continue
+				}
+				bucket[w] = bucket[i]
+				w++
+			}
+			uniq[b] = uint64(w)
+		}
+	})
+	total := parallel.ScanExclusive(uniq)
+
+	// Pass 4: decode the surviving keys back into one compact edge slice.
+	out := make([]graph.Edge, total)
+	parallel.ForGrained(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			start, _ := bucketSpan(b)
+			pos := uniq[b]
+			var next uint64
+			if b+1 < nb {
+				next = uniq[b+1]
+			} else {
+				next = total
+			}
+			for i := start; pos < next; i++ {
+				k := sorted[i]
+				out[pos] = graph.Edge{U: uint32(k >> 32), V: uint32(k)}
+				pos++
+			}
+		}
+	})
+	return out
+}
+
+// bucketOf spreads a normalized edge key over 1<<(64-shift) buckets by a
+// multiplicative hash (endpoint pairs are heavily skewed toward hub
+// vertices; hashing keeps the partition balanced anyway).
+func bucketOf(key uint64, shift int) uint64 {
+	if shift >= 64 {
+		return 0
+	}
+	return (key * 0x9e3779b97f4a7c15) >> shift
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"connectit/internal/graph"
+	"connectit/internal/testutil"
+	"connectit/internal/unionfind"
+)
+
+// refDedup is the map-based reference for preprocessBatch.
+func refDedup(edges []graph.Edge) map[uint64]bool {
+	seen := map[uint64]bool{}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		seen[uint64(u)<<32|uint64(v)] = true
+	}
+	return seen
+}
+
+// withProcs runs f under an adjusted GOMAXPROCS so both preprocessBatch
+// paths (sequential and bucketed) are exercised whatever the host has.
+func withProcs(t *testing.T, procs int, f func(t *testing.T)) {
+	t.Run(map[bool]string{true: "seq", false: "bucketed"}[procs == 1], func(t *testing.T) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		f(t)
+	})
+}
+
+func TestPreprocessBatch(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withProcs(t, procs, testPreprocessBatch)
+	}
+}
+
+func testPreprocessBatch(t *testing.T) {
+	const n = 1 << 12
+	// A duplicate-heavy stream: every edge appears ~4 times across both
+	// orientations, plus a sprinkle of self-loops.
+	rng := uint64(99)
+	var edges []graph.Edge
+	for i := 0; i < 40000; i++ {
+		rng = graph.Hash64(rng)
+		u := uint32(rng % n)
+		rng = graph.Hash64(rng)
+		v := uint32(rng % (n / 4)) // skew toward low vertices: many dupes
+		switch i % 8 {
+		case 3:
+			edges = append(edges, graph.Edge{U: v, V: u}) // flipped
+		case 5:
+			edges = append(edges, graph.Edge{U: u, V: u}) // self-loop
+		default:
+			edges = append(edges, graph.Edge{U: u, V: v})
+		}
+	}
+	input := append([]graph.Edge(nil), edges...)
+
+	got := preprocessBatch(edges)
+
+	want := refDedup(edges)
+	if len(got) != len(want) {
+		t.Fatalf("preprocessBatch kept %d edges, want %d unique", len(got), len(want))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range got {
+		if e.U == e.V {
+			t.Fatalf("self-loop (%d,%d) survived", e.U, e.V)
+		}
+		if e.U > e.V {
+			t.Fatalf("edge (%d,%d) not normalized", e.U, e.V)
+		}
+		k := uint64(e.U)<<32 | uint64(e.V)
+		if !want[k] {
+			t.Fatalf("edge (%d,%d) not in the input", e.U, e.V)
+		}
+		if seen[k] {
+			t.Fatalf("edge (%d,%d) duplicated in the output", e.U, e.V)
+		}
+		seen[k] = true
+	}
+	for i := range edges {
+		if edges[i] != input[i] {
+			t.Fatal("preprocessBatch modified its input")
+		}
+	}
+}
+
+func TestPreprocessBatchCorners(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withProcs(t, procs, testPreprocessBatchCorners)
+	}
+}
+
+func testPreprocessBatchCorners(t *testing.T) {
+	if got := preprocessBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch: got %d edges", len(got))
+	}
+	// All self-loops: everything drops.
+	loops := make([]graph.Edge, 5000)
+	for i := range loops {
+		loops[i] = graph.Edge{U: uint32(i), V: uint32(i)}
+	}
+	if got := preprocessBatch(loops); len(got) != 0 {
+		t.Fatalf("all-self-loop batch: %d edges survived", len(got))
+	}
+	// One distinct edge repeated: exactly one survives, including the
+	// sentinel-adjacent extreme (MaxUint32 endpoint).
+	const hi = ^uint32(0)
+	rep := make([]graph.Edge, 5000)
+	for i := range rep {
+		rep[i] = graph.Edge{U: hi, V: 0}
+	}
+	got := preprocessBatch(rep)
+	if len(got) != 1 || got[0] != (graph.Edge{U: 0, V: hi}) {
+		t.Fatalf("repeated edge: got %v", got)
+	}
+}
+
+// TestApplyBatchDedupEquivalence pushes a duplicate-heavy batch (above the
+// preprocessing threshold) through one algorithm per stream type and
+// checks the partition against ground truth built from the same edges.
+func TestApplyBatchDedupEquivalence(t *testing.T) {
+	const n = 1 << 11
+	edges := graph.RMATEdges(11, 3*n, 0.5, 0.1, 0.1, 7)
+	// Triple every edge, alternating orientation, well above dedupMinBatch.
+	var batch []graph.Edge
+	for rep := 0; rep < 3; rep++ {
+		for _, e := range edges {
+			if rep%2 == 1 {
+				e.U, e.V = e.V, e.U
+			}
+			batch = append(batch, e)
+		}
+	}
+	if len(batch) <= dedupMinBatch {
+		t.Fatalf("batch of %d does not exercise preprocessing (threshold %d)", len(batch), dedupMinBatch)
+	}
+	g := graph.Build(n, edges)
+	want := testutil.Components(g)
+	for _, alg := range []Algorithm{
+		{Kind: FinishUnionFind, UF: unionfind.Variant{Union: unionfind.UnionRemCAS, Splice: unionfind.SplitAtomicOne}}, // Type i
+		{Kind: FinishShiloachVishkin}, // Type ii
+		{Kind: FinishUnionFind, UF: unionfind.Variant{Union: unionfind.UnionRemCAS, Splice: unionfind.SpliceAtomic}}, // Type iii
+	} {
+		inc, err := NewIncremental(n, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.ApplyBatch(batch)
+		testutil.CheckPartition(t, alg.Name(), inc.Labels(), want)
+	}
+}

@@ -39,8 +39,28 @@ const maxCompressedBytes = 1<<32 - 1
 // encoded list, an exclusive scan places them, and a second pass encodes
 // into the placed slots. Adjacency lists must be sorted ascending, which
 // Build guarantees. It panics if the encoded adjacency would exceed the
-// 4 GiB offset-index cap.
+// 4 GiB offset-index cap; TryCompress reports that as an error instead and
+// is what file-facing paths should call.
 func Compress(g *Graph) *CompressedGraph {
+	c, err := TryCompress(g)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// TryCompress is Compress with the offset-index cap reported as an error
+// instead of a panic, mirroring Build/TryBuild: inputs whose size is not
+// known in advance (files, conversions) get a one-line diagnostic, never a
+// crash.
+func TryCompress(g *Graph) (*CompressedGraph, error) {
+	return tryCompress(g, maxCompressedBytes)
+}
+
+// tryCompress implements compression against an explicit adjacency-size
+// cap (injectable so tests can exercise the overflow path without a 4 GiB
+// input).
+func tryCompress(g *Graph, capBytes uint64) (*CompressedGraph, error) {
 	n := g.NumVertices()
 	sizes := make([]uint64, n+1)
 	parallel.ForGrained(n, 256, func(lo, hi int) {
@@ -62,8 +82,8 @@ func Compress(g *Graph) *CompressedGraph {
 		}
 	})
 	total := parallel.ScanExclusive(sizes)
-	if total > maxCompressedBytes {
-		panic(fmt.Sprintf("graph: compressed adjacency needs %d bytes, beyond the 4 GiB offset-index cap", total))
+	if total > capBytes {
+		return nil, fmt.Errorf("graph: compressed adjacency needs %d bytes, beyond the %d-byte offset-index cap; shard the input", total, capBytes)
 	}
 	offsets := make([]uint32, n+1)
 	parallel.ForGrained(n+1, 4096, func(lo, hi int) {
@@ -90,7 +110,7 @@ func Compress(g *Graph) *CompressedGraph {
 			}
 		}
 	})
-	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}
+	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}, nil
 }
 
 // NumVertices returns the number of vertices.

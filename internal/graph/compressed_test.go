@@ -118,3 +118,29 @@ func TestVarintZigzagRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestTryCompressCapExceeded exercises the offset-index overflow path
+// through the injectable cap: encoding must fail with an error (and
+// Compress must panic) instead of silently truncating uint32 offsets.
+func TestTryCompressCapExceeded(t *testing.T) {
+	g := Path(4096) // a few KiB encoded
+
+	if _, err := TryCompress(g); err != nil {
+		t.Fatalf("TryCompress under the real cap: %v", err)
+	}
+
+	if _, err := tryCompress(g, 16); err == nil {
+		t.Fatal("tryCompress with a 16-byte cap succeeded; want error")
+	}
+
+	// The error must be an error return, not a panic, all the way up
+	// through TryCompress-shaped callers; Compress keeps the panic
+	// contract for trusted in-memory graphs.
+	c, err := tryCompress(g, 1<<20)
+	if err != nil || c == nil {
+		t.Fatalf("tryCompress with a roomy cap: %v", err)
+	}
+	if got := c.Decompress(); got.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip after cap check lost edges: %d != %d", got.NumEdges(), g.NumEdges())
+	}
+}

@@ -3,21 +3,37 @@
 // many goroutines and schedules them onto a core.Incremental according to
 // the compiled algorithm's stream type (§3.5 of the paper, DESIGN.md §9).
 //
-// Updates are spread over per-shard epoch buffers; a shard that reaches the
-// epoch size seals its buffer and applies it as one batch, so producers
-// self-throttle against the structure (backpressure) without a dedicated
-// applier goroutine. The three stream types map onto three scheduling
+// Buffered updates move through a coalescing epoch pipeline:
+//
+//	seal → queue → coalesce → round
+//
+// Updates are spread over per-shard epoch buffers by a stateless hash of
+// the edge. A shard that reaches the epoch size seals its buffer — the
+// epoch is registered in-flight and pushed onto the apply queue *under the
+// shard's lock*, so a concurrent Sync can never observe the buffer empty
+// without also observing the epoch in flight. The sealing producer then
+// drains the queue: each apply round takes the round mutex once, pops
+// every queued epoch up to the coalesce bound, and applies them as one
+// batch under the stream type's discipline. Producers that seal while a
+// round is mid-flight therefore do not pay a round of their own — their
+// epochs coalesce into the next round — and producers self-throttle
+// against the structure (backpressure) without a dedicated applier
+// goroutine. The three stream types map onto three scheduling
 // disciplines:
 //
 //   - Type i (async union-find): no buffering. Updates union directly and
 //     queries read directly; everything runs fully concurrently and every
 //     operation is linearizable at its own return.
 //   - Type ii (Shiloach-Vishkin, RootUp Liu-Tarjan): updates buffer into
-//     epochs and sealed epochs apply as synchronous rounds under an applier
-//     mutex; queries stay wait-free against the parent array at all times.
-//   - Type iii (Rem + SpliceAtomic): as Type ii, but the apply additionally
+//     epochs and coalesced rounds apply under the round mutex; queries
+//     stay wait-free against the parent array at all times. Coalescing is
+//     what makes small epochs affordable: each synchronous round costs
+//     O(n), so paying it once per coalesced group instead of once per
+//     shard-epoch is the engine's main Type ii throughput lever.
+//   - Type iii (Rem + SpliceAtomic): as Type ii, but the round additionally
 //     takes the write side of a phase lock whose read side every query
-//     holds, realizing Theorem 3's update/query phase separation.
+//     holds, realizing Theorem 3's update/query phase separation — held
+//     once per coalesced group, not once per epoch.
 //
 // Before a batch reaches the atomic union hot path, a sampling-based
 // pre-filter probes both endpoints' parent chains (read-only, bounded) and
@@ -27,9 +43,9 @@
 //
 // Visibility semantics: a Type i update is visible to every query that
 // starts after Update returns. A buffered (Type ii/iii) update becomes
-// visible when its epoch is applied — at the latest after the next Sync
-// returns. Queries never report connectivity that does not follow from
-// accepted updates (components only ever grow toward the union of all
+// visible when its epoch's round completes — at the latest after the next
+// Sync returns. Queries never report connectivity that does not follow
+// from accepted updates (components only ever grow toward the union of all
 // accepted updates).
 package ingest
 
@@ -50,9 +66,14 @@ type Options struct {
 	// spread over. Default: GOMAXPROCS.
 	Shards int
 	// EpochSize is the number of buffered updates at which a shard seals
-	// its epoch and applies it as one batch. Default 4096. Type i streams
+	// its epoch and queues it for apply. Default 4096. Type i streams
 	// never buffer and ignore it.
 	EpochSize int
+	// CoalesceBound caps the number of buffered updates one apply round
+	// may drain off the sealed-epoch queue. A round always takes at least
+	// one epoch, so setting CoalesceBound to 1 applies every epoch as its
+	// own round (coalescing off). Default 16 × EpochSize.
+	CoalesceBound int
 	// ProbeBudget bounds the read-only parent-chain probe of the
 	// intra-component pre-filter, in chase steps. Default 32.
 	ProbeBudget int
@@ -62,8 +83,9 @@ type Options struct {
 }
 
 const (
-	defaultEpochSize   = 4096
-	defaultProbeBudget = 32
+	defaultEpochSize      = 4096
+	defaultCoalesceFactor = 16
+	defaultProbeBudget    = 32
 )
 
 func (o Options) withDefaults() Options {
@@ -72,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EpochSize <= 0 {
 		o.EpochSize = defaultEpochSize
+	}
+	if o.CoalesceBound <= 0 {
+		o.CoalesceBound = defaultCoalesceFactor * o.EpochSize
 	}
 	if o.ProbeBudget <= 0 {
 		o.ProbeBudget = defaultProbeBudget
@@ -91,10 +116,22 @@ type Stats struct {
 	// Filtered is the number of updates dropped by the pre-filter
 	// (self-loops and probed intra-component edges).
 	Filtered uint64
-	// Applied is the number of updates that reached the structure.
+	// Applied is the number of updates handed to the apply path after the
+	// pre-filter (for Type i, unions applied in place). Batch-internal
+	// duplicates that core.Incremental.ApplyBatch's Algorithm 3 dedup
+	// later removes are still counted.
 	Applied uint64
-	// Epochs is the number of sealed-and-applied epochs (Type ii/iii).
+	// Epochs is the number of sealed epochs pushed onto the apply queue
+	// (Type ii/iii), including partial epochs drained by Sync.
 	Epochs uint64
+	// Rounds is the number of apply rounds run. Each round acquires the
+	// stream type's exclusion once and applies one coalesced group, so
+	// Rounds ≤ Epochs and the gap is the coalescing win.
+	Rounds uint64
+	// Coalesced is the number of epochs that shared a round with at least
+	// one other epoch instead of paying their own: Epochs − Rounds at
+	// quiescence.
+	Coalesced uint64
 }
 
 // shard is one epoch buffer. The pad keeps neighboring shards' mutexes off
@@ -135,27 +172,41 @@ type Stream struct {
 	stype  core.StreamType
 	opt    Options
 	shards []shard
-	rr     atomic.Uint32 // round-robin shard cursor
-	spare  sync.Pool     // recycled epoch buffers
+	spare  sync.Pool // recycled epoch buffers
 
-	// phase separates Type iii updates (write side) from queries (read
-	// side); applyMu serializes Type ii synchronous rounds.
+	// roundMu serializes apply rounds (and quiescent snapshots): it is
+	// what concurrently-sealing producers block on, so their epochs merge
+	// into the winner's next round. phase additionally separates Type iii
+	// rounds (write side) from queries (read side); it is taken inside
+	// roundMu only once a round has a non-empty group in hand, so queries
+	// never stall behind a writer acquisition that would find nothing to
+	// apply. scratch is the coalesced-round batch buffer, owned by the
+	// roundMu holder.
+	roundMu sync.Mutex
 	phase   sync.RWMutex
-	applyMu sync.Mutex
+	scratch []graph.Edge
 
-	// inflight counts epochs sealed but not yet fully applied. A seal
-	// increments it under the shard's lock — before the batch leaves the
-	// buffer — so Sync, which drains every shard and then waits for zero,
-	// can never miss an epoch that left a buffer before Sync observed it.
-	inflightMu   sync.Mutex
-	inflightCond *sync.Cond
-	inflight     int
+	// The sealed-epoch queue. queue holds epochs sealed but not yet popped
+	// by an apply round; inflight counts epochs sealed but not yet fully
+	// applied (queued + mid-round), so it can only reach zero after every
+	// sealed update is visible. Sealing registers the epoch here under the
+	// sealing shard's lock — before the batch leaves the buffer — so Sync,
+	// which drains every shard and then waits for zero, can never miss an
+	// epoch that left a buffer before Sync observed it.
+	qmu      sync.Mutex
+	queue    [][]graph.Edge
+	inflight int
+	quiet    *sync.Cond // broadcast when inflight drops to zero
 
 	updates  counter
 	queries  counter
 	filtered counter
 	applied  counter
-	epochs   atomic.Uint64 // apply-path only, already serialized
+	// Pipeline counters; bumped off the hot path (seal/round), so plain
+	// atomics suffice.
+	epochs    atomic.Uint64
+	rounds    atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // New wraps a core.Incremental in a Stream. The Incremental must not be
@@ -163,7 +214,7 @@ type Stream struct {
 func New(inc *core.Incremental, opt Options) *Stream {
 	opt = opt.withDefaults()
 	s := &Stream{inc: inc, stype: inc.Type(), opt: opt}
-	s.inflightCond = sync.NewCond(&s.inflightMu)
+	s.quiet = sync.NewCond(&s.qmu)
 	if s.stype != core.TypeAsync {
 		s.shards = make([]shard, opt.Shards)
 		for i := range s.shards {
@@ -184,11 +235,13 @@ func (s *Stream) Len() int { return s.inc.Len() }
 // individually, so a snapshot taken mid-traffic is approximate.
 func (s *Stream) Stats() Stats {
 	return Stats{
-		Updates:  s.updates.Load(),
-		Queries:  s.queries.Load(),
-		Filtered: s.filtered.Load(),
-		Applied:  s.applied.Load(),
-		Epochs:   s.epochs.Load(),
+		Updates:   s.updates.Load(),
+		Queries:   s.queries.Load(),
+		Filtered:  s.filtered.Load(),
+		Applied:   s.applied.Load(),
+		Epochs:    s.epochs.Load(),
+		Rounds:    s.rounds.Load(),
+		Coalesced: s.coalesced.Load(),
 	}
 }
 
@@ -212,7 +265,7 @@ func (s *Stream) Update(u, v uint32) {
 	s.enqueue(graph.Edge{U: u, V: v})
 }
 
-// Connected answers a connectivity query against every applied epoch (and,
+// Connected answers a connectivity query against every applied round (and,
 // for Type i, every completed Update). It is wait-free for Type i and ii;
 // for Type iii it waits out any in-flight apply phase.
 func (s *Stream) Connected(u, v uint32) bool {
@@ -226,63 +279,141 @@ func (s *Stream) Connected(u, v uint32) bool {
 	return s.inc.Connected(u, v)
 }
 
-// enqueue appends e to a round-robin shard and applies the epoch if this
-// append sealed it. The appender pays for the apply, which backpressures
-// producers against the structure.
+// pick selects e's shard by a stateless multiplicative hash of the edge.
+// The previous design bumped one global round-robin cursor on every
+// buffered update, serializing all producers on a single contended cache
+// line — the exact pattern the striped counters exist to avoid. Hashing
+// needs no shared state at all and spreads any non-degenerate stream
+// evenly; it also keeps duplicate submissions of one edge in one shard.
+func (s *Stream) pick(e graph.Edge) *shard {
+	h := (uint64(e.U)<<32 | uint64(e.V)) * 0x9e3779b97f4a7c15
+	return &s.shards[(h>>33)%uint64(len(s.shards))]
+}
+
+// enqueue appends e to its hash shard, sealing the epoch if this append
+// filled it, and then drains the apply queue. The appender pays for the
+// round, which backpressures producers against the structure.
 func (s *Stream) enqueue(e graph.Edge) {
-	sh := &s.shards[(s.rr.Add(1)-1)%uint32(len(s.shards))]
-	var sealed []graph.Edge
+	sh := s.pick(e)
+	sealed := false
 	sh.mu.Lock()
 	sh.buf = append(sh.buf, e)
 	if len(sh.buf) >= s.opt.EpochSize {
-		sealed = sh.buf
+		s.seal(sh.buf)
 		sh.buf = s.spare.Get().([]graph.Edge)[:0]
-		s.sealInflight()
+		sealed = true
 	}
 	sh.mu.Unlock()
-	if sealed != nil {
-		s.apply(sealed)
-		s.doneInflight()
-		s.spare.Put(sealed[:0])
+	if sealed {
+		s.drain()
 	}
 }
 
-// sealInflight registers an epoch that has left its shard buffer but is not
-// yet applied. Called with the sealing shard's mutex held, so the increment
-// happens before any Sync can observe that shard empty.
-func (s *Stream) sealInflight() {
-	s.inflightMu.Lock()
+// seal registers batch as one in-flight epoch and pushes it onto the apply
+// queue. It must be called with the owning shard's mutex held: the queue
+// registration has to happen before the buffer can be observed empty, or a
+// concurrent Sync could find nothing buffered, nothing in flight, and
+// return while batch is still unapplied — the visibility race this
+// pipeline exists to close.
+func (s *Stream) seal(batch []graph.Edge) {
+	s.qmu.Lock()
+	s.queue = append(s.queue, batch)
 	s.inflight++
-	s.inflightMu.Unlock()
-}
-
-// doneInflight retires a sealed epoch after its apply completed.
-func (s *Stream) doneInflight() {
-	s.inflightMu.Lock()
-	s.inflight--
-	if s.inflight == 0 {
-		s.inflightCond.Broadcast()
-	}
-	s.inflightMu.Unlock()
-}
-
-// apply runs one sealed epoch under the stream type's exclusion discipline.
-func (s *Stream) apply(batch []graph.Edge) {
-	switch s.stype {
-	case core.TypePhased:
-		s.phase.Lock()
-		s.applyLocked(batch)
-		s.phase.Unlock()
-	default: // TypeSynchronous (TypeAsync never buffers)
-		s.applyMu.Lock()
-		s.applyLocked(batch)
-		s.applyMu.Unlock()
-	}
+	s.qmu.Unlock()
 	s.epochs.Add(1)
 }
 
-// applyLocked pre-filters and applies one batch; the caller holds the
-// stream type's apply exclusion.
+// pop removes the next coalesced group from the apply queue: queued epochs
+// in seal order, stopping before the group would exceed the coalesce bound
+// (but always taking at least one epoch).
+func (s *Stream) pop() (group [][]graph.Edge, total int) {
+	s.qmu.Lock()
+	n := len(s.queue)
+	i := 0
+	for i < n {
+		if i > 0 && total+len(s.queue[i]) > s.opt.CoalesceBound {
+			break
+		}
+		total += len(s.queue[i])
+		i++
+	}
+	group = s.queue[:i:i]
+	if i == n {
+		s.queue = nil
+	} else {
+		s.queue = append([][]graph.Edge(nil), s.queue[i:]...)
+	}
+	s.qmu.Unlock()
+	return group, total
+}
+
+// retire marks k epochs fully applied, waking Sync waiters at zero.
+func (s *Stream) retire(k int) {
+	s.qmu.Lock()
+	s.inflight -= k
+	if s.inflight == 0 {
+		s.quiet.Broadcast()
+	}
+	s.qmu.Unlock()
+}
+
+// drain runs apply rounds until the sealed-epoch queue is empty. Each
+// round holds roundMu, pops everything the coalesce bound allows, and
+// applies it as one batch — epochs sealed by other producers while this
+// goroutine ran a round ride along in the next round instead of paying
+// their own (the sealers block on roundMu, find the queue already empty,
+// and return). For Type iii the phase write lock — which blocks every
+// query — is taken only after the pop produced work, for exactly the span
+// of the apply. Epochs popped by another goroutine are that goroutine's to
+// finish; Sync waits them out via the in-flight count.
+func (s *Stream) drain() {
+	for {
+		s.roundMu.Lock()
+		group, total := s.pop()
+		if len(group) == 0 {
+			s.roundMu.Unlock()
+			return
+		}
+		batch := s.coalesce(group, total)
+		if s.stype == core.TypePhased {
+			s.phase.Lock()
+			s.applyLocked(batch)
+			s.phase.Unlock()
+		} else { // TypeSynchronous: queries are wait-free, no barrier needed
+			s.applyLocked(batch)
+		}
+		s.rounds.Add(1)
+		if len(group) > 1 {
+			s.coalesced.Add(uint64(len(group) - 1))
+		}
+		s.retire(len(group))
+		for _, ep := range group {
+			s.spare.Put(ep[:0])
+		}
+		s.roundMu.Unlock()
+	}
+}
+
+// coalesce concatenates a popped group into one batch. A single epoch is
+// applied in place; larger groups copy into the round scratch buffer,
+// which the caller owns by holding roundMu.
+func (s *Stream) coalesce(group [][]graph.Edge, total int) []graph.Edge {
+	if len(group) == 1 {
+		return group[0]
+	}
+	batch := s.scratch[:0]
+	if cap(batch) < total {
+		batch = make([]graph.Edge, 0, total)
+	}
+	for _, ep := range group {
+		batch = append(batch, ep...)
+	}
+	s.scratch = batch
+	return batch
+}
+
+// applyLocked pre-filters and applies one coalesced batch; the caller
+// holds roundMu (and, for Type iii, the phase write lock).
 func (s *Stream) applyLocked(batch []graph.Edge) {
 	if s.opt.ProbeBudget > 0 {
 		batch = s.prefilter(batch)
@@ -317,60 +448,73 @@ func (s *Stream) prefilter(batch []graph.Edge) []graph.Edge {
 
 // Sync applies every buffered update and waits for in-flight epochs, so
 // that every Update accepted before Sync began is visible to queries after
-// Sync returns. It is safe to call concurrently with traffic; epochs sealed
-// by concurrent producers while Sync runs are waited for too, so under
-// sustained saturation Sync reflects a slightly later point in the stream.
+// Sync returns. It is safe to call concurrently with traffic; epochs
+// sealed by concurrent producers while Sync runs are waited for too, so
+// under sustained saturation Sync reflects a slightly later point in the
+// stream.
 func (s *Stream) Sync() {
 	if s.stype == core.TypeAsync {
 		return
 	}
-	var batch []graph.Edge
+	// Seal every shard's residual buffer onto the apply queue. Sealing
+	// under each shard's lock registers the partial epoch in flight before
+	// the buffer empties, so a concurrent Sync that observes the empty
+	// buffer also observes the epoch and waits for it.
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		if len(sh.buf) > 0 {
-			batch = append(batch, sh.buf...)
-			sh.buf = sh.buf[:0]
+			s.seal(sh.buf)
+			sh.buf = s.spare.Get().([]graph.Edge)[:0]
 		}
 		sh.mu.Unlock()
 	}
-	if len(batch) > 0 {
-		s.apply(batch)
-	}
-	// Wait out epochs that were sealed (removed from their buffer) but not
-	// yet fully applied by the producer that sealed them.
-	s.inflightMu.Lock()
+	// The residual epochs (one per non-empty shard) coalesce into rounds
+	// like any others.
+	s.drain()
+	// Wait out epochs another goroutine popped but has not finished
+	// applying.
+	s.qmu.Lock()
 	for s.inflight > 0 {
-		s.inflightCond.Wait()
+		s.quiet.Wait()
 	}
-	s.inflightMu.Unlock()
+	s.qmu.Unlock()
 }
 
-// quiesce acquires the stream type's apply exclusion and returns the
-// release. Holding it keeps buffered-type updates out of the structure
-// (queries stay unaffected except for Type iii, whose phase lock they
-// share). For Type i there is no exclusion to take.
+// quiesce takes the round mutex and returns the release: holding it keeps
+// buffered-type rounds out of the structure while a snapshot is read
+// (queries keep running — snapshots chase roots read-only). For Type i
+// there is no exclusion to take: updates cannot be stalled without
+// blocking producers, so Type i snapshots are monotone-consistent rather
+// than quiescent (see Labels).
 func (s *Stream) quiesce() (release func()) {
-	switch s.stype {
-	case core.TypePhased:
-		s.phase.Lock()
-		return s.phase.Unlock
-	case core.TypeSynchronous:
-		s.applyMu.Lock()
-		return s.applyMu.Unlock
+	if s.stype == core.TypeAsync {
+		return func() {}
 	}
-	return func() {}
+	s.roundMu.Lock()
+	return s.roundMu.Unlock
 }
 
-// Labels syncs and returns a connectivity labeling snapshot. Type i updates
-// arriving during the snapshot may or may not be reflected.
+// Labels syncs and returns a connectivity labeling snapshot.
+//
+// For buffered stream types the snapshot is quiescent: Sync flushes every
+// accepted update and the round mutex is held while the labeling is
+// read, so it reflects exactly the accepted updates. For Type i there is
+// no quiescence point short of stalling every producer; instead the
+// labeling is a monotone-consistent snapshot taken by read-only root
+// chasing (core.Incremental.Labels): any two vertices it labels equal are
+// truly connected — the snapshot never invents connectivity. It can,
+// however, label two connected vertices differently while unions race the
+// scan (even a union elsewhere can re-hook their shared root mid-scan),
+// so label inequality carries no guarantee until the stream quiesces.
 func (s *Stream) Labels() []uint32 {
 	s.Sync()
 	defer s.quiesce()()
 	return s.inc.Labels()
 }
 
-// NumComponents syncs and counts the current components.
+// NumComponents syncs and counts the current components, under the same
+// snapshot semantics as Labels.
 func (s *Stream) NumComponents() int {
 	s.Sync()
 	defer s.quiesce()()
@@ -379,6 +523,6 @@ func (s *Stream) NumComponents() int {
 
 // String describes the stream's configuration.
 func (s *Stream) String() string {
-	return fmt.Sprintf("ingest.Stream{n=%d %v shards=%d epoch=%d probe=%d}",
-		s.inc.Len(), s.stype, s.opt.Shards, s.opt.EpochSize, s.opt.ProbeBudget)
+	return fmt.Sprintf("ingest.Stream{n=%d %v shards=%d epoch=%d coalesce=%d probe=%d}",
+		s.inc.Len(), s.stype, s.opt.Shards, s.opt.EpochSize, s.opt.CoalesceBound, s.opt.ProbeBudget)
 }

@@ -140,6 +140,49 @@ func TestStreamQueriesSeeOnlyAcceptedUpdates(t *testing.T) {
 	}
 }
 
+// TestSyncCoalescesResidualEpochs drives the pipeline deterministically:
+// with epochs too large to self-seal, Sync seals one residual epoch per
+// non-empty shard, and a single drain coalesces them into one apply round.
+// With the bound at 1, every epoch pays its own round.
+func TestSyncCoalescesResidualEpochs(t *testing.T) {
+	const n = 1 << 12
+	mk := func(bound int) *Stream {
+		s := mustStream(t, n, "sv", Options{EpochSize: 1 << 16, Shards: 4, CoalesceBound: bound})
+		for i := 0; i < 2000; i++ {
+			u := uint32(i) % (n - 1)
+			s.Update(u, u+1)
+		}
+		s.Sync()
+		return s
+	}
+
+	s := mk(0) // default bound: plenty of room to coalesce
+	st := s.Stats()
+	if st.Epochs < 2 {
+		t.Fatalf("expected residual epochs on >= 2 shards, got %d", st.Epochs)
+	}
+	if st.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (all residual epochs coalesced)", st.Rounds)
+	}
+	if st.Coalesced != st.Epochs-st.Rounds {
+		t.Fatalf("coalesced = %d, want epochs %d - rounds %d", st.Coalesced, st.Epochs, st.Rounds)
+	}
+
+	s1 := mk(1) // coalescing off: one round per epoch
+	st1 := s1.Stats()
+	if st1.Rounds != st1.Epochs {
+		t.Fatalf("bound=1: rounds = %d, want one per epoch (%d)", st1.Rounds, st1.Epochs)
+	}
+	if st1.Coalesced != 0 {
+		t.Fatalf("bound=1: coalesced = %d, want 0", st1.Coalesced)
+	}
+
+	// Both pipelines must agree on the result.
+	if !s.Connected(0, 2000) || !s1.Connected(0, 2000) {
+		t.Fatal("path endpoints not connected after Sync")
+	}
+}
+
 func TestStreamingAlgorithmsEnumerates(t *testing.T) {
 	seen := map[core.StreamType]int{}
 	for _, sa := range core.StreamingAlgorithms() {

@@ -7,10 +7,12 @@ import (
 
 // Stream is the concurrent streaming ingest engine: it accepts interleaved
 // Update(u, v) and Connected(u, v) calls from arbitrarily many goroutines,
-// internally sharding updates into epochs scheduled per the compiled
-// algorithm's StreamType (§3.5; DESIGN.md §9), with a sampling-based
-// pre-filter that drops intra-component edges before they reach the atomic
-// union hot path. Build one with NewStream or Solver.Stream.
+// internally sharding updates into epochs that flow through a coalescing
+// apply pipeline (seal → queue → coalesce → round) scheduled per the
+// compiled algorithm's StreamType (§3.5; DESIGN.md §9), with a
+// sampling-based pre-filter that drops intra-component edges before they
+// reach the atomic union hot path. Build one with NewStream or
+// Solver.Stream.
 //
 // Unlike Incremental's synchronous call-per-batch ProcessBatch, a Stream is
 // the serving-path surface: producers and queriers drive it concurrently
@@ -18,11 +20,13 @@ import (
 // internally.
 type Stream = ingest.Stream
 
-// StreamOptions tunes a Stream's sharding, epoch size, and pre-filter; the
-// zero value selects the defaults.
+// StreamOptions tunes a Stream's sharding, epoch size, coalesce bound, and
+// pre-filter; the zero value selects the defaults.
 type StreamOptions = ingest.Options
 
-// StreamStats is a snapshot of a Stream's operation counters.
+// StreamStats is a snapshot of a Stream's operation counters, including
+// the apply pipeline's Epochs/Rounds/Coalesced trio (epochs-per-round is
+// the coalescing win).
 type StreamStats = ingest.Stats
 
 // NewStream compiles cfg and opens a concurrent ingest stream over n
