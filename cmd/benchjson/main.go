@@ -30,11 +30,13 @@ import (
 	"strings"
 )
 
-// Entry is one benchmark result: its name, iteration count, and every
-// value/unit metric pair from its output line.
+// Entry is one benchmark result: its name, iteration count, the
+// GOMAXPROCS the row ran under, and every value/unit metric pair from its
+// output line.
 type Entry struct {
 	Name       string             `json:"name"`
 	Iterations int64              `json:"iterations"`
+	GoMaxProcs int                `json:"gomaxprocs,omitempty"`
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
@@ -81,7 +83,8 @@ func parseBenchLine(line string) (e Entry, ok bool) {
 	if err != nil {
 		return e, false
 	}
-	e = Entry{Name: stripProcs(fields[0]), Iterations: iters, Metrics: map[string]float64{}}
+	name, procs := normalizeProcs(fields[0])
+	e = Entry{Name: name, Iterations: iters, GoMaxProcs: procs, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
@@ -92,20 +95,34 @@ func parseBenchLine(line string) (e Entry, ok bool) {
 	return e, true
 }
 
-// stripProcs removes the trailing "-N" GOMAXPROCS suffix the testing
-// package appends on multi-proc runs ("BenchmarkFoo/bar-4"). Baselines are
-// recorded on whatever hardware ran them; without normalization a 1-proc
-// baseline ("BenchmarkFoo/bar") and a 4-proc CI run would never pair up in
-// benchstat. The document's gomaxprocs field keeps the information.
-func stripProcs(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i <= 0 || i == len(name)-1 {
-		return name
+// normalizeProcs rewrites the trailing "-N" GOMAXPROCS suffix the testing
+// package appends on multi-proc runs ("BenchmarkFoo/bar-4") into an
+// explicit "/gomaxprocs=N" sub-benchmark component, returning the procs
+// count alongside. Same-procs rows then pair up in benchstat whatever
+// hardware recorded them, while rows from different -cpu settings stay
+// distinct — which is what lets the BENCH_stream.json trajectory carry the
+// per-cpu coalescing claims (epochs/round > 1 needs real producer/round
+// overlap, so it only shows at -cpu ≥ 2). A row with no suffix ran at
+// GOMAXPROCS=1 and is normalized to "/gomaxprocs=1" for the same reason.
+func normalizeProcs(name string) (string, int) {
+	// Already-normalized names (this tool's own -text output fed back in,
+	// e.g. when regenerating a baseline from an emitted artifact) pass
+	// through unchanged — appending a second component would silently
+	// repair a 4-proc row into the 1-proc series.
+	const marker = "/gomaxprocs="
+	if i := strings.LastIndex(name, marker); i >= 0 {
+		if n, err := strconv.Atoi(name[i+len(marker):]); err == nil {
+			return name, n
+		}
 	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
+	procs := 1
+	if i := strings.LastIndexByte(name, '-'); i > 0 && i < len(name)-1 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = n
+			name = name[:i]
+		}
 	}
-	return name[:i]
+	return name + marker + strconv.Itoa(procs), procs
 }
 
 func parseStdin() error {

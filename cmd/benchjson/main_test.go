@@ -7,8 +7,11 @@ func TestParseBenchLine(t *testing.T) {
 	if !ok {
 		t.Fatal("benchmark line not recognized")
 	}
-	if e.Name != "BenchmarkStreamMixedRatio/90-10/type-ii/sv" || e.Iterations != 3 {
+	if e.Name != "BenchmarkStreamMixedRatio/90-10/type-ii/sv/gomaxprocs=1" || e.Iterations != 3 {
 		t.Fatalf("parsed %+v", e)
+	}
+	if e.GoMaxProcs != 1 {
+		t.Fatalf("GoMaxProcs = %d, want 1", e.GoMaxProcs)
 	}
 	want := map[string]float64{"ns/op": 14040301, "updates/s": 1856266, "epochs/round": 1.03}
 	for u, v := range want {
@@ -16,15 +19,24 @@ func TestParseBenchLine(t *testing.T) {
 			t.Fatalf("metric %s = %v, want %v", u, e.Metrics[u], v)
 		}
 	}
-	// The GOMAXPROCS suffix must be stripped so baselines recorded on
-	// different hardware pair up in benchstat.
+	// The "-N" GOMAXPROCS suffix becomes an explicit /gomaxprocs=N
+	// component so per-cpu rows pair up across baselines (and stay
+	// distinct from each other) in benchstat.
 	e4, ok := parseBenchLine("BenchmarkStreamCoalesce/epoch=64/coalesce-on-4 1 1000 ns/op")
-	if !ok || e4.Name != "BenchmarkStreamCoalesce/epoch=64/coalesce-on" {
-		t.Fatalf("procs suffix not stripped: %+v", e4)
+	if !ok || e4.Name != "BenchmarkStreamCoalesce/epoch=64/coalesce-on/gomaxprocs=4" || e4.GoMaxProcs != 4 {
+		t.Fatalf("procs suffix not normalized: %+v", e4)
 	}
-	for _, name := range []string{"BenchmarkFoo/bar", "BenchmarkFoo-", "BenchmarkFoo/a-b"} {
-		if got := stripProcs(name); got != name {
-			t.Fatalf("stripProcs(%q) = %q, want unchanged", name, got)
+	for _, tc := range []struct{ in, out string }{
+		{"BenchmarkFoo/bar", "BenchmarkFoo/bar/gomaxprocs=1"},
+		{"BenchmarkFoo-", "BenchmarkFoo-/gomaxprocs=1"},
+		{"BenchmarkFoo/a-b", "BenchmarkFoo/a-b/gomaxprocs=1"},
+		{"BenchmarkFoo-16", "BenchmarkFoo/gomaxprocs=16"},
+		// Idempotence: the tool's own -text output re-parses unchanged.
+		{"BenchmarkFoo/gomaxprocs=4", "BenchmarkFoo/gomaxprocs=4"},
+		{"BenchmarkFoo/bar/gomaxprocs=1", "BenchmarkFoo/bar/gomaxprocs=1"},
+	} {
+		if got, _ := normalizeProcs(tc.in); got != tc.out {
+			t.Fatalf("normalizeProcs(%q) = %q, want %q", tc.in, got, tc.out)
 		}
 	}
 	for _, bad := range []string{

@@ -42,6 +42,7 @@ import (
 
 	"connectit"
 	"connectit/internal/ingest"
+	"connectit/internal/parallel"
 )
 
 var (
@@ -219,6 +220,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("spanning forest: %d edges in %v\n", len(edges), elapsed)
+		printPoolStats()
 		return nil
 	}
 
@@ -236,7 +238,21 @@ func run() error {
 	if *withStats {
 		fmt.Printf("stats: unions=%d TPL=%d MPL=%d\n", stats.Unions(), stats.TotalPathLength(), stats.MaxPathLength())
 	}
+	printPoolStats()
 	return nil
+}
+
+// printPoolStats surfaces the persistent fork-join pool's counters under
+// -v: calls that rode the pool vs ran inline, chunk and steal volume (load
+// balance), and wake/park traffic (how often the epoch barrier's spin
+// phase caught the next call).
+func printPoolStats() {
+	if !*verbose {
+		return
+	}
+	ps := parallel.PoolStats()
+	fmt.Printf("pool: procs=%d calls=%d sequential=%d chunks=%d steals=%d wakes=%d parks=%d\n",
+		parallel.Procs(), ps.Calls, ps.Sequential, ps.Chunks, ps.Steals, ps.Wakes, ps.Parks)
 }
 
 // footprint renders a backend's resident size and bytes per directed edge.
@@ -308,7 +324,11 @@ func runStream(solver *connectit.Solver, g *connectit.Graph) error {
 		fmt.Printf("apply pipeline: %d epochs in %d rounds (%d coalesced, %.2f epochs/round)\n",
 			s.Epochs, s.Rounds, s.Coalesced, float64(s.Epochs)/float64(s.Rounds))
 	}
+	if s.DedupSorted+s.DedupSkipped > 0 {
+		fmt.Printf("dedup: %d batches sorted, %d skipped\n", s.DedupSorted, s.DedupSkipped)
+	}
 	fmt.Printf("components: %d\n", st.NumComponents())
+	printPoolStats()
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"connectit/internal/graph"
 	"connectit/internal/ingest"
 	"connectit/internal/liutarjan"
+	"connectit/internal/parallel"
 	"connectit/internal/sample"
 	"connectit/internal/stinger"
 	"connectit/internal/unionfind"
@@ -77,6 +78,7 @@ func run(runName string) error {
 		{"compressed", "CSR vs compressed backend: throughput and space", compressedBackend},
 		{"forest", "spanning forest overhead vs connectivity", forestOverhead},
 		{"ingest", "concurrent ingest engine: mixed update/query throughput vs STINGER", ingestMixed},
+		{"sched", "parallel substrate: persistent pool vs spawn-per-call, grain sweep, steal counts", schedSubstrate},
 	}
 
 	if runName == "" {
@@ -761,6 +763,90 @@ func ingestMixed() {
 		}
 		fmt.Printf("%-10d %14.3g %14.3g %12s\n", epoch, onRate, offRate, perRound)
 	}
+}
+
+// schedSubstrate measures the parallel substrate itself (DESIGN.md §2):
+// the persistent fork-join pool against the retained spawn-per-call
+// reference, across grain sizes, on a flat sweep, a round-structured
+// 4-sweep shape (the Liu-Tarjan / Shiloach-Vishkin pattern, where the
+// pool's epoch-barrier spin phase catches back-to-back calls), and a
+// skewed load (where the per-worker ranges hand work to the randomized
+// stealer). The pool counter deltas — chunks, steals, wakes, parks — are
+// printed for the skewed run.
+func schedSubstrate() {
+	n := 1 << 22
+	reps := 40
+	if *quick {
+		n = 1 << 19
+		reps = 10
+	}
+	data := make([]uint32, n)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	fmt.Printf("procs=%d, n=%d, %d reps per cell\n", parallel.Procs(), n, reps)
+
+	fmt.Printf("\n%-12s %14s %14s %10s\n", "grain", "pool(s)", "spawn(s)", "pool/spawn")
+	for _, grain := range []int{128, 512, 2048, 8192} {
+		tPool := timeIt(func() {
+			for r := 0; r < reps; r++ {
+				parallel.ForGrained(n, grain, body)
+			}
+		})
+		tSpawn := timeIt(func() {
+			for r := 0; r < reps; r++ {
+				parallel.ForGrainedSpawn(n, grain, body)
+			}
+		})
+		fmt.Printf("%-12d %14s %14s %9.2fx\n", grain, secs(tPool), secs(tSpawn), float64(tPool)/float64(tSpawn))
+	}
+
+	fmt.Printf("\nround shape (4 back-to-back sweeps per rep, grain 512):\n")
+	tPool := timeIt(func() {
+		for r := 0; r < reps; r++ {
+			for s := 0; s < 4; s++ {
+				parallel.ForGrained(n, 512, body)
+			}
+		}
+	})
+	tSpawn := timeIt(func() {
+		for r := 0; r < reps; r++ {
+			for s := 0; s < 4; s++ {
+				parallel.ForGrainedSpawn(n, 512, body)
+			}
+		}
+	})
+	fmt.Printf("%-12s %14s %14s %9.2fx\n", "rounds", secs(tPool), secs(tSpawn), float64(tPool)/float64(tSpawn))
+
+	// Skewed load: chunk 0 carries 64x the work; the steal counter shows
+	// the other participants draining the straggler's range.
+	skewed := func(lo, hi int) {
+		work := 1
+		if lo == 0 {
+			work = 64
+		}
+		s := uint32(0)
+		for w := 0; w < work; w++ {
+			for i := lo; i < hi; i++ {
+				s += uint32(i)
+			}
+		}
+		data[lo] = s
+	}
+	before := parallel.PoolStats()
+	tSkew := timeIt(func() {
+		for r := 0; r < reps; r++ {
+			parallel.ForGrained(n, 2048, skewed)
+		}
+	})
+	after := parallel.PoolStats()
+	fmt.Printf("\nskewed load (chunk 0 = 64x): %s\n", secs(tSkew))
+	fmt.Printf("pool deltas: calls=%d sequential=%d chunks=%d steals=%d wakes=%d parks=%d\n",
+		after.Calls-before.Calls, after.Sequential-before.Sequential,
+		after.Chunks-before.Chunks, after.Steals-before.Steals,
+		after.Wakes-before.Wakes, after.Parks-before.Parks)
 }
 
 func forestOverhead() {

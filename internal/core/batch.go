@@ -15,42 +15,172 @@ import (
 // loop costs a contended find/CAS for Type i/iii or inflates the
 // synchronous round for Type ii — removing them up front costs one sort of
 // the batch, embarrassingly parallel across buckets.
+//
+// On duplicate-free streams the sort is pure overhead (~15% at 64K-edge
+// epochs), so whether to run it is decided per batch: a DedupHint from the
+// stream options forces it on or off, and the default (DedupAuto) samples
+// the batch to estimate the duplicate rate first — see shouldDedup.
 
 // dedupMinBatch is the batch size below which preprocessing costs more
 // than the duplicates it removes: small batches go straight to the union
 // loop.
 const dedupMinBatch = 1 << 12
 
+// dedupSampleSize is the number of edges DedupAuto samples per batch.
+const dedupSampleSize = 1024
+
+// dedupRateThreshold is the estimated duplicate rate below which the
+// semisort is skipped: under ~5% duplicates the sort's fixed multi-pass
+// cost exceeds the contended unions (or synchronous-round inflation) the
+// removed duplicates would have caused.
+const dedupRateThreshold = 0.05
+
+// DedupHint tells ApplyBatch whether the Algorithm 3 semisort-dedup is
+// worth running on this stream's batches.
+type DedupHint int
+
+const (
+	// DedupAuto estimates each batch's duplicate rate from a sample and
+	// sorts only when it clears dedupRateThreshold (the default).
+	DedupAuto DedupHint = iota
+	// DedupAlways preprocesses every batch above dedupMinBatch — for
+	// streams the producer knows to be duplicate-heavy.
+	DedupAlways
+	// DedupNever disables preprocessing — for streams the producer knows
+	// to be (essentially) duplicate-free.
+	DedupNever
+)
+
+func (h DedupHint) String() string {
+	switch h {
+	case DedupAuto:
+		return "auto"
+	case DedupAlways:
+		return "always"
+	case DedupNever:
+		return "never"
+	}
+	return "unknown"
+}
+
 // selfLoopKey is the normalized key given to self-loops so one compaction
 // pass drops them alongside duplicates. It only collides with the edge
 // (MaxUint32, MaxUint32), which is itself a self-loop.
 const selfLoopKey = ^uint64(0)
 
-// preprocessBatch returns updates with self-loops and duplicate edges
-// removed (treating (u,v) and (v,u) as the same edge), in semisorted
-// order. The input slice is not modified. The semisort is the two-pass
-// parallel counting pattern of internal/parallel: hash-partition the
-// normalized keys into buckets, sort and compact each bucket
-// independently, and concatenate by prefix sums.
-func preprocessBatch(updates []graph.Edge) []graph.Edge {
+// edgeKey is the normalized undirected key min<<32|max; self-loops get the
+// sentinel.
+func edgeKey(e graph.Edge) uint64 {
+	u, v := e.U, e.V
+	if u == v {
+		return selfLoopKey
+	}
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+// batchScratch holds the preprocessing buffers an Incremental reuses
+// across ApplyBatch calls: the semisort's key/bucket arrays, the output
+// edge buffer, and the duplicate-rate estimator's sample table. Steady
+// state apply rounds therefore allocate nothing here.
+type batchScratch struct {
+	keys   []uint64
+	sorted []uint64
+	counts []uint64
+	uniq   []uint64
+	out    []graph.Edge
+	sample []uint64
+}
+
+func growU64(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// estimateDupRate estimates the fraction of updates the semisort would
+// remove (duplicate copies plus self-loops) from a ~dedupSampleSize
+// sample. Sampling is stratified with a hashed jitter — one index drawn
+// from each of `samples` equal strata — so indices are distinct by
+// construction and a periodic duplicate layout cannot alias against a
+// fixed stride. Within-sample key collisions are then a birthday-style
+// statistic, not the duplicate rate itself (sampling s of m sees only
+// ~s²/2m of the duplicate pairs), so the count is inverted through the
+// pair-collision model: r̂ = 2mC/s² estimates the expected number of
+// *other* copies of a random entry, and the removable fraction is
+// r̂/(1+r̂) (exact when every key has the same copy count; a serviceable
+// estimate otherwise). The open-addressing table lives in the scratch;
+// zero is the empty marker (no valid edge key is 0).
+func (s *batchScratch) estimateDupRate(updates []graph.Edge) float64 {
+	m := len(updates)
+	samples := dedupSampleSize
+	if samples > m {
+		samples = m
+	}
+	// Table at ≥2x load, power of two for cheap masking.
+	tableSize := 1
+	for tableSize < 2*samples {
+		tableSize <<= 1
+	}
+	s.sample = growU64(s.sample, tableSize)
+	clear(s.sample)
+	mask := uint64(tableSize - 1)
+	stride := m / samples
+	collisions, selfLoops := 0, 0
+	for i := 0; i < samples; i++ {
+		idx := i * stride
+		if stride > 1 {
+			idx += int(graph.Hash64(uint64(i)^0xc2b2ae3d27d4eb4f) % uint64(stride))
+		}
+		k := edgeKey(updates[idx])
+		if k == selfLoopKey {
+			selfLoops++ // directly removable, independent of duplication
+			continue
+		}
+		h := (k * 0x9e3779b97f4a7c15) & mask
+		for {
+			switch s.sample[h] {
+			case 0:
+				s.sample[h] = k
+			case k:
+				collisions++
+			default:
+				h = (h + 1) & mask
+				continue
+			}
+			break
+		}
+	}
+	slFrac := float64(selfLoops) / float64(samples)
+	pairs := float64(samples-selfLoops) * float64(samples-selfLoops)
+	if pairs == 0 {
+		return slFrac
+	}
+	r := 2 * float64(m) * float64(collisions) / pairs
+	return slFrac + (1-slFrac)*r/(1+r)
+}
+
+// preprocess returns updates with self-loops and duplicate edges removed
+// (treating (u,v) and (v,u) as the same edge), in semisorted order. The
+// input slice is not modified; the result aliases the scratch and is valid
+// until the next preprocess call. The semisort is the two-pass parallel
+// counting pattern of internal/parallel: hash-partition the normalized
+// keys into buckets, sort and compact each bucket independently, and
+// concatenate by prefix sums.
+func (s *batchScratch) preprocess(updates []graph.Edge) []graph.Edge {
 	m := len(updates)
 	if m == 0 {
 		return nil
 	}
 
-	// Normalize: undirected key min<<32|max; self-loops get the sentinel.
-	keys := make([]uint64, m)
+	s.keys = growU64(s.keys, m)
+	keys := s.keys
 	parallel.ForGrained(m, 2048, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			u, v := updates[i].U, updates[i].V
-			if u == v {
-				keys[i] = selfLoopKey
-				continue
-			}
-			if u > v {
-				u, v = v, u
-			}
-			keys[i] = uint64(u)<<32 | uint64(v)
+			keys[i] = edgeKey(updates[i])
 		}
 	})
 
@@ -69,7 +199,10 @@ func preprocessBatch(updates []graph.Edge) []graph.Edge {
 			keys[w] = k
 			w++
 		}
-		out := make([]graph.Edge, w)
+		if cap(s.out) < w {
+			s.out = make([]graph.Edge, w)
+		}
+		out := s.out[:w]
 		for i, k := range keys[:w] {
 			out[i] = graph.Edge{U: uint32(k >> 32), V: uint32(k)}
 		}
@@ -91,7 +224,9 @@ func preprocessBatch(updates []graph.Edge) []graph.Edge {
 	// Pass 1: per-(bucket, block) histogram, laid out bucket-major so one
 	// exclusive scan yields every block's write cursor and every bucket's
 	// start. Block c writes only column c: no contention.
-	counts := make([]uint64, nb*blocks)
+	s.counts = growU64(s.counts, nb*blocks)
+	counts := s.counts
+	clear(counts)
 	parallel.ForGrained(blocks, 1, func(blo, bhi int) {
 		for c := blo; c < bhi; c++ {
 			lo, hi := c*grain, min((c+1)*grain, m)
@@ -103,9 +238,10 @@ func preprocessBatch(updates []graph.Edge) []graph.Edge {
 	parallel.ScanExclusive(counts)
 
 	// Pass 2: scatter keys to their bucket slots.
-	sorted := make([]uint64, m)
-	parallel.ForGrained(blocks, 1, func(blo, bhi int) {
-		cursors := make([]uint64, nb)
+	s.sorted = growU64(s.sorted, m)
+	sorted := s.sorted
+	parallel.ForWorker(blocks, 1, func(w *parallel.Worker, blo, bhi int) {
+		cursors := w.Scratch.GrowU64(nb)
 		for c := blo; c < bhi; c++ {
 			for b := 0; b < nb; b++ {
 				cursors[b] = counts[b*blocks+c]
@@ -121,7 +257,8 @@ func preprocessBatch(updates []graph.Edge) []graph.Edge {
 
 	// Pass 3: sort each bucket and compact duplicates (and self-loop
 	// sentinels) in place; uniq counts feed the final placement scan.
-	uniq := make([]uint64, nb)
+	s.uniq = growU64(s.uniq, nb)
+	uniq := s.uniq
 	bucketSpan := func(b int) (uint64, uint64) {
 		start := counts[b*blocks]
 		end := uint64(m)
@@ -152,7 +289,10 @@ func preprocessBatch(updates []graph.Edge) []graph.Edge {
 	total := parallel.ScanExclusive(uniq)
 
 	// Pass 4: decode the surviving keys back into one compact edge slice.
-	out := make([]graph.Edge, total)
+	if uint64(cap(s.out)) < total {
+		s.out = make([]graph.Edge, total)
+	}
+	out := s.out[:total]
 	parallel.ForGrained(nb, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			start, _ := bucketSpan(b)

@@ -9,6 +9,12 @@ import (
 	"connectit/internal/unionfind"
 )
 
+// preprocessBatch runs the semisort-dedup on a fresh scratch (the
+// pre-scratch entry point these tests were written against).
+func preprocessBatch(edges []graph.Edge) []graph.Edge {
+	return new(batchScratch).preprocess(edges)
+}
+
 // refDedup is the map-based reference for preprocessBatch.
 func refDedup(edges []graph.Edge) map[uint64]bool {
 	seen := map[uint64]bool{}
@@ -121,6 +127,128 @@ func testPreprocessBatchCorners(t *testing.T) {
 	got := preprocessBatch(rep)
 	if len(got) != 1 || got[0] != (graph.Edge{U: 0, V: hi}) {
 		t.Fatalf("repeated edge: got %v", got)
+	}
+}
+
+// TestPreprocessScratchReuse checks that one scratch produces correct
+// results across repeated calls with different batches (the apply-round
+// reuse path) and that outputs alias the scratch as documented.
+func TestPreprocessScratchReuse(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withProcs(t, procs, func(t *testing.T) {
+			var s batchScratch
+			for round := 0; round < 4; round++ {
+				var edges []graph.Edge
+				rng := uint64(round + 1)
+				for i := 0; i < 20000; i++ {
+					rng = graph.Hash64(rng)
+					u := uint32(rng % 5000)
+					rng = graph.Hash64(rng)
+					v := uint32(rng % 500)
+					edges = append(edges, graph.Edge{U: u, V: v})
+				}
+				got := s.preprocess(edges)
+				want := refDedup(edges)
+				if len(got) != len(want) {
+					t.Fatalf("round %d: kept %d, want %d", round, len(got), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestDedupDecision exercises the DedupAuto estimator and the explicit
+// hints through ApplyBatch's decision counters.
+func TestDedupDecision(t *testing.T) {
+	const n = 1 << 13
+	distinct := make([]graph.Edge, n)
+	for i := range distinct {
+		distinct[i] = graph.Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	repeated := make([]graph.Edge, n)
+	for i := range repeated {
+		repeated[i] = graph.Edge{U: uint32(i % 7), V: uint32(i%7 + 1)}
+	}
+	alg := Algorithm{Kind: FinishUnionFind}
+	mk := func(h DedupHint) *Incremental {
+		inc, err := NewIncremental(n+1, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc.SetDedupHint(h)
+		return inc
+	}
+
+	inc := mk(DedupAuto)
+	inc.ApplyBatch(distinct)
+	if sorted, skipped := inc.DedupStats(); sorted != 0 || skipped != 1 {
+		t.Fatalf("auto/distinct: sorted=%d skipped=%d, want 0/1", sorted, skipped)
+	}
+	inc.ApplyBatch(repeated)
+	if sorted, skipped := inc.DedupStats(); sorted != 1 || skipped != 1 {
+		t.Fatalf("auto/repeated: sorted=%d skipped=%d, want 1/1", sorted, skipped)
+	}
+
+	inc = mk(DedupAlways)
+	inc.ApplyBatch(distinct)
+	if sorted, skipped := inc.DedupStats(); sorted != 1 || skipped != 0 {
+		t.Fatalf("always: sorted=%d skipped=%d, want 1/0", sorted, skipped)
+	}
+
+	inc = mk(DedupNever)
+	inc.ApplyBatch(repeated)
+	if sorted, skipped := inc.DedupStats(); sorted != 0 || skipped != 1 {
+		t.Fatalf("never: sorted=%d skipped=%d, want 0/1", sorted, skipped)
+	}
+
+	// Small batches never count: they are below the size floor entirely.
+	inc = mk(DedupAlways)
+	inc.ApplyBatch(repeated[:64])
+	if sorted, skipped := inc.DedupStats(); sorted != 0 || skipped != 0 {
+		t.Fatalf("small: sorted=%d skipped=%d, want 0/0", sorted, skipped)
+	}
+}
+
+// TestEstimateDupRate pins the estimator to known mixtures.
+func TestEstimateDupRate(t *testing.T) {
+	var s batchScratch
+	distinct := make([]graph.Edge, 1<<14)
+	for i := range distinct {
+		distinct[i] = graph.Edge{U: uint32(2 * i), V: uint32(2*i + 1)}
+	}
+	if r := s.estimateDupRate(distinct); r != 0 {
+		t.Fatalf("distinct batch: rate %v, want 0", r)
+	}
+	same := make([]graph.Edge, 1<<14)
+	for i := range same {
+		same[i] = graph.Edge{U: 1, V: 2}
+	}
+	if r := s.estimateDupRate(same); r < 0.9 {
+		t.Fatalf("all-duplicate batch: rate %v, want ~1", r)
+	}
+	loops := make([]graph.Edge, 1<<13)
+	for i := range loops {
+		loops[i] = graph.Edge{U: uint32(i), V: uint32(i)}
+	}
+	if r := s.estimateDupRate(loops); r != 1 {
+		t.Fatalf("all-self-loop batch: rate %v, want 1 (sort removes them)", r)
+	}
+	// Every key twice (d = 1/2), shuffled so strata mix copies: the
+	// pair-collision inversion should land near 0.5 despite the sample
+	// seeing only ~s²/2m of the duplicate pairs.
+	twice := make([]graph.Edge, 1<<15)
+	for i := range twice {
+		k := uint32(i / 2)
+		twice[i] = graph.Edge{U: 3 * k, V: 3*k + 1}
+	}
+	rng := uint64(11)
+	for i := len(twice) - 1; i > 0; i-- {
+		rng = graph.Hash64(rng)
+		j := int(rng % uint64(i+1))
+		twice[i], twice[j] = twice[j], twice[i]
+	}
+	if r := s.estimateDupRate(twice); r < 0.25 || r > 0.75 {
+		t.Fatalf("half-duplicate batch: rate %v, want ~0.5", r)
 	}
 }
 

@@ -225,12 +225,15 @@ func newSVRunner[G graph.Rep](cfg Config) *Runner[G] {
 	}
 }
 
-// newLTRunner compiles a Liu-Tarjan finish hook for one backend.
+// newLTRunner compiles a Liu-Tarjan finish hook for one backend. The
+// compiled runner retains one EdgeRunner, so repeated solver runs reuse
+// the round closures, the next-array, and the alter double-buffers instead
+// of re-allocating them per run.
 func newLTRunner[G graph.Rep](cfg Config) *Runner[G] {
-	v := cfg.Algorithm.LT
+	er := liutarjan.NewEdgeRunner(cfg.Algorithm.LT, false)
 	return &Runner[G]{
 		Finish: func(g G, labels []uint32, skip []bool) []uint32 {
-			liutarjan.Run(g, labels, skip, v)
+			er.Run(liutarjan.CollectEdges(g, skip), labels, skip)
 			return labels
 		},
 	}
@@ -298,18 +301,40 @@ func newUFForest(cfg Config) ForestFunc {
 }
 
 // unionFindFinish applies every edge incident to an unskipped vertex.
+//
+// The sweep is direction-oriented (DESIGN.md §3.1): the symmetric CSR
+// stores each undirected edge twice, and the old sweep paid a Union per
+// direction — every edge cost two find/CAS walks, one of them guaranteed
+// redundant. Each edge is now unioned exactly once, from its lower-degree
+// endpoint (ties toward the lower id), which both halves the union count
+// and starts each walk at the endpoint with the cheaper expected path.
+// When the reverse endpoint is skipped (the sampled most-frequent
+// component, whose out-edges are never scanned) the unskipped side
+// processes the edge regardless, as the only side that sees it. Decode
+// scratch is per pool worker, reused across the worker's chunks.
 func unionFindFinish[G graph.Rep](g G, d *unionfind.DSU, skip []bool) {
 	n := g.NumVertices()
-	parallel.ForGrained(n, 256, func(lo, hi int) {
-		var buf []graph.Vertex
+	const grain = 256
+	bufs := make([][]graph.Vertex, parallel.Width(n, grain))
+	parallel.ForWorkerSized(n, grain, len(bufs), func(w *parallel.Worker, lo, hi int) {
+		buf := bufs[w.ID()]
 		for v := lo; v < hi; v++ {
 			if skip != nil && skip[v] {
 				continue
 			}
+			dv := g.Degree(graph.Vertex(v))
 			buf = g.NeighborsInto(graph.Vertex(v), buf)
 			for _, u := range buf {
-				d.Union(uint32(v), u)
+				if skip != nil && skip[u] {
+					d.Union(uint32(v), u)
+					continue
+				}
+				du := g.Degree(u)
+				if dv < du || (dv == du && graph.Vertex(v) < u) {
+					d.Union(uint32(v), u)
+				}
 			}
 		}
+		bufs[w.ID()] = buf
 	})
 }

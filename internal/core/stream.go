@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"connectit/internal/graph"
@@ -50,6 +51,24 @@ type Incremental struct {
 	lt     liutarjan.Variant
 	parent []uint32
 	n      int
+
+	// ltRunner is the reusable Liu-Tarjan edge runner for the Type ii
+	// apply path: round closures and scratch survive across batches, so a
+	// steady-state apply round allocates nothing in the kernel.
+	ltRunner *liutarjan.EdgeRunner
+
+	// Algorithm 3 preprocessing state: the semisort scratch, the
+	// per-stream hint, and the per-batch decision counters. Type i permits
+	// concurrent ApplyBatch calls, so the shared scratch is guarded by
+	// scratchMu (held through the union loop when a batch was preprocessed,
+	// since the compacted batch aliases the scratch) and the counters are
+	// atomic. Type ii/iii appliers are serialized by the caller and never
+	// contend.
+	scratchMu   sync.Mutex
+	scratch     batchScratch
+	dedupHint   DedupHint
+	dedupSorted atomic.Uint64
+	dedupSkip   atomic.Uint64
 }
 
 // NewIncremental creates a streaming connectivity structure over n vertices
@@ -120,20 +139,70 @@ func (inc *Incremental) ProcessBatch(updates []graph.Edge, queries [][2]uint32) 
 // TypeAsync; TypeSynchronous and TypePhased appliers must be serialized by
 // the caller (and TypePhased additionally barriered against queries).
 //
-// Large batches are preprocessed per Algorithm 3 first: a parallel
+// Large batches may be preprocessed per Algorithm 3 first: a parallel
 // semisort deduplicates the endpoint pairs (and drops self-loops) before
 // the union loop, so a hot edge resubmitted across a coalesced epoch costs
 // one sort slot instead of a contended union or a fatter synchronous
-// round. The input slice is never modified. ProcessBatch deliberately
-// bypasses the preprocessing (applyEdges): its bulk one-shot batches are
-// the paper's experiment inputs, already essentially duplicate-free, and
-// re-sorting millions of unique edges costs more than the duplicates it
-// would remove.
+// round. The input slice is never modified. Whether the sort runs is
+// decided per batch by the stream's DedupHint — DedupAuto samples the
+// batch and sorts only when the estimated duplicate rate clears the
+// cost-model threshold (see batch.go); DedupStats reports the decisions.
+// ProcessBatch deliberately bypasses the preprocessing (applyEdges): its
+// bulk one-shot batches are the paper's experiment inputs, already
+// essentially duplicate-free, and re-sorting millions of unique edges
+// costs more than the duplicates it would remove.
 func (inc *Incremental) ApplyBatch(updates []graph.Edge) {
 	if len(updates) > dedupMinBatch {
-		updates = preprocessBatch(updates)
+		inc.scratchMu.Lock()
+		if inc.shouldDedup(updates) {
+			inc.dedupSorted.Add(1)
+			updates = inc.scratch.preprocess(updates)
+			if inc.stype == TypeAsync {
+				// Type i advertises concurrent appliers: copy the compacted
+				// batch out of the scratch so the union loop runs outside
+				// the lock and overlapping ApplyBatch calls only serialize
+				// their (much shorter) preprocessing. Type ii/iii appliers
+				// are caller-serialized anyway and keep the zero-copy alias.
+				cp := make([]graph.Edge, len(updates))
+				copy(cp, updates)
+				inc.scratchMu.Unlock()
+				inc.applyEdges(cp)
+				return
+			}
+			// The compacted batch aliases the scratch: apply before
+			// releasing it.
+			inc.applyEdges(updates)
+			inc.scratchMu.Unlock()
+			return
+		}
+		inc.dedupSkip.Add(1)
+		inc.scratchMu.Unlock()
 	}
 	inc.applyEdges(updates)
+}
+
+// shouldDedup applies the stream's hint, sampling the batch under
+// DedupAuto.
+func (inc *Incremental) shouldDedup(updates []graph.Edge) bool {
+	switch inc.dedupHint {
+	case DedupAlways:
+		return true
+	case DedupNever:
+		return false
+	}
+	return inc.scratch.estimateDupRate(updates) >= dedupRateThreshold
+}
+
+// SetDedupHint sets the Algorithm 3 preprocessing policy (DedupAuto by
+// default). It must be called quiescently — the ingest engine sets it at
+// stream construction.
+func (inc *Incremental) SetDedupHint(h DedupHint) { inc.dedupHint = h }
+
+// DedupStats reports how many large batches were semisort-deduplicated vs
+// applied unsorted (batches at or below the size floor are not counted —
+// they never sort).
+func (inc *Incremental) DedupStats() (sorted, skipped uint64) {
+	return inc.dedupSorted.Load(), inc.dedupSkip.Load()
 }
 
 // applyEdges runs the union loop for one batch under the stream type's
@@ -154,8 +223,12 @@ func (inc *Incremental) applyEdges(updates []graph.Edge) {
 			shiloachvishkin.RunEdges(updates, inc.parent)
 		} else {
 			// Atomic publication: Type ii queries chase parent wait-free
-			// while the batch applies.
-			liutarjan.RunEdgesAtomic(updates, inc.parent, nil, inc.lt)
+			// while the batch applies. The runner is retained so repeated
+			// apply rounds reuse its round closures and buffers.
+			if inc.ltRunner == nil {
+				inc.ltRunner = liutarjan.NewEdgeRunner(inc.lt, true)
+			}
+			inc.ltRunner.Run(updates, inc.parent, nil)
 		}
 	}
 }

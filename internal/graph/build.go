@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"connectit/internal/parallel"
@@ -85,7 +85,10 @@ func dedupe(g *Graph) {
 	parallel.ForGrained(n, 256, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
 			nbrs := g.Adj[g.Offsets[v]:g.Offsets[v+1]]
-			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			// slices.Sort specializes for the element type: no per-vertex
+			// comparator closure, ~2x faster than sort.Slice on short
+			// uint32 lists.
+			slices.Sort(nbrs)
 			k := 0
 			for i := range nbrs {
 				if i == 0 || nbrs[i] != nbrs[i-1] {

@@ -80,6 +80,12 @@ type Options struct {
 	// DisablePrefilter turns the pre-filter off (every accepted update
 	// reaches the union hot path).
 	DisablePrefilter bool
+	// DedupHint sets the Algorithm 3 batch-preprocessing policy: the
+	// default (core.DedupAuto) samples each large coalesced batch and
+	// semisort-dedups only when the estimated duplicate rate clears the
+	// cost-model threshold; DedupAlways/DedupNever override per stream.
+	// Stats.DedupSorted/DedupSkipped record the decisions.
+	DedupHint core.DedupHint
 }
 
 const (
@@ -132,6 +138,12 @@ type Stats struct {
 	// one other epoch instead of paying their own: Epochs − Rounds at
 	// quiescence.
 	Coalesced uint64
+	// DedupSorted counts large batches the Algorithm 3 preprocessing
+	// semisort-deduplicated; DedupSkipped counts large batches it decided
+	// to apply unsorted (DedupAuto's estimator, or a DedupNever hint).
+	DedupSorted uint64
+	// DedupSkipped is DedupSorted's complement; see above.
+	DedupSkipped uint64
 }
 
 // shard is one epoch buffer. The pad keeps neighboring shards' mutexes off
@@ -213,6 +225,7 @@ type Stream struct {
 // used directly while the Stream is live.
 func New(inc *core.Incremental, opt Options) *Stream {
 	opt = opt.withDefaults()
+	inc.SetDedupHint(opt.DedupHint)
 	s := &Stream{inc: inc, stype: inc.Type(), opt: opt}
 	s.quiet = sync.NewCond(&s.qmu)
 	if s.stype != core.TypeAsync {
@@ -234,14 +247,17 @@ func (s *Stream) Len() int { return s.inc.Len() }
 // Stats returns a snapshot of the operation counters. Counters are read
 // individually, so a snapshot taken mid-traffic is approximate.
 func (s *Stream) Stats() Stats {
+	sorted, skipped := s.inc.DedupStats()
 	return Stats{
-		Updates:   s.updates.Load(),
-		Queries:   s.queries.Load(),
-		Filtered:  s.filtered.Load(),
-		Applied:   s.applied.Load(),
-		Epochs:    s.epochs.Load(),
-		Rounds:    s.rounds.Load(),
-		Coalesced: s.coalesced.Load(),
+		Updates:      s.updates.Load(),
+		Queries:      s.queries.Load(),
+		Filtered:     s.filtered.Load(),
+		Applied:      s.applied.Load(),
+		Epochs:       s.epochs.Load(),
+		Rounds:       s.rounds.Load(),
+		Coalesced:    s.coalesced.Load(),
+		DedupSorted:  sorted,
+		DedupSkipped: skipped,
 	}
 }
 

@@ -193,3 +193,41 @@ func TestStreamingAlgorithmsEnumerates(t *testing.T) {
 		t.Fatalf("StreamingAlgorithms missing a discipline: %v", seen)
 	}
 }
+
+// TestDedupHintPlumbsThroughOptions drives a Type ii stream with a
+// duplicate-heavy update set large enough that Sync's coalesced batch
+// clears the preprocessing size floor, and checks that the hint reaches
+// the Incremental and the decision lands in Stats.
+func TestDedupHintPlumbsThroughOptions(t *testing.T) {
+	const n = 1 << 13
+	drive := func(hint core.DedupHint) Stats {
+		// One producer, epoch sized so all updates coalesce into one big
+		// batch at Sync; prefilter off so duplicates survive to ApplyBatch.
+		st := mustStream(t, n, "sv", Options{
+			EpochSize:        1 << 20,
+			DisablePrefilter: true,
+			DedupHint:        hint,
+		})
+		for rep := 0; rep < 3; rep++ {
+			for i := 0; i < n-1; i++ {
+				st.Update(uint32(i), uint32(i+1))
+			}
+		}
+		st.Sync()
+		return st.Stats()
+	}
+
+	s := drive(core.DedupAlways)
+	if s.DedupSorted == 0 || s.DedupSkipped != 0 {
+		t.Fatalf("DedupAlways: sorted=%d skipped=%d, want >0/0", s.DedupSorted, s.DedupSkipped)
+	}
+	s = drive(core.DedupNever)
+	if s.DedupSorted != 0 || s.DedupSkipped == 0 {
+		t.Fatalf("DedupNever: sorted=%d skipped=%d, want 0/>0", s.DedupSorted, s.DedupSkipped)
+	}
+	// Auto on a 3x-duplicated batch: the estimator must choose to sort.
+	s = drive(core.DedupAuto)
+	if s.DedupSorted == 0 {
+		t.Fatalf("DedupAuto on duplicate-heavy batch: sorted=%d skipped=%d, want sorted>0", s.DedupSorted, s.DedupSkipped)
+	}
+}

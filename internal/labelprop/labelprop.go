@@ -29,36 +29,44 @@ func Run[G graph.Rep](g G, parent []uint32, favored []bool) int {
 
 	// epoch[v] == round marks membership in the next frontier.
 	epoch := make([]uint32, n)
-	parallel.For(n, func(i int) { epoch[i] = 0 })
 
-	frontier := parallel.FilterIndices(n, func(i int) bool {
-		return (skip == nil || !skip[i]) && g.Degree(graph.Vertex(i)) > 0
-	})
+	// The frontier filter and the exchange body are built once outside the
+	// round loop: the filter reuses its count/output scratch across rounds
+	// (D rounds on a diameter-D graph would otherwise allocate two arrays
+	// each), and a per-round closure would cost a heap allocation per sweep.
+	var filter parallel.Filter
 	round := uint32(0)
-	for len(frontier) > 0 {
-		round++
-		parallel.ForGrained(len(frontier), 128, func(lo, hi int) {
-			var buf []graph.Vertex
-			for i := lo; i < hi; i++ {
-				v := frontier[i]
-				buf = g.NeighborsInto(v, buf)
-				for _, u := range buf {
-					pv := atomic.LoadUint32(&parent[v])
-					// Push v's label to u.
-					if ord.WriteMin(&parent[u], pv) {
-						if skip == nil || !skip[u] {
-							atomic.StoreUint32(&epoch[u], round)
-						}
-					} else if pu := atomic.LoadUint32(&parent[u]); ord.Less(pu, pv) {
-						// Pull u's label into v.
-						if ord.WriteMin(&parent[v], pu) {
-							atomic.StoreUint32(&epoch[v], round)
-						}
+	var frontier []uint32
+	exchange := func(lo, hi int) {
+		var buf []graph.Vertex
+		for i := lo; i < hi; i++ {
+			v := frontier[i]
+			buf = g.NeighborsInto(v, buf)
+			for _, u := range buf {
+				pv := atomic.LoadUint32(&parent[v])
+				// Push v's label to u.
+				if ord.WriteMin(&parent[u], pv) {
+					if skip == nil || !skip[u] {
+						atomic.StoreUint32(&epoch[u], round)
+					}
+				} else if pu := atomic.LoadUint32(&parent[u]); ord.Less(pu, pv) {
+					// Pull u's label into v.
+					if ord.WriteMin(&parent[v], pu) {
+						atomic.StoreUint32(&epoch[v], round)
 					}
 				}
 			}
-		})
-		frontier = parallel.FilterIndices(n, func(i int) bool { return epoch[i] == round })
+		}
+	}
+	nextFrontier := func(i int) bool { return epoch[i] == round }
+
+	frontier = filter.Indices(n, func(i int) bool {
+		return (skip == nil || !skip[i]) && g.Degree(graph.Vertex(i)) > 0
+	})
+	for len(frontier) > 0 {
+		round++
+		parallel.ForGrained(len(frontier), 128, exchange)
+		frontier = filter.Indices(n, nextFrontier)
 	}
 	return int(round)
 }

@@ -17,7 +17,6 @@
 package liutarjan
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"connectit/internal/graph"
@@ -119,14 +118,18 @@ var ordNatural = minlabel.Order{}
 // process: every edge with at least one unskipped endpoint, exactly once.
 // It is generic over the graph representation (graph.Rep): the edge-list
 // materialization the Liu-Tarjan framework needs decodes straight off
-// compressed encodings.
+// compressed encodings. Accumulation is worker-local (one growing buffer
+// and one decode scratch per pool worker, no mutex) with a final sized
+// concatenation.
 func CollectEdges[G graph.Rep](g G, skip []bool) []graph.Edge {
 	n := g.NumVertices()
-	var mu sync.Mutex
-	var out []graph.Edge
-	parallel.ForGrained(n, 256, func(lo, hi int) {
-		var local []graph.Edge
-		var buf []graph.Vertex
+	const grain = 256
+	nw := parallel.Width(n, grain)
+	locals := make([][]graph.Edge, nw)
+	bufs := make([][]graph.Vertex, nw)
+	parallel.ForWorkerSized(n, grain, nw, func(w *parallel.Worker, lo, hi int) {
+		id := w.ID()
+		local, buf := locals[id], bufs[id]
 		for v := lo; v < hi; v++ {
 			if skip != nil && skip[v] {
 				continue
@@ -140,12 +143,16 @@ func CollectEdges[G graph.Rep](g G, skip []bool) []graph.Edge {
 				}
 			}
 		}
-		if len(local) > 0 {
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
-		}
+		locals[id], bufs[id] = local, buf
 	})
+	total := 0
+	for _, l := range locals {
+		total += len(l)
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, l := range locals {
+		out = append(out, l...)
+	}
 	return out
 }
 
@@ -161,9 +168,12 @@ func Run[G graph.Rep](g G, parent []uint32, favored []bool, v Variant) int {
 
 // RunEdges is Run over an explicit edge list (batches in COO form). It
 // publishes round results with plain stores; use RunEdgesAtomic when
-// concurrent readers chase parent while a batch applies.
+// concurrent readers chase parent while a batch applies. Repeated callers
+// (the streaming apply path) should hold a NewEdgeRunner instead: this
+// wrapper constructs a fresh runner — and pays its scratch allocations —
+// per call.
 func RunEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant) int {
-	return runEdges(edges, parent, favored, v, false)
+	return NewEdgeRunner(v, false).Run(edges, parent, favored)
 }
 
 // RunEdgesAtomic is RunEdges with the round-end copy-back published via
@@ -171,64 +181,254 @@ func RunEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant) in
 // which load parent atomically while a batch is mid-apply. The static path
 // keeps RunEdges' vectorized copy — it has no concurrent readers.
 func RunEdgesAtomic(edges []graph.Edge, parent []uint32, favored []bool, v Variant) int {
-	return runEdges(edges, parent, favored, v, true)
+	return NewEdgeRunner(v, true).Run(edges, parent, favored)
 }
 
-func runEdges(edges []graph.Edge, parent []uint32, favored []bool, v Variant, atomicPublish bool) int {
-	ord := minlabel.Order{Favored: favored}
+// altGrain is the edge-block size of the alter compaction passes.
+const altGrain = 2048
+
+// EdgeRunner executes one Liu-Tarjan variant over explicit edge lists with
+// every per-round resource hoisted out of the round loop: the connect,
+// publish, shortcut, and alter bodies are closures over the runner built
+// once at construction (a closure built inside the loop would be one heap
+// allocation per sweep), the next-array and the alter double-buffers grow
+// once and are reused, and alter compacts survivors with a deterministic
+// count/scan/scatter instead of a mutex-ordered append. A steady-state
+// Run therefore performs zero allocations — the property the ingest
+// engine's per-coalesced-group apply rounds rely on, guarded by
+// TestEdgeRunnerSteadyStateAllocs.
+//
+// A runner is not safe for concurrent use; the streaming layer serializes
+// Type ii rounds by construction.
+type EdgeRunner struct {
+	v             Variant
+	atomicPublish bool
+
+	// Per-Run state, referenced by the hoisted bodies.
+	ord    minlabel.Order
+	parent []uint32
+	edges  []graph.Edge
+
+	next   []uint32
+	bufA   []graph.Edge // alter double buffer: survivors land in the buffer
+	bufB   []graph.Edge // the current edge list does NOT occupy
+	intoA  bool
+	dst    []graph.Edge
+	counts []uint64
+
+	connectChanged  atomic.Bool
+	shortcutChanged atomic.Bool
+	alterChanged    atomic.Bool
+
+	connectBody  func(lo, hi int)
+	publishBody  func(lo, hi int)
+	copyBody     func(lo, hi int)
+	shortcutBody func(lo, hi int)
+	countBody    func(blo, bhi int) // over altGrain blocks
+	scatterBody  func(blo, bhi int)
+}
+
+// NewEdgeRunner builds a reusable runner for one variant. atomicPublish
+// selects atomic per-element stores for the round-end copy-back (required
+// when wait-free queries chase parent concurrently, §3.5 Type ii).
+func NewEdgeRunner(v Variant, atomicPublish bool) *EdgeRunner {
+	r := &EdgeRunner{v: v, atomicPublish: atomicPublish}
+	r.connectBody = r.runConnect
+	if atomicPublish {
+		r.publishBody = r.publishAtomic
+	} else {
+		r.publishBody = r.publishPlain
+	}
+	r.copyBody = r.copyToNext
+	r.shortcutBody = r.runShortcut
+	r.countBody = r.runCount
+	r.scatterBody = r.runScatter
+	return r
+}
+
+// Run refines parent over edges until convergence (see RunEdges) and
+// returns the number of rounds. The input slice is never modified: the
+// first alter pass compacts into runner-owned buffers.
+func (r *EdgeRunner) Run(edges []graph.Edge, parent []uint32, favored []bool) int {
+	r.ord = minlabel.Order{Favored: favored}
+	r.parent = parent
+	r.edges = edges
+	r.intoA = true
 	n := len(parent)
-	next := make([]uint32, n)
+	if cap(r.next) < n {
+		r.next = make([]uint32, n)
+	}
+	r.next = r.next[:n]
 	rounds := 0
 	for {
 		rounds++
-		copyParallel(next, parent)
-		var connectChanged atomic.Bool
-		parallel.ForGrained(len(edges), 512, func(lo, hi int) {
-			local := false
-			for i := lo; i < hi; i++ {
-				e := edges[i]
-				u, w := e.U, e.V
-				switch v.Connect {
-				case Connect:
-					local = offer(ord, parent, next, u, w, v.Update) || local
-					local = offer(ord, parent, next, w, u, v.Update) || local
-				case ParentConnect:
-					pu := atomic.LoadUint32(&parent[u])
-					pw := atomic.LoadUint32(&parent[w])
-					local = offer(ord, parent, next, u, pw, v.Update) || local
-					local = offer(ord, parent, next, w, pu, v.Update) || local
-				case ExtendedConnect:
-					pu := atomic.LoadUint32(&parent[u])
-					pw := atomic.LoadUint32(&parent[w])
-					local = offer(ord, parent, next, u, pw, v.Update) || local
-					local = offer(ord, parent, next, w, pu, v.Update) || local
-					local = offer(ord, parent, next, pu, pw, v.Update) || local
-					local = offer(ord, parent, next, pw, pu, v.Update) || local
-				}
+		parallel.ForGrained(n, 4096, r.copyBody)
+		r.connectChanged.Store(false)
+		parallel.ForGrained(len(r.edges), 512, r.connectBody)
+		parallel.ForGrained(n, 4096, r.publishBody)
+
+		shortcutChanged := false
+		for {
+			r.shortcutChanged.Store(false)
+			parallel.ForGrained(n, 1024, r.shortcutBody)
+			changed := r.shortcutChanged.Load()
+			shortcutChanged = shortcutChanged || changed
+			if r.v.Shortcut == OneShortcut || !changed {
+				break
 			}
-			if local {
-				connectChanged.Store(true)
-			}
-		})
-		if atomicPublish {
-			storeParallel(parent, next)
-		} else {
-			copyParallel(parent, next)
 		}
 
-		shortcutChanged := shortcut(ord, parent, v.Shortcut)
-
 		alterChanged := false
-		if v.Alter == Alter {
+		if r.v.Alter == Alter {
 			// An alter that rewrote any endpoint can enable progress on the
 			// next round even when no label changed this round (Connect's
 			// raw-ID candidates only see the rewritten endpoints), so it
 			// counts as a change for termination.
-			edges, alterChanged = alter(edges, parent)
+			alterChanged = r.alter()
 		}
-		if !connectChanged.Load() && !shortcutChanged && !alterChanged {
+		if !r.connectChanged.Load() && !shortcutChanged && !alterChanged {
+			r.edges = nil
+			r.parent = nil
 			return rounds
 		}
+	}
+}
+
+func (r *EdgeRunner) copyToNext(lo, hi int) {
+	copy(r.next[lo:hi], r.parent[lo:hi])
+}
+
+func (r *EdgeRunner) publishPlain(lo, hi int) {
+	copy(r.parent[lo:hi], r.next[lo:hi])
+}
+
+func (r *EdgeRunner) publishAtomic(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		atomic.StoreUint32(&r.parent[i], r.next[i])
+	}
+}
+
+func (r *EdgeRunner) runConnect(lo, hi int) {
+	ord, parent, next, edges := r.ord, r.parent, r.next, r.edges
+	local := false
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		u, w := e.U, e.V
+		switch r.v.Connect {
+		case Connect:
+			local = offer(ord, parent, next, u, w, r.v.Update) || local
+			local = offer(ord, parent, next, w, u, r.v.Update) || local
+		case ParentConnect:
+			pu := atomic.LoadUint32(&parent[u])
+			pw := atomic.LoadUint32(&parent[w])
+			local = offer(ord, parent, next, u, pw, r.v.Update) || local
+			local = offer(ord, parent, next, w, pu, r.v.Update) || local
+		case ExtendedConnect:
+			pu := atomic.LoadUint32(&parent[u])
+			pw := atomic.LoadUint32(&parent[w])
+			local = offer(ord, parent, next, u, pw, r.v.Update) || local
+			local = offer(ord, parent, next, w, pu, r.v.Update) || local
+			local = offer(ord, parent, next, pu, pw, r.v.Update) || local
+			local = offer(ord, parent, next, pw, pu, r.v.Update) || local
+		}
+	}
+	if local {
+		r.connectChanged.Store(true)
+	}
+}
+
+func (r *EdgeRunner) runShortcut(lo, hi int) {
+	ord, parent := r.ord, r.parent
+	local := false
+	for i := lo; i < hi; i++ {
+		p := atomic.LoadUint32(&parent[i])
+		pp := atomic.LoadUint32(&parent[p])
+		if pp != p && ord.WriteMin(&parent[i], pp) {
+			local = true
+		}
+	}
+	if local {
+		r.shortcutChanged.Store(true)
+	}
+}
+
+// alter rewrites every remaining edge to the current labels of its
+// endpoints and drops self loops, compacting survivors into the spare
+// double buffer via blocked count/scan/scatter (deterministic order, no
+// mutex, no allocation in steady state). It reports whether any edge was
+// rewritten or dropped.
+func (r *EdgeRunner) alter() bool {
+	m := len(r.edges)
+	if m == 0 {
+		return false
+	}
+	blocks := (m + altGrain - 1) / altGrain
+	if cap(r.counts) < blocks {
+		r.counts = make([]uint64, blocks)
+	}
+	r.counts = r.counts[:blocks]
+	r.alterChanged.Store(false)
+	parallel.ForGrained(blocks, 1, r.countBody)
+	total := parallel.ScanExclusive(r.counts)
+	dst := r.bufB
+	if r.intoA {
+		dst = r.bufA
+	}
+	if uint64(cap(dst)) < total {
+		dst = make([]graph.Edge, total)
+	}
+	dst = dst[:total]
+	if r.intoA {
+		r.bufA = dst
+	} else {
+		r.bufB = dst
+	}
+	r.intoA = !r.intoA
+	r.dst = dst
+	parallel.ForGrained(blocks, 1, r.scatterBody)
+	if total != uint64(m) {
+		r.alterChanged.Store(true)
+	}
+	r.edges = dst
+	return r.alterChanged.Load()
+}
+
+func (r *EdgeRunner) runCount(blo, bhi int) {
+	edges, parent, counts := r.edges, r.parent, r.counts
+	for b := blo; b < bhi; b++ {
+		lo, hi := b*altGrain, min((b+1)*altGrain, len(edges))
+		var c uint64
+		for i := lo; i < hi; i++ {
+			a := atomic.LoadUint32(&parent[edges[i].U])
+			z := atomic.LoadUint32(&parent[edges[i].V])
+			if a != z {
+				c++
+			}
+		}
+		counts[b] = c
+	}
+}
+
+func (r *EdgeRunner) runScatter(blo, bhi int) {
+	edges, parent, counts, dst := r.edges, r.parent, r.counts, r.dst
+	changed := false
+	for b := blo; b < bhi; b++ {
+		lo, hi := b*altGrain, min((b+1)*altGrain, len(edges))
+		pos := counts[b]
+		for i := lo; i < hi; i++ {
+			a := atomic.LoadUint32(&parent[edges[i].U])
+			z := atomic.LoadUint32(&parent[edges[i].V])
+			if a != edges[i].U || z != edges[i].V {
+				changed = true
+			}
+			if a != z {
+				dst[pos] = graph.Edge{U: a, V: z}
+				pos++
+			}
+		}
+	}
+	if changed {
+		r.alterChanged.Store(true)
 	}
 }
 
@@ -275,38 +475,6 @@ func shortcut(ord minlabel.Order, parent []uint32, rule ShortcutRule) bool {
 			return changedEver
 		}
 	}
-}
-
-// alter rewrites every remaining edge to the current labels of its
-// endpoints and drops edges that became self loops. It reports whether any
-// edge was rewritten or dropped.
-func alter(edges []graph.Edge, parent []uint32) ([]graph.Edge, bool) {
-	var mu sync.Mutex
-	var changed atomic.Bool
-	out := make([]graph.Edge, 0, len(edges))
-	parallel.ForGrained(len(edges), 1024, func(lo, hi int) {
-		var local []graph.Edge
-		localChanged := false
-		for i := lo; i < hi; i++ {
-			a := atomic.LoadUint32(&parent[edges[i].U])
-			b := atomic.LoadUint32(&parent[edges[i].V])
-			if a != edges[i].U || b != edges[i].V {
-				localChanged = true
-			}
-			if a != b {
-				local = append(local, graph.Edge{U: a, V: b})
-			}
-		}
-		if localChanged {
-			changed.Store(true)
-		}
-		if len(local) > 0 {
-			mu.Lock()
-			out = append(out, local...)
-			mu.Unlock()
-		}
-	})
-	return out, changed.Load()
 }
 
 func copyParallel(dst, src []uint32) {

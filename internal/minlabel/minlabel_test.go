@@ -109,10 +109,3 @@ func TestWriteMinPackedFavored(t *testing.T) {
 		t.Fatalf("packed = (%d,%d)", x>>32, uint32(x))
 	}
 }
-
-func min(a, b uint32) uint32 {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The Sched* benchmarks measure the substrate itself, not kernel work:
+// small bodies over modest ranges, so the per-call dispatch/wake/claim
+// overhead dominates. CI runs them with -cpu 1,2,4 (bench-smoke), which is
+// where the pool-vs-spawn gap and the stealing behavior show; on one proc
+// both substrates run the body inline.
+
+const (
+	schedN     = 1 << 16
+	schedGrain = 512
+)
+
+// BenchmarkSchedForPool is one persistent-pool dispatch per op.
+func BenchmarkSchedForPool(b *testing.B) {
+	data := make([]uint32, schedN)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForGrained(schedN, schedGrain, body)
+	}
+}
+
+// BenchmarkSchedForSpawn is the pre-pool substrate: spawn-per-call
+// goroutines claiming off one shared counter.
+func BenchmarkSchedForSpawn(b *testing.B) {
+	data := make([]uint32, schedN)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForGrainedSpawn(schedN, schedGrain, body)
+	}
+}
+
+// BenchmarkSchedGrain sweeps the grain size on both substrates: fine
+// grains are where the old shared claim counter serialized workers on one
+// cache line and the pool's per-worker ranges pay off.
+func BenchmarkSchedGrain(b *testing.B) {
+	data := make([]uint32, schedN)
+	for _, grain := range []int{64, 256, 1024, 4096} {
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				data[i]++
+			}
+		}
+		b.Run(benchName("pool", grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForGrained(schedN, grain, body)
+			}
+		})
+		b.Run(benchName("spawn", grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ForGrainedSpawn(schedN, grain, body)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedRounds is the round-structured shape of the Liu-Tarjan /
+// Shiloach-Vishkin hot paths: several back-to-back flat sweeps per op.
+// Back-to-back calls are where the epoch barrier's spin phase (workers
+// still awake from the previous sweep) beats spawn-per-call hardest.
+func BenchmarkSchedRounds(b *testing.B) {
+	data := make([]uint32, schedN)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i]++
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 4; r++ {
+			ForGrained(schedN, schedGrain, body)
+		}
+	}
+}
+
+// BenchmarkSchedSkewed gives one chunk 64x the work of the rest: the
+// randomized-stealing load balancer's target case.
+func BenchmarkSchedSkewed(b *testing.B) {
+	var sink atomic.Uint64
+	body := func(lo, hi int) {
+		work := 1
+		if lo == 0 {
+			work = 64
+		}
+		var s uint64
+		for w := 0; w < work; w++ {
+			for i := lo; i < hi; i++ {
+				s += uint64(i)
+			}
+		}
+		sink.Add(s)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForGrained(schedN, schedGrain, body)
+	}
+}
+
+// BenchmarkSchedReduce measures the reduction path (ReduceAdd).
+func BenchmarkSchedReduce(b *testing.B) {
+	f := func(i int) uint64 { return uint64(i) }
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += ReduceAdd(schedN, f)
+	}
+	_ = sink
+}
+
+func benchName(kind string, grain int) string {
+	return fmt.Sprintf("%s/grain=%d", kind, grain)
+}

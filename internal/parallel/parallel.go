@@ -2,11 +2,13 @@
 // algorithms are built on: dynamically scheduled parallel for loops,
 // reductions, prefix sums, filters, and histograms.
 //
-// The paper uses a Cilk-style work-stealing scheduler; we approximate it with
-// chunked dynamic self-scheduling: the iteration space is cut into grains and
-// a fixed pool of goroutines (one per P) claims grains off a shared atomic
-// counter. For the flat, irregular loops used by connectivity algorithms this
-// provides equivalent load balance (DESIGN.md §2).
+// The paper uses a Cilk-style work-stealing scheduler. This package runs
+// every loop on a persistent fork-join pool (pool.go, DESIGN.md §2): P-1
+// long-lived workers parked on an epoch barrier, woken per call with zero
+// goroutine spawns and zero steady-state allocations, claiming chunks from
+// per-worker ranges with randomized stealing. For the flat, irregular loops
+// used by connectivity algorithms this provides the same load balance as
+// work stealing while keeping per-call overhead near a function call.
 package parallel
 
 import (
@@ -16,8 +18,8 @@ import (
 )
 
 // DefaultGrain is the default number of iterations claimed by a worker at a
-// time. It is large enough to amortize the atomic fetch-add and small enough
-// to balance skewed per-iteration work (e.g. high-degree vertices).
+// time. It is large enough to amortize the claim and small enough to balance
+// skewed per-iteration work (e.g. high-degree vertices).
 const DefaultGrain = 1024
 
 // Procs returns the number of workers parallel loops will use.
@@ -25,53 +27,38 @@ func Procs() int { return runtime.GOMAXPROCS(0) }
 
 // For runs body(i) for every i in [0, n) in parallel.
 func For(n int, body func(i int)) {
-	ForGrained(n, DefaultGrain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(i)
-		}
-	})
+	forGrained(n, DefaultGrain, 0, nil, body, nil)
 }
 
 // ForGrained runs body over disjoint chunks [lo, hi) covering [0, n),
 // claiming chunks of size grain dynamically. It runs sequentially when the
-// range is a single grain or only one P is available.
+// range is a single grain, only one P is available, or the pool is busy
+// (nested parallel calls always run their inner loop inline).
 func ForGrained(n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	forGrained(n, grain, 0, body, nil, nil)
+}
+
+// ForWorker is ForGrained with worker identity: body receives the
+// claiming Worker, whose ID is a dense index below Width(n, grain) and
+// whose Scratch persists across calls. One worker executes its chunks
+// sequentially, so per-worker state needs no synchronization within a
+// call. Callers that size arrays by a prior Width call should use
+// ForWorkerSized instead: the job width is re-derived from GOMAXPROCS at
+// dispatch, so a concurrent GOMAXPROCS raise could otherwise admit IDs
+// the caller never sized for.
+func ForWorker(n, grain int, body func(w *Worker, lo, hi int)) {
+	forGrained(n, grain, 0, nil, nil, body)
+}
+
+// ForWorkerSized is ForWorker with an explicit participant bound: the job
+// uses at most maxID workers, so body only ever observes Worker.ID() <
+// maxID — whatever happens to GOMAXPROCS between the caller's Width-based
+// sizing and the dispatch. maxID < 1 is treated as 1 (sequential).
+func ForWorkerSized(n, grain, maxID int, body func(w *Worker, lo, hi int)) {
+	if maxID < 1 {
+		maxID = 1
 	}
-	if grain <= 0 {
-		grain = DefaultGrain
-	}
-	procs := Procs()
-	if procs == 1 || n <= grain {
-		body(0, n)
-		return
-	}
-	chunks := (n + grain - 1) / grain
-	if procs > chunks {
-		procs = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(procs)
-	for w := 0; w < procs; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := next.Add(1) - 1
-				if c >= int64(chunks) {
-					return
-				}
-				lo := int(c) * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	forGrained(n, grain, maxID, nil, nil, body)
 }
 
 // ReduceAdd sums f(i) over [0, n) in parallel.
@@ -92,9 +79,7 @@ func ReduceMax(n int, f func(i int) uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	var mu sync.Mutex
-	var best uint64
-	first := true
+	var best atomic.Uint64
 	ForGrained(n, DefaultGrain, func(lo, hi int) {
 		local := f(lo)
 		for i := lo + 1; i < hi; i++ {
@@ -102,14 +87,14 @@ func ReduceMax(n int, f func(i int) uint64) uint64 {
 				local = v
 			}
 		}
-		mu.Lock()
-		if first || local > best {
-			best = local
-			first = false
+		for {
+			cur := best.Load()
+			if local <= cur || best.CompareAndSwap(cur, local) {
+				break
+			}
 		}
-		mu.Unlock()
 	})
-	return best
+	return best.Load()
 }
 
 // Count returns the number of i in [0, n) for which pred(i) holds.
@@ -121,6 +106,10 @@ func Count(n int, pred func(i int) bool) uint64 {
 		return 0
 	})
 }
+
+// scanScratch recycles the block-sum arrays of ScanExclusive so the
+// steady-state scan (graph builds, semisorts, filters) does not allocate.
+var scanScratch = sync.Pool{New: func() any { return new([]uint64) }}
 
 // ScanExclusive replaces data with its exclusive prefix sum and returns the
 // total. It uses a two-pass blocked scan.
@@ -140,7 +129,12 @@ func ScanExclusive(data []uint64) uint64 {
 		}
 		return sum
 	}
-	blockSums := make([]uint64, blocks)
+	bp := scanScratch.Get().(*[]uint64)
+	blockSums := *bp
+	if cap(blockSums) < blocks {
+		blockSums = make([]uint64, blocks)
+	}
+	blockSums = blockSums[:blocks]
 	ForGrained(blocks, 1, func(blo, bhi int) {
 		for b := blo; b < bhi; b++ {
 			lo, hi := b*grain, min((b+1)*grain, n)
@@ -168,10 +162,67 @@ func ScanExclusive(data []uint64) uint64 {
 			}
 		}
 	})
+	*bp = blockSums
+	scanScratch.Put(bp)
 	return total
 }
 
-// FilterIndices returns, in ascending order, all i in [0, n) satisfying pred.
+// Filter computes FilterIndices into buffers that are reused across calls:
+// round-structured kernels (label propagation's frontier, the ingest apply
+// path) hold one Filter and stay allocation-free in steady state.
+type Filter struct {
+	counts []uint64
+	out    []uint32
+}
+
+// Indices returns, in ascending order, all i in [0, n) satisfying pred.
+// The returned slice aliases the Filter's scratch and is valid until the
+// next Indices call.
+func (f *Filter) Indices(n int, pred func(i int) bool) []uint32 {
+	grain := DefaultGrain
+	blocks := (n + grain - 1) / grain
+	if blocks == 0 {
+		return nil
+	}
+	if cap(f.counts) < blocks {
+		f.counts = make([]uint64, blocks)
+	}
+	counts := f.counts[:blocks]
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			var c uint64
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					c++
+				}
+			}
+			counts[b] = c
+		}
+	})
+	total := ScanExclusive(counts)
+	if uint64(cap(f.out)) < total {
+		f.out = make([]uint32, total)
+	}
+	out := f.out[:total]
+	ForGrained(blocks, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*grain, min((b+1)*grain, n)
+			pos := counts[b]
+			for i := lo; i < hi; i++ {
+				if pred(i) {
+					out[pos] = uint32(i)
+					pos++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// FilterIndices returns, in ascending order, all i in [0, n) satisfying
+// pred, in a freshly allocated slice. Hot paths that filter repeatedly
+// should hold a Filter instead.
 func FilterIndices(n int, pred func(i int) bool) []uint32 {
 	grain := DefaultGrain
 	blocks := (n + grain - 1) / grain
@@ -208,9 +259,42 @@ func FilterIndices(n int, pred func(i int) bool) []uint32 {
 	return out
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// ForGrainedSpawn is the pre-pool substrate, retained as the comparison
+// baseline for the `sched` experiment and the scheduler microbenchmarks: it
+// spawns up to P goroutines per call and claims grains off one shared
+// atomic counter. New code should use ForGrained.
+func ForGrainedSpawn(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
 	}
-	return b
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	procs := Procs()
+	if procs == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if procs > chunks {
+		procs = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for w := 0; w < procs; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := next.Add(1) - 1
+				if c >= int64(chunks) {
+					return
+				}
+				lo := int(c) * grain
+				hi := min(lo+grain, n)
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
 }

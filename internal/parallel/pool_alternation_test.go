@@ -1,0 +1,36 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunForAlternation alternates Run (modeEvery) with For dispatches:
+// the interleaving that once let a worker re-park before the wake sweep
+// reached it, receive a stale token, and double-execute a job.
+func TestPoolRunForAlternation(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	rounds := 20000
+	if testing.Short() {
+		rounds = 4000
+	}
+	data := make([]uint32, 1<<12)
+	body := func(i int) { data[i]++ }
+	var ran atomic.Int64
+	fn := func(w *Worker) { ran.Add(1) }
+	for r := 0; r < rounds; r++ {
+		ran.Store(0)
+		Run(fn)
+		if got := ran.Load(); got != 4 {
+			t.Fatalf("round %d: Run executed fn %d times, want 4", r, got)
+		}
+		For(len(data), body)
+	}
+	for i := range data {
+		if data[i] != uint32(rounds) {
+			t.Fatalf("data[%d] = %d, want %d (lost or duplicated chunk)", i, data[i], rounds)
+		}
+	}
+}

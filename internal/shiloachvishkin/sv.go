@@ -25,42 +25,48 @@ import (
 func Run[G graph.Rep](g G, parent []uint32, skip []bool) int {
 	n := g.NumVertices()
 	rounds := 0
-	for {
-		rounds++
-		var changed atomic.Bool
-		parallel.ForGrained(n, 256, func(lo, hi int) {
-			local := false
-			var buf []graph.Vertex
-			for v := lo; v < hi; v++ {
-				if skip != nil && skip[v] {
+	// The hook and compress bodies are built once, outside the round loop:
+	// a closure constructed per round would cost one heap allocation per
+	// sweep on the pool dispatch path.
+	var changed atomic.Bool
+	hookBody := func(lo, hi int) {
+		local := false
+		var buf []graph.Vertex
+		for v := lo; v < hi; v++ {
+			if skip != nil && skip[v] {
+				continue
+			}
+			buf = g.NeighborsInto(graph.Vertex(v), buf)
+			for _, u := range buf {
+				pv := atomic.LoadUint32(&parent[v])
+				pu := atomic.LoadUint32(&parent[u])
+				if pv == pu {
 					continue
 				}
-				buf = g.NeighborsInto(graph.Vertex(v), buf)
-				for _, u := range buf {
-					pv := atomic.LoadUint32(&parent[v])
-					pu := atomic.LoadUint32(&parent[u])
-					if pv == pu {
-						continue
-					}
-					hi32, lo32 := pv, pu
-					if hi32 < lo32 {
-						hi32, lo32 = lo32, hi32
-					}
-					// Hook the larger root below the smaller label.
-					if atomic.LoadUint32(&parent[hi32]) == hi32 &&
-						concurrent.WriteMin(&parent[hi32], lo32) {
-						local = true
-					}
+				hi32, lo32 := pv, pu
+				if hi32 < lo32 {
+					hi32, lo32 = lo32, hi32
+				}
+				// Hook the larger root below the smaller label.
+				if atomic.LoadUint32(&parent[hi32]) == hi32 &&
+					concurrent.WriteMin(&parent[hi32], lo32) {
+					local = true
 				}
 			}
-			if local {
-				changed.Store(true)
-			}
-		})
+		}
+		if local {
+			changed.Store(true)
+		}
+	}
+	compressBody := compressBodyFor(parent)
+	for {
+		rounds++
+		changed.Store(false)
+		parallel.ForGrained(n, 256, hookBody)
 		if !changed.Load() {
 			return rounds
 		}
-		compress(parent)
+		parallel.ForGrained(n, compressGrain, compressBody)
 	}
 }
 
@@ -132,55 +138,71 @@ func RunForest(g *graph.Graph, parent []uint32, skip []bool, forest [][2]uint32)
 // RunEdges executes Shiloach-Vishkin over an explicit COO edge list (the
 // batch-incremental Type (ii) path, §3.5): rounds of root hooking via
 // writeMin over the batch edges followed by full compression. It returns
-// the number of rounds.
+// the number of rounds. Closures are hoisted out of the round loop (see
+// Run).
 func RunEdges(edges []graph.Edge, parent []uint32) int {
 	rounds := 0
+	var changed atomic.Bool
+	hookBody := func(lo, hi int) {
+		local := false
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			pv := atomic.LoadUint32(&parent[e.U])
+			pu := atomic.LoadUint32(&parent[e.V])
+			if pv == pu {
+				continue
+			}
+			hi32, lo32 := pv, pu
+			if hi32 < lo32 {
+				hi32, lo32 = lo32, hi32
+			}
+			if atomic.LoadUint32(&parent[hi32]) == hi32 &&
+				concurrent.WriteMin(&parent[hi32], lo32) {
+				local = true
+			}
+		}
+		if local {
+			changed.Store(true)
+		}
+	}
+	compressBody := compressBodyFor(parent)
 	for {
 		rounds++
-		var changed atomic.Bool
-		parallel.ForGrained(len(edges), 512, func(lo, hi int) {
-			local := false
-			for i := lo; i < hi; i++ {
-				e := edges[i]
-				pv := atomic.LoadUint32(&parent[e.U])
-				pu := atomic.LoadUint32(&parent[e.V])
-				if pv == pu {
-					continue
-				}
-				hi32, lo32 := pv, pu
-				if hi32 < lo32 {
-					hi32, lo32 = lo32, hi32
-				}
-				if atomic.LoadUint32(&parent[hi32]) == hi32 &&
-					concurrent.WriteMin(&parent[hi32], lo32) {
-					local = true
-				}
-			}
-			if local {
-				changed.Store(true)
-			}
-		})
+		changed.Store(false)
+		parallel.ForGrained(len(edges), 512, hookBody)
 		if !changed.Load() {
 			return rounds
 		}
-		compress(parent)
+		parallel.ForGrained(len(parent), compressGrain, compressBody)
 	}
 }
 
-// compress pointer-jumps every vertex to its root. Each vertex stores only
-// its own entry, so per-slot stores are safe; loads are atomic.
-func compress(parent []uint32) {
-	parallel.For(len(parent), func(i int) {
-		r := atomic.LoadUint32(&parent[i])
-		for {
-			pr := atomic.LoadUint32(&parent[r])
-			if pr == r {
-				break
+// compressGrain is the chunk size of the compression sweep.
+const compressGrain = 1024
+
+// compressBodyFor returns the pointer-jumping sweep body over parent. Each
+// vertex stores only its own entry, so per-slot stores are safe; loads are
+// atomic.
+func compressBodyFor(parent []uint32) func(lo, hi int) {
+	return func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := atomic.LoadUint32(&parent[i])
+			for {
+				pr := atomic.LoadUint32(&parent[r])
+				if pr == r {
+					break
+				}
+				r = pr
 			}
-			r = pr
+			atomic.StoreUint32(&parent[i], r)
 		}
-		atomic.StoreUint32(&parent[i], r)
-	})
+	}
+}
+
+// compress pointer-jumps every vertex to its root (one-shot form of
+// compressBodyFor for callers outside a round loop).
+func compress(parent []uint32) {
+	parallel.ForGrained(len(parent), compressGrain, compressBodyFor(parent))
 }
 
 // edgeSource recovers the source vertex of the directed edge stored at

@@ -26,8 +26,23 @@ type StreamOptions = ingest.Options
 
 // StreamStats is a snapshot of a Stream's operation counters, including
 // the apply pipeline's Epochs/Rounds/Coalesced trio (epochs-per-round is
-// the coalescing win).
+// the coalescing win) and the Algorithm 3 dedup decisions
+// (DedupSorted/DedupSkipped).
 type StreamStats = ingest.Stats
+
+// DedupHint selects the Algorithm 3 batch-preprocessing policy of a Stream
+// (StreamOptions.DedupHint): DedupAuto samples each large batch and sorts
+// only when the estimated duplicate rate justifies it; DedupAlways and
+// DedupNever override the estimator for streams whose producers know their
+// duplication profile.
+type DedupHint = core.DedupHint
+
+// The batch-preprocessing policies.
+const (
+	DedupAuto   = core.DedupAuto
+	DedupAlways = core.DedupAlways
+	DedupNever  = core.DedupNever
+)
 
 // NewStream compiles cfg and opens a concurrent ingest stream over n
 // initially isolated vertices. Algorithms that cannot stream return the
