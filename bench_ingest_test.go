@@ -23,6 +23,12 @@ func driveMixed(update func(u, v uint32), connected func(u, v uint32) bool,
 	return ingest.Drive(update, connected, edges, n, benchIngestProducers, mix)
 }
 
+// driveStream is driveMixed against a Stream's error-returning lifecycle
+// surface.
+func driveStream(st *Stream, edges []Edge, n int, mix float64) uint64 {
+	return ingest.DriveStream(st, edges, n, benchIngestProducers, mix)
+}
+
 // BenchmarkStreamMixedRatio measures the concurrent ingest engine at
 // 90/10, 50/50, and 10/90 update:query mixes, one algorithm per stream
 // type plus the coarse-locked STINGER baseline. Metrics: updates/s and
@@ -58,7 +64,7 @@ func BenchmarkStreamMixedRatio(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					q := driveMixed(st.Update, st.Connected, edges, n, mix.q)
+					q := driveStream(st, edges, n, mix.q)
 					st.Sync()
 					updates += uint64(len(edges))
 					queries += q
@@ -110,7 +116,7 @@ func BenchmarkStreamPrefilter(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				driveMixed(st.Update, st.Connected, edges, n, 0.1)
+				driveStream(st, edges, n, 0.1)
 				st.Sync()
 			}
 			secs := b.Elapsed().Seconds()
@@ -133,7 +139,7 @@ func BenchmarkStreamEpochSize(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				driveMixed(st.Update, st.Connected, edges, n, 0.1)
+				driveStream(st, edges, n, 0.1)
 				st.Sync()
 			}
 			secs := b.Elapsed().Seconds()
@@ -167,7 +173,7 @@ func BenchmarkStreamCoalesce(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					driveMixed(st.Update, st.Connected, edges, n, 0.1)
+					driveStream(st, edges, n, 0.1)
 					st.Sync()
 					stats := st.Stats()
 					epochs += stats.Epochs

@@ -21,6 +21,14 @@
 //	connectit -format bin -path rmat20.cbin -v -algo "uf;rem-cas;naive;split-one"
 //	connectit -graph rmat -scale 18 -format compressed -v
 //
+// -serve runs the HTTP connectivity service over -n initially isolated
+// vertices: POST /v1/update ingests edges (group-committed through the
+// write-ahead log named by -wal-dir when set), GET /v1/connected answers
+// wait-free queries, and GET /metrics exposes Prometheus counters; the
+// process shuts down gracefully on SIGINT/SIGTERM (DESIGN.md §11):
+//
+//	connectit -serve -n 1000000 -addr :8080 -wal-dir /var/lib/connectit
+//
 // -list enumerates every finish algorithm in the registry with its
 // capabilities; each printed name is a valid -algo value. -stream drives
 // the concurrent ingest engine with -workers goroutines issuing a -qmix
@@ -33,11 +41,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"connectit"
@@ -67,6 +79,14 @@ var (
 	format  = flag.String("format", "csr", "graph representation: csr|compressed|bin (bin memory-maps the .cbin file named by -path)")
 	convert = flag.String("convert", "", "write the graph to this .cbin file and exit")
 	verbose = flag.Bool("v", false, "print per-backend memory footprint (SizeBytes, bytes/edge)")
+
+	serve         = flag.Bool("serve", false, "run the HTTP connectivity service over -n vertices (see -addr, -wal-dir)")
+	addr          = flag.String("addr", ":8080", "listen address for -serve")
+	walDir        = flag.String("wal-dir", "", "write-ahead log directory for -serve (empty = no durability)")
+	snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "WAL compaction period for -serve, in [1s, 24h] (negative disables)")
+	flushInterval = flag.Duration("flush-interval", 2*time.Millisecond, "group-commit flush deadline for -serve, in [100µs, 10s]")
+	maxPending    = flag.Int("max-pending", 64, "backpressure bound for -serve: updates get 429 while more sealed epochs than this await apply")
+	walNoSync     = flag.Bool("wal-nosync", false, "skip the per-group fsync for -serve (risks the last flush interval on crash)")
 
 	stream   = flag.Bool("stream", false, "drive the concurrent ingest engine instead of a static run")
 	workers  = flag.Int("workers", 8, "concurrent producer goroutines for -stream")
@@ -133,6 +153,28 @@ func validateFlags() error {
 	if *stream && *forest {
 		return errors.New("-stream and -forest are mutually exclusive")
 	}
+	if *serve {
+		if *stream || *forest || *convert != "" {
+			return errors.New("-serve is mutually exclusive with -stream, -forest, and -convert")
+		}
+		if _, err := net.ResolveTCPAddr("tcp", *addr); err != nil {
+			return fmt.Errorf("-addr %q is not a valid listen address: %v", *addr, err)
+		}
+		if *snapInterval >= 0 && (*snapInterval < time.Second || *snapInterval > 24*time.Hour) {
+			return fmt.Errorf("-snapshot-interval %v out of range [1s, 24h]", *snapInterval)
+		}
+		if *flushInterval < 100*time.Microsecond || *flushInterval > 10*time.Second {
+			return fmt.Errorf("-flush-interval %v out of range [100µs, 10s]", *flushInterval)
+		}
+		if *maxPending < 1 || *maxPending > 1<<20 {
+			return fmt.Errorf("-max-pending %d out of range [1, %d]", *maxPending, 1<<20)
+		}
+		if *walDir != "" {
+			if err := probeWritableDir(*walDir); err != nil {
+				return fmt.Errorf("-wal-dir %q is not writable: %v", *walDir, err)
+			}
+		}
+	}
 	switch *format {
 	case "csr", "compressed", "bin":
 	default:
@@ -156,6 +198,9 @@ func run() error {
 	}
 	if err := validateFlags(); err != nil {
 		return err
+	}
+	if *serve {
+		return runServe()
 	}
 
 	cfg, err := connectit.ParseConfig(*samplingName + ";" + *algo)
@@ -292,6 +337,49 @@ func makeRep() (rep connectit.GraphRep, csr *connectit.Graph, err error) {
 // runStream replays g's edges as a live stream: -workers producers push
 // interleaved updates and (a -qmix fraction of) connectivity queries into
 // the concurrent ingest engine.
+// probeWritableDir verifies the WAL directory can be created and written
+// before the service boots, so a bad -wal-dir is a one-line error rather
+// than a late open failure mid-recovery.
+func probeWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	f.Close()
+	return os.Remove(name)
+}
+
+// runServe boots the HTTP connectivity service and blocks until SIGINT or
+// SIGTERM, then shuts down gracefully (drain, final snapshot, seal log).
+func runServe() error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	durable := "in-memory (no -wal-dir)"
+	if *walDir != "" {
+		durable = "wal " + *walDir
+	}
+	fmt.Printf("serving on %s: n=%d, algo %s;%s, %s\n", *addr, *n, *samplingName, *algo, durable)
+	return connectit.Serve(ctx, connectit.ServerOptions{
+		Addr:        *addr,
+		NumVertices: *n,
+		Spec:        *samplingName + ";" + *algo,
+		Stream: connectit.StreamOptions{
+			EpochSize:        *epoch,
+			CoalesceBound:    *coalesce,
+			DisablePrefilter: *noFilter,
+		},
+		WALDir:           *walDir,
+		SnapshotInterval: *snapInterval,
+		FlushInterval:    *flushInterval,
+		MaxPendingEpochs: *maxPending,
+		NoSync:           *walNoSync,
+	})
+}
+
 func runStream(solver *connectit.Solver, g *connectit.Graph) error {
 	if caps := solver.Capabilities(); !caps.Streaming {
 		return fmt.Errorf("algorithm %s does not stream", solver.Name())
@@ -307,7 +395,7 @@ func runStream(solver *connectit.Solver, g *connectit.Graph) error {
 	edges := g.Edges()
 	fmt.Printf("stream: %v, %d workers, %.0f%% queries\n", st.Type(), *workers, *qmix*100)
 	start := time.Now()
-	ingest.Drive(st.Update, st.Connected, edges, g.NumVertices(), *workers, *qmix)
+	ingest.DriveStream(st, edges, g.NumVertices(), *workers, *qmix)
 	st.Sync()
 	elapsed := time.Since(start)
 

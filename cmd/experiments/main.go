@@ -713,7 +713,7 @@ func ingestMixed() {
 				log.Fatal(err)
 			}
 			start := time.Now()
-			ingest.Drive(st.Update, st.Connected, edges, n, producers, mix)
+			ingest.DriveStream(st, edges, n, producers, mix)
 			st.Sync()
 			elapsed := time.Since(start)
 			stats := st.Stats()
@@ -749,7 +749,7 @@ func ingestMixed() {
 				log.Fatal(err)
 			}
 			start := time.Now()
-			ingest.Drive(st.Update, st.Connected, edges, n, producers, 0.1)
+			ingest.DriveStream(st, edges, n, producers, 0.1)
 			st.Sync()
 			rate := float64(len(edges)) / time.Since(start).Seconds()
 			if bound == 0 {

@@ -53,7 +53,7 @@ func main() {
 				return
 			default:
 			}
-			if st.Connected(target[0], target[1]) {
+			if same, _ := st.Connected(target[0], target[1]); same {
 				connectedAt = time.Since(start)
 				return
 			}
@@ -76,7 +76,8 @@ func main() {
 	elapsed := time.Since(start)
 	close(stop)
 	<-done
-	if connectedAt == 0 && st.Connected(target[0], target[1]) {
+	same, _ := st.Connected(target[0], target[1])
+	if connectedAt == 0 && same {
 		// Connected only by the final leftover batch, after the querier quit.
 		connectedAt = elapsed
 	}

@@ -50,15 +50,24 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"connectit/internal/core"
 	"connectit/internal/graph"
 	"connectit/internal/parallel"
 )
+
+// ErrClosed is returned by Update, UpdateBatch, and Connected after Close:
+// a closed stream's state is final, so mutations are rejected and queries
+// fail fast instead of answering from a structure the caller believes
+// sealed. Labels, NumComponents, Stats, and Sync keep working after Close —
+// they are the read-only surface a snapshotting server needs.
+var ErrClosed = errors.New("ingest: stream closed")
 
 // Options tunes a Stream. The zero value selects the defaults.
 type Options struct {
@@ -89,7 +98,13 @@ type Options struct {
 }
 
 const (
-	defaultEpochSize      = 4096
+	defaultEpochSize = 4096
+	// defaultCoalesceFactor bounds a round at 16 epochs of buffered
+	// updates. Multicore runs (-cpu 2,4; see BENCH_stream.json) measure
+	// 1.1–1.2 epochs/round: coalescing engages once producers and rounds
+	// genuinely overlap, but the apply path drains faster than producers
+	// seal, so the bound is nowhere near saturated and raising it would
+	// only grow worst-case round latency without adding throughput.
 	defaultCoalesceFactor = 16
 	defaultProbeBudget    = 32
 )
@@ -204,11 +219,23 @@ type Stream struct {
 	// sealed update is visible. Sealing registers the epoch here under the
 	// sealing shard's lock — before the batch leaves the buffer — so Sync,
 	// which drains every shard and then waits for zero, can never miss an
-	// epoch that left a buffer before Sync observed it.
+	// epoch that left a buffer before Sync observed it. inflight is atomic
+	// only so PendingEpochs can read it lock-free for backpressure
+	// decisions; every write still happens under qmu for the quiet-cond
+	// coordination.
 	qmu      sync.Mutex
 	queue    [][]graph.Edge
-	inflight int
+	inflight atomic.Int64
 	quiet    *sync.Cond // broadcast when inflight drops to zero
+
+	// Close gate. closed flips once; active counts Update/UpdateBatch calls
+	// that passed the gate (striped like the op counters so producers don't
+	// share a cache line), so Close can wait out stragglers before the
+	// final Sync. closeDone is closed when Close's drain completes, making
+	// later Close calls idempotent waits.
+	closed    atomic.Bool
+	active    counter
+	closeDone chan struct{}
 
 	updates  counter
 	queries  counter
@@ -228,6 +255,7 @@ func New(inc *core.Incremental, opt Options) *Stream {
 	inc.SetDedupHint(opt.DedupHint)
 	s := &Stream{inc: inc, stype: inc.Type(), opt: opt}
 	s.quiet = sync.NewCond(&s.qmu)
+	s.closeDone = make(chan struct{})
 	if s.stype != core.TypeAsync {
 		s.shards = make([]shard, opt.Shards)
 		for i := range s.shards {
@@ -261,8 +289,51 @@ func (s *Stream) Stats() Stats {
 	}
 }
 
-// Update accepts the edge insertion (u, v). Vertices must be < Len().
-func (s *Stream) Update(u, v uint32) {
+// Update accepts the edge insertion (u, v). Vertices must be < Len(). After
+// Close it returns ErrClosed instead of mutating sealed state.
+func (s *Stream) Update(u, v uint32) error {
+	h := u ^ v
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.active.Add(h, 1)
+	defer s.active.Add(h, ^uint64(0))
+	// Re-check after registering: a Close that ran between the first check
+	// and the increment observes the increment (sequentially consistent
+	// atomics) and waits us out; one that ran before the increment is
+	// caught here, so no update slips past a completed Close.
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.update(u, v)
+	return nil
+}
+
+// UpdateBatch accepts a batch of edge insertions under one close-gate
+// entry: the serving path's amortized feed (one gate check per WAL record
+// instead of per edge). Vertices must be < Len().
+func (s *Stream) UpdateBatch(edges []graph.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	h := edges[0].U ^ edges[0].V
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.active.Add(h, 1)
+	defer s.active.Add(h, ^uint64(0))
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	for _, e := range edges {
+		s.update(e.U, e.V)
+	}
+	return nil
+}
+
+// update is the gate-free insertion hot path shared by Update and
+// UpdateBatch.
+func (s *Stream) update(u, v uint32) {
 	s.updates.Add(u^v, 1)
 	if u == v {
 		s.filtered.Add(u, 1)
@@ -283,17 +354,53 @@ func (s *Stream) Update(u, v uint32) {
 
 // Connected answers a connectivity query against every applied round (and,
 // for Type i, every completed Update). It is wait-free for Type i and ii;
-// for Type iii it waits out any in-flight apply phase.
-func (s *Stream) Connected(u, v uint32) bool {
+// for Type iii it waits out any in-flight apply phase. After Close it
+// returns ErrClosed.
+func (s *Stream) Connected(u, v uint32) (bool, error) {
+	if s.closed.Load() {
+		return false, ErrClosed
+	}
 	s.queries.Add(u^v, 1)
 	if s.stype == core.TypePhased {
 		s.phase.RLock()
 		same := s.inc.Connected(u, v)
 		s.phase.RUnlock()
-		return same
+		return same, nil
 	}
-	return s.inc.Connected(u, v)
+	return s.inc.Connected(u, v), nil
 }
+
+// Close makes the stream's state final: it rejects new updates and queries
+// (ErrClosed), waits out in-flight Update calls, and applies every buffered
+// epoch, so when Close returns the structure reflects exactly the updates
+// that were accepted — the contract a snapshotting server relies on. Close
+// is idempotent and safe to call concurrently: every call returns after the
+// first one's drain completes. The read-only snapshot surface (Labels,
+// NumComponents, Stats, Sync) keeps working on a closed stream.
+func (s *Stream) Close() error {
+	if s.closed.Swap(true) {
+		<-s.closeDone
+		return nil
+	}
+	// Wait for gate-passed updates to finish. Every such call's active
+	// increment is sequentially ordered before our Swap, so a zero sum
+	// means every straggler has both finished its mutation and left.
+	for spins := 0; s.active.Load() != 0; spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	s.Sync()
+	close(s.closeDone)
+	return nil
+}
+
+// PendingEpochs reports the number of sealed epochs not yet fully applied
+// (queued plus mid-round) — the serving layer's backpressure signal. It is
+// lock-free and approximate under traffic.
+func (s *Stream) PendingEpochs() int { return int(s.inflight.Load()) }
 
 // pick selects e's shard by a stateless multiplicative hash of the edge.
 // The previous design bumped one global round-robin cursor on every
@@ -334,7 +441,7 @@ func (s *Stream) enqueue(e graph.Edge) {
 func (s *Stream) seal(batch []graph.Edge) {
 	s.qmu.Lock()
 	s.queue = append(s.queue, batch)
-	s.inflight++
+	s.inflight.Add(1)
 	s.qmu.Unlock()
 	s.epochs.Add(1)
 }
@@ -366,8 +473,7 @@ func (s *Stream) pop() (group [][]graph.Edge, total int) {
 // retire marks k epochs fully applied, waking Sync waiters at zero.
 func (s *Stream) retire(k int) {
 	s.qmu.Lock()
-	s.inflight -= k
-	if s.inflight == 0 {
+	if s.inflight.Add(int64(-k)) == 0 {
 		s.quiet.Broadcast()
 	}
 	s.qmu.Unlock()
@@ -491,7 +597,7 @@ func (s *Stream) Sync() {
 	// Wait out epochs another goroutine popped but has not finished
 	// applying.
 	s.qmu.Lock()
-	for s.inflight > 0 {
+	for s.inflight.Load() > 0 {
 		s.quiet.Wait()
 	}
 	s.qmu.Unlock()

@@ -6,6 +6,14 @@ import (
 	"connectit/internal/core"
 )
 
+// conn is Connected with the close error discarded: the tests below own
+// their streams' lifecycles, so ErrClosed cannot occur unless a test
+// arranges it (close_test exercises the error path explicitly).
+func conn(s *Stream, u, v uint32) bool {
+	same, _ := s.Connected(u, v)
+	return same
+}
+
 // mustStream opens a Stream for the given algorithm spec.
 func mustStream(t *testing.T, n int, spec string, opt Options) *Stream {
 	t.Helper()
@@ -53,10 +61,10 @@ func TestStreamSequentialPath(t *testing.T) {
 				s.Update(v, v+1)
 			}
 			s.Sync()
-			if !s.Connected(0, n-1) {
+			if !conn(s, 0, n-1) {
 				t.Fatalf("path endpoints not connected after Sync")
 			}
-			if s.Connected(0, n-1) != true || s.NumComponents() != 1 {
+			if conn(s, 0, n-1) != true || s.NumComponents() != 1 {
 				t.Fatalf("want single component, got %d", s.NumComponents())
 			}
 			st := s.Stats()
@@ -104,7 +112,7 @@ func TestStreamPrefilterDropsIntraComponent(t *testing.T) {
 	if st.Filtered < n-1 {
 		t.Fatalf("buffered pre-filter dropped %d, want >= %d", st.Filtered, n-1)
 	}
-	if !sb.Connected(0, n-1) {
+	if !conn(sb, 0, n-1) {
 		t.Fatal("filtering broke connectivity")
 	}
 }
@@ -121,7 +129,7 @@ func TestStreamSelfLoopsAndDisable(t *testing.T) {
 	if st.Applied != 2 {
 		t.Fatalf("disabled pre-filter still dropped updates: %+v", st)
 	}
-	if !s.Connected(0, 1) || s.Connected(0, 3) {
+	if !conn(s, 0, 1) || conn(s, 0, 3) {
 		t.Fatal("connectivity wrong")
 	}
 }
@@ -129,12 +137,12 @@ func TestStreamSelfLoopsAndDisable(t *testing.T) {
 func TestStreamQueriesSeeOnlyAcceptedUpdates(t *testing.T) {
 	for _, tc := range typeSpecs {
 		s := mustStream(t, 64, tc.spec, Options{EpochSize: 8})
-		if s.Connected(1, 2) {
+		if conn(s, 1, 2) {
 			t.Fatalf("%s: empty stream reports connectivity", tc.spec)
 		}
 		s.Update(1, 2)
 		s.Sync()
-		if !s.Connected(1, 2) || s.Connected(1, 3) {
+		if !conn(s, 1, 2) || conn(s, 1, 3) {
 			t.Fatalf("%s: wrong connectivity after one update", tc.spec)
 		}
 	}
@@ -178,7 +186,7 @@ func TestSyncCoalescesResidualEpochs(t *testing.T) {
 	}
 
 	// Both pipelines must agree on the result.
-	if !s.Connected(0, 2000) || !s1.Connected(0, 2000) {
+	if !conn(s, 0, 2000) || !conn(s1, 0, 2000) {
 		t.Fatal("path endpoints not connected after Sync")
 	}
 }

@@ -116,7 +116,7 @@ func TestStreamStress(t *testing.T) {
 					}
 					for _, o := range tape {
 						if o.query {
-							if s.Connected(o.u, o.v) && finalRoot[o.u] != finalRoot[o.v] {
+							if conn(s, o.u, o.v) && finalRoot[o.u] != finalRoot[o.v] {
 								falsePos.Add(1)
 							}
 							continue
@@ -126,7 +126,7 @@ func TestStreamStress(t *testing.T) {
 							// Type i updates are visible at return: this
 							// producer's own history must read back.
 							own.union(o.u, o.v)
-							if !s.Connected(o.u, o.v) {
+							if !conn(s, o.u, o.v) {
 								ownViolation.Add(1)
 							}
 						}
@@ -135,7 +135,7 @@ func TestStreamStress(t *testing.T) {
 						// Spot-check the producer's full local history.
 						for i := 0; i < n; i += 7 {
 							u, v := uint32(i), uint32((i*13+1)%n)
-							if own.same(u, v) && !s.Connected(u, v) {
+							if own.same(u, v) && !conn(s, u, v) {
 								ownViolation.Add(1)
 							}
 						}
@@ -207,7 +207,7 @@ func TestStreamStressManyProducers(t *testing.T) {
 						for i := p; i < len(edges); i += producers {
 							s.Update(edges[i].U, edges[i].V)
 							if i%3 == 0 {
-								s.Connected(edges[i].V, uint32((i*31)%n))
+								conn(s, edges[i].V, uint32((i*31)%n))
 							}
 							if i%257 == 0 {
 								s.Sync() // Sync must be safe mid-traffic

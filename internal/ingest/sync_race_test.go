@@ -59,7 +59,7 @@ func TestSyncVisibilityConcurrentSyncs(t *testing.T) {
 				s.Sync()
 				// (u, v) was accepted before this Sync began, so it must be
 				// visible now.
-				if !s.Connected(u, v) {
+				if !conn(s, u, v) {
 					violations++
 				}
 				wg.Wait()

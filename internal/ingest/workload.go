@@ -43,3 +43,14 @@ func Drive(update func(u, v uint32), connected func(u, v uint32) bool,
 	}
 	return total
 }
+
+// DriveStream is Drive against a Stream, adapting the error-returning
+// Update/Connected lifecycle surface back to Drive's plain callbacks. The
+// caller owns the stream's lifecycle, so close errors cannot occur while a
+// drive is running and are discarded.
+func DriveStream(s *Stream, edges []graph.Edge, n, producers int, mix float64) uint64 {
+	return Drive(
+		func(u, v uint32) { _ = s.Update(u, v) },
+		func(u, v uint32) bool { c, _ := s.Connected(u, v); return c },
+		edges, n, producers, mix)
+}

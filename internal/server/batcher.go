@@ -1,0 +1,154 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"connectit/internal/graph"
+	"connectit/internal/ingest"
+	"connectit/internal/wal"
+)
+
+// errBatcherClosed reports a Submit against a drained batcher — only
+// reachable during shutdown, and mapped to 503 by the handler.
+var errBatcherClosed = errors.New("server: batcher closed")
+
+// group is one flush generation: every Submit between two flushes lands in
+// the same group and shares one WAL record, one fsync, and one stream feed
+// (group commit). done closes when the group is durable and fed; err is the
+// shared outcome.
+type group struct {
+	edges []graph.Edge
+	done  chan struct{}
+	err   error
+	lsn   uint64
+}
+
+// batcher coalesces accepted updates into flush groups, bounded by a size
+// trigger and a flush deadline: a Submit that fills the group kicks an
+// immediate flush, and the ticker guarantees no accepted edge waits longer
+// than the flush interval for durability. Flushes serialize on flushMu —
+// the snapshot path takes the same mutex to fence an LSN at which
+// "appended to the log" and "fed to the stream" coincide.
+type batcher struct {
+	st       *ingest.Stream
+	log      *wal.Log // nil: no durability, flush feeds the stream only
+	maxBatch int
+
+	mu     sync.Mutex
+	cur    *group
+	closed bool
+
+	flushMu sync.Mutex
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newBatcher(st *ingest.Stream, log *wal.Log, maxBatch int, interval time.Duration) *batcher {
+	b := &batcher{
+		st:       st,
+		log:      log,
+		maxBatch: maxBatch,
+		cur:      &group{done: make(chan struct{})},
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.loop(interval)
+	return b
+}
+
+// Submit appends edges to the current flush group and blocks until that
+// group is durable in the WAL and fed to the ingest pipeline, returning the
+// WAL record's LSN. This is the serving path's group commit: concurrent
+// requests amortize one fsync.
+func (b *batcher) Submit(edges []graph.Edge) (uint64, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, errBatcherClosed
+	}
+	g := b.cur
+	g.edges = append(g.edges, edges...)
+	full := len(g.edges) >= b.maxBatch
+	b.mu.Unlock()
+	if full {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+	<-g.done
+	return g.lsn, g.err
+}
+
+// loop drives deadline flushes. The ticker rather than an armed timer keeps
+// the logic race-free; an empty flush is a mutex acquisition and nothing
+// else, so idle ticks cost effectively zero.
+func (b *batcher) loop(interval time.Duration) {
+	defer b.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.kick:
+		case <-t.C:
+		case <-b.stop:
+			b.flush()
+			return
+		}
+		b.flush()
+	}
+}
+
+// flush swaps the current group out and completes it: WAL append (durable
+// unless the log runs NoSync) first, stream feed second — the write-ahead
+// ordering the recovery contract depends on. Waiters see err via the shared
+// group.
+func (b *batcher) flush() {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	b.mu.Lock()
+	g := b.cur
+	if len(g.edges) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	b.cur = &group{done: make(chan struct{})}
+	b.mu.Unlock()
+
+	if b.log != nil {
+		g.lsn, g.err = b.log.Append(g.edges)
+	}
+	if g.err == nil {
+		g.err = b.st.UpdateBatch(g.edges)
+	}
+	close(g.done)
+}
+
+// fence runs fn while no flush is in progress: every WAL-appended record is
+// also fed to the stream at that instant, so fn observes a consistent
+// (LSN, stream) cut. The snapshot path uses it to tag its .cbin.
+func (b *batcher) fence(fn func()) {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
+	fn()
+}
+
+// Close drains the batcher: no new Submits are admitted, the final group is
+// flushed, and the loop exits. Idempotent.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.wg.Wait()
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", `{handler="update"}`, "Requests.")
+	r.Counter("requests_total", `{handler="query"}`, "Requests.")
+	r.GaugeFunc("pending", "", "Pending work.", func() float64 { return 3 })
+	c.Inc()
+	c.Add(4)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP requests_total Requests.\n# TYPE requests_total counter\n",
+		`requests_total{handler="query"} 0` + "\n",
+		`requests_total{handler="update"} 5` + "\n",
+		"# HELP pending Pending work.\n# TYPE pending gauge\npending 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE block per family, even with two label sets.
+	if got := strings.Count(out, "# TYPE requests_total"); got != 1 {
+		t.Fatalf("family header emitted %d times, want 1", got)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // beyond the last bound: only +Inf and _count see it
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("histogram exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+}

@@ -1,0 +1,556 @@
+// Package server wraps the ingest engine as a network service: an
+// HTTP+JSON surface over a Stream, a flush-deadline batcher that group-
+// commits accepted updates through a write-ahead log before they enter the
+// epoch pipeline, snapshot-based log compaction, replay-on-boot recovery,
+// and a Prometheus-text metrics registry (DESIGN.md §11).
+//
+// The transactional ingest path (POST /v1/update → WAL → epoch pipeline)
+// and the analytical query path (GET /v1/connected, wait-free against the
+// applied state) meet only at the engine's own synchronization, so each
+// side keeps its own batching and resource accounting; backpressure (429)
+// triggers when the apply pipeline's in-flight epoch count exceeds a bound
+// instead of letting queue depth grow unboundedly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"connectit/internal/graph"
+	"connectit/internal/ingest"
+	"connectit/internal/parallel"
+	"connectit/internal/wal"
+)
+
+// Options configures a Server. The zero value serves on :8080 without
+// durability.
+type Options struct {
+	// Addr is the listen address. Default ":8080".
+	Addr string
+	// WALDir enables durability: accepted update batches append to a
+	// write-ahead log there before entering the pipeline, and boot replays
+	// snapshot+tail. Empty disables durability (a pure in-memory service).
+	WALDir string
+	// FlushInterval is the batcher's flush deadline: the longest an
+	// accepted update waits for its group commit. Default 2ms.
+	FlushInterval time.Duration
+	// MaxBatch is the group size that triggers an immediate flush.
+	// Default 8192 edges.
+	MaxBatch int
+	// MaxPendingEpochs is the backpressure bound: update requests are
+	// rejected with 429 while more sealed epochs than this await apply.
+	// Default 64.
+	MaxPendingEpochs int
+	// SnapshotInterval is the period of the compaction loop that persists
+	// the connectivity state as a .cbin snapshot and prunes covered WAL
+	// segments. Default 5m; negative disables periodic snapshots.
+	SnapshotInterval time.Duration
+	// SegmentBytes is the WAL segment rotation threshold (wal.Options).
+	SegmentBytes int
+	// NoSync skips per-append fsync in the WAL (wal.Options).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":8080"
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 2 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8192
+	}
+	if o.MaxPendingEpochs <= 0 {
+		o.MaxPendingEpochs = 64
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 5 * time.Minute
+	}
+	return o
+}
+
+// Server is the connectivity service: it owns the batcher, the WAL, the
+// metrics registry, and the HTTP surface over one ingest.Stream. Build one
+// with New (which runs recovery), then Start/Close it, or mount Handler
+// into an existing mux.
+type Server struct {
+	st  *ingest.Stream
+	log *wal.Log // nil without durability
+	bat *batcher
+	opt Options
+	reg *Registry
+	mux *http.ServeMux
+
+	// pending reports the backpressure signal; a field so tests can force
+	// the 429 path deterministically.
+	pending func() int
+
+	accepted     *Counter
+	backpressure *Counter
+
+	httpSrv *http.Server
+	ln      net.Listener
+	started time.Time
+
+	stopSnap chan struct{}
+	snapDone chan struct{}
+	closed   chan struct{}
+}
+
+// New builds a Server over st. When opt.WALDir is set it first recovers:
+// the newest .cbin snapshot is loaded and fed, the WAL tail is replayed,
+// and the stream is synced, so the returned server answers from exactly the
+// state every previously-acknowledged update implies.
+func New(st *ingest.Stream, opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		st:       st,
+		opt:      opt,
+		reg:      NewRegistry(),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		stopSnap: make(chan struct{}),
+		snapDone: make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	s.pending = st.PendingEpochs
+
+	if opt.WALDir != "" {
+		l, err := wal.Open(opt.WALDir, wal.Options{SegmentBytes: opt.SegmentBytes, NoSync: opt.NoSync})
+		if err != nil {
+			return nil, err
+		}
+		if err := s.recover(l); err != nil {
+			l.Close()
+			return nil, err
+		}
+		s.log = l
+	}
+	s.bat = newBatcher(st, s.log, opt.MaxBatch, opt.FlushInterval)
+	s.registerMetrics()
+	s.routes()
+
+	if s.log != nil && opt.SnapshotInterval > 0 {
+		go s.snapshotLoop()
+	} else {
+		close(s.snapDone)
+	}
+	return s, nil
+}
+
+// recover rebuilds the stream's state from the newest snapshot plus the
+// WAL tail. Unions are idempotent, so the snapshot/tail overlap window is
+// harmless; what matters is that nothing acknowledged is missing.
+func (s *Server) recover(l *wal.Log) error {
+	from := uint64(0)
+	if lsn, path, ok := l.LatestSnapshot(); ok {
+		c, err := graph.LoadCBIN(path)
+		if err != nil {
+			return fmt.Errorf("server: loading snapshot %s: %w", path, err)
+		}
+		if c.NumVertices() != s.st.Len() {
+			c.Close()
+			return fmt.Errorf("server: snapshot %s has %d vertices, stream has %d", path, c.NumVertices(), s.st.Len())
+		}
+		if err := s.feedSnapshot(c); err != nil {
+			c.Close()
+			return err
+		}
+		c.Close()
+		from = lsn
+	}
+	err := l.Replay(from, func(_ uint64, edges []graph.Edge) error {
+		return s.st.UpdateBatch(edges)
+	})
+	if err != nil {
+		return err
+	}
+	s.st.Sync()
+	return nil
+}
+
+// feedSnapshot replays a star-forest snapshot graph into the stream,
+// batching the decode so epochs stay full.
+func (s *Server) feedSnapshot(c *graph.CompressedGraph) error {
+	batch := make([]graph.Edge, 0, 8192)
+	var buf []graph.Vertex
+	n := c.NumVertices()
+	for v := 0; v < n; v++ {
+		buf = c.NeighborsInto(graph.Vertex(v), buf)
+		for _, u := range buf {
+			if graph.Vertex(v) < u { // symmetric storage: feed each edge once
+				batch = append(batch, graph.Edge{U: graph.Vertex(v), V: u})
+				if len(batch) == cap(batch) {
+					if err := s.st.UpdateBatch(batch); err != nil {
+						return err
+					}
+					batch = batch[:0]
+				}
+			}
+		}
+	}
+	return s.st.UpdateBatch(batch)
+}
+
+// Snapshot persists the current connectivity state as a .cbin star forest
+// covering every WAL record appended so far and compacts the log. It is
+// called periodically by the snapshot loop and once more at Close; exposed
+// for operational use (tests, manual compaction).
+func (s *Server) Snapshot() error {
+	if s.log == nil {
+		return errors.New("server: snapshots require a WAL")
+	}
+	// Fence a cut at which appended == fed: flushes append and feed under
+	// the same critical section, so with flushes excluded the log's LSN is
+	// a consistent tag for "everything the stream has been handed".
+	var lsn uint64
+	s.bat.fence(func() { lsn = s.log.LSN() })
+	labels := s.st.Labels() // syncs: every fed update becomes applied
+	return s.log.CommitSnapshot(lsn, func(path string) error {
+		return writeSnapshot(path, labels)
+	})
+}
+
+// writeSnapshot encodes a connectivity labeling as a compressed star-forest
+// graph — an edge from each vertex to its component label reconstructs
+// exactly the labeling's connectivity — in the versioned .cbin format the
+// graph layer already knows how to save, mmap, and validate.
+func writeSnapshot(path string, labels []uint32) error {
+	edges := make([]graph.Edge, 0, len(labels))
+	for v, l := range labels {
+		if uint32(v) != l {
+			edges = append(edges, graph.Edge{U: uint32(v), V: l})
+		}
+	}
+	g, err := graph.TryBuild(len(labels), edges)
+	if err != nil {
+		return fmt.Errorf("server: building snapshot forest: %w", err)
+	}
+	c, err := graph.TryCompress(g)
+	if err != nil {
+		return fmt.Errorf("server: compressing snapshot: %w", err)
+	}
+	return graph.SaveCBIN(path, c)
+}
+
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.opt.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Best effort: a failed periodic snapshot leaves the previous
+			// one installed and the log un-compacted; the next tick (or
+			// Close) retries.
+			_ = s.Snapshot()
+		case <-s.stopSnap:
+			return
+		}
+	}
+}
+
+// Handler returns the service's HTTP handler (for embedding into an
+// existing server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on Options.Addr and serves in the background. Use Addr for
+// the bound address (useful with ":0") and Close to shut down.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.opt.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.httpSrv.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.opt.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the service down gracefully: stop accepting HTTP traffic,
+// drain the batcher (every acknowledged update flushed through WAL and
+// pipeline), close the stream (state final), write a final snapshot, and
+// seal the log. Idempotent; later calls return nil immediately.
+func (s *Server) Close(ctx context.Context) error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+		close(s.closed)
+	}
+	var first error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	close(s.stopSnap)
+	<-s.snapDone
+	s.bat.Close()
+	s.st.Close()
+	if s.log != nil {
+		if err := s.Snapshot(); err != nil && first == nil {
+			first = err
+		}
+		if err := s.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---- HTTP surface ----
+
+// latencyBuckets spans 100µs to ~10s, the range between a batched in-memory
+// union and a backpressured group commit on slow disks.
+var latencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10}
+
+func (s *Server) routes() {
+	s.accepted = s.reg.Counter("connectit_updates_accepted_total", "", "Edges acknowledged by POST /v1/update (durable when the WAL is enabled).")
+	s.backpressure = s.reg.Counter("connectit_backpressure_total", "", "Update requests rejected with 429 because the apply pipeline was too far behind.")
+	s.handle("/v1/update", "update", s.handleUpdate)
+	s.handle("/v1/connected", "connected", s.handleConnected)
+	s.handle("/v1/components", "components", s.handleComponents)
+	s.handle("/v1/stats", "stats", s.handleStats)
+	s.handle("/healthz", "healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", s.reg)
+}
+
+// statusWriter records the response code for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// handle mounts fn with per-handler request, error, and latency metrics.
+func (s *Server) handle(path, name string, fn http.HandlerFunc) {
+	labels := `{handler="` + name + `"}`
+	reqs := s.reg.Counter("connectit_http_requests_total", labels, "HTTP requests by handler.")
+	errs := s.reg.Counter("connectit_http_errors_total", labels, "HTTP responses with status >= 400 by handler.")
+	lat := s.reg.Histogram("connectit_http_request_seconds", labels, "HTTP request latency by handler.", latencyBuckets)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		lat.Observe(time.Since(start).Seconds())
+		reqs.Inc()
+		if sw.code >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// updateRequest accepts either one edge ({"u":0,"v":1}) or a batch
+// ({"edges":[[0,1],[2,3]]}); both forms may appear together.
+type updateRequest struct {
+	U     *uint32     `json:"u"`
+	V     *uint32     `json:"v"`
+	Edges [][2]uint32 `json:"edges"`
+}
+
+// handleUpdate is the transactional ingest path: backpressure check, JSON
+// decode, endpoint validation, then a group commit through the batcher —
+// 200 means the batch is durable (WAL enabled) and in the epoch pipeline.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.pending() > s.opt.MaxPendingEpochs {
+		s.backpressure.Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "apply pipeline behind; retry")
+		return
+	}
+	var req updateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	n := uint32(s.st.Len())
+	edges := make([]graph.Edge, 0, len(req.Edges)+1)
+	if (req.U == nil) != (req.V == nil) {
+		httpError(w, http.StatusBadRequest, `"u" and "v" must be given together`)
+		return
+	}
+	if req.U != nil {
+		edges = append(edges, graph.Edge{U: *req.U, V: *req.V})
+	}
+	for _, e := range req.Edges {
+		edges = append(edges, graph.Edge{U: e[0], V: e[1]})
+	}
+	if len(edges) == 0 {
+		httpError(w, http.StatusBadRequest, `provide "u"/"v" or a non-empty "edges" array`)
+		return
+	}
+	for _, e := range edges {
+		if e.U >= n || e.V >= n {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge {%d, %d} endpoint out of range [0, %d)", e.U, e.V, n))
+			return
+		}
+	}
+	lsn, err := s.bat.Submit(edges)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.accepted.Add(uint64(len(edges)))
+	resp := map[string]any{"accepted": len(edges), "durable": s.log != nil}
+	if s.log != nil {
+		resp["lsn"] = lsn
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleConnected is the analytical fast path: wait-free against the
+// applied state (Type i/ii; Type iii waits out an in-flight apply phase).
+// Visibility is the stream's contract — an update is visible once its
+// epoch's round completes.
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	u, errU := parseVertex(r.URL.Query().Get("u"), s.st.Len())
+	v, errV := parseVertex(r.URL.Query().Get("v"), s.st.Len())
+	if errU != nil || errV != nil {
+		httpError(w, http.StatusBadRequest, "u and v must be vertex ids in [0, n)")
+		return
+	}
+	same, err := s.st.Connected(u, v)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "connected": same})
+}
+
+// handleComponents syncs the stream and counts components — the expensive
+// quiescent analytical query, deliberately separate from /v1/connected.
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":   s.st.Len(),
+		"components": s.st.NumComponents(),
+	})
+}
+
+// statsResponse is the JSON mirror of /metrics for programmatic consumers.
+type statsResponse struct {
+	Stream ingest.Stats   `json:"stream"`
+	Pool   parallel.Stats `json:"pool"`
+	WAL    *wal.Stats     `json:"wal,omitempty"`
+	Server struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		PendingEpochs int     `json:"pending_epochs"`
+		Accepted      uint64  `json:"accepted"`
+		Backpressure  uint64  `json:"backpressure"`
+	} `json:"server"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Stream = s.st.Stats()
+	resp.Pool = parallel.PoolStats()
+	if s.log != nil {
+		st := s.log.Stats()
+		resp.WAL = &st
+	}
+	resp.Server.UptimeSeconds = time.Since(s.started).Seconds()
+	resp.Server.PendingEpochs = s.st.PendingEpochs()
+	resp.Server.Accepted = s.accepted.Value()
+	resp.Server.Backpressure = s.backpressure.Value()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.closed:
+		httpError(w, http.StatusServiceUnavailable, "shutting down")
+	default:
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	}
+}
+
+func parseVertex(s string, n int) (uint32, error) {
+	x, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	if x >= uint64(n) {
+		return 0, fmt.Errorf("vertex %d out of range [0, %d)", x, n)
+	}
+	return uint32(x), nil
+}
+
+// registerMetrics exposes the engine's own counters — StreamStats,
+// PoolStats, and WAL stats — through the registry, so /metrics is a full
+// view of the system, not just the HTTP edge.
+func (s *Server) registerMetrics() {
+	stream := func(f func(ingest.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(s.st.Stats()) }
+	}
+	s.reg.CounterFunc("connectit_stream_updates_total", "", "Accepted Update calls.", stream(func(st ingest.Stats) uint64 { return st.Updates }))
+	s.reg.CounterFunc("connectit_stream_queries_total", "", "Connected calls.", stream(func(st ingest.Stats) uint64 { return st.Queries }))
+	s.reg.CounterFunc("connectit_stream_filtered_total", "", "Updates dropped by the intra-component pre-filter.", stream(func(st ingest.Stats) uint64 { return st.Filtered }))
+	s.reg.CounterFunc("connectit_stream_applied_total", "", "Updates handed to the apply path.", stream(func(st ingest.Stats) uint64 { return st.Applied }))
+	s.reg.CounterFunc("connectit_stream_epochs_total", "", "Sealed epochs queued for apply.", stream(func(st ingest.Stats) uint64 { return st.Epochs }))
+	s.reg.CounterFunc("connectit_stream_rounds_total", "", "Apply rounds run (epochs/rounds is the coalescing win).", stream(func(st ingest.Stats) uint64 { return st.Rounds }))
+	s.reg.CounterFunc("connectit_stream_coalesced_total", "", "Epochs that shared an apply round.", stream(func(st ingest.Stats) uint64 { return st.Coalesced }))
+	s.reg.CounterFunc("connectit_stream_dedup_sorted_total", "", "Batches semisort-deduplicated by Algorithm 3.", stream(func(st ingest.Stats) uint64 { return st.DedupSorted }))
+	s.reg.CounterFunc("connectit_stream_dedup_skipped_total", "", "Batches applied unsorted by the dedup estimator.", stream(func(st ingest.Stats) uint64 { return st.DedupSkipped }))
+	s.reg.GaugeFunc("connectit_stream_pending_epochs", "", "Sealed epochs not yet fully applied (backpressure signal).", func() float64 { return float64(s.st.PendingEpochs()) })
+	s.reg.GaugeFunc("connectit_stream_vertices", "", "Vertex universe size.", func() float64 { return float64(s.st.Len()) })
+
+	pool := func(f func(parallel.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(parallel.PoolStats()) }
+	}
+	s.reg.CounterFunc("connectit_pool_calls_total", "", "Parallel calls that rode the persistent pool.", pool(func(ps parallel.Stats) uint64 { return ps.Calls }))
+	s.reg.CounterFunc("connectit_pool_sequential_total", "", "Parallel calls that ran inline.", pool(func(ps parallel.Stats) uint64 { return ps.Sequential }))
+	s.reg.CounterFunc("connectit_pool_chunks_total", "", "Chunks executed by pool workers.", pool(func(ps parallel.Stats) uint64 { return ps.Chunks }))
+	s.reg.CounterFunc("connectit_pool_steals_total", "", "Chunks stolen across workers (load-balance traffic).", pool(func(ps parallel.Stats) uint64 { return ps.Steals }))
+	s.reg.CounterFunc("connectit_pool_wakes_total", "", "Worker wakeups from park.", pool(func(ps parallel.Stats) uint64 { return ps.Wakes }))
+	s.reg.CounterFunc("connectit_pool_parks_total", "", "Worker parks after the spin budget.", pool(func(ps parallel.Stats) uint64 { return ps.Parks }))
+	s.reg.GaugeFunc("connectit_pool_procs", "", "Scheduler width (GOMAXPROCS).", func() float64 { return float64(parallel.Procs()) })
+
+	if s.opt.WALDir != "" {
+		walStat := func(f func(wal.Stats) uint64) func() uint64 {
+			return func() uint64 { return f(s.log.Stats()) }
+		}
+		s.reg.GaugeFunc("connectit_wal_lsn", "", "Next WAL record sequence number.", func() float64 { return float64(s.log.LSN()) })
+		s.reg.GaugeFunc("connectit_wal_snapshot_lsn", "", "LSN covered by the latest snapshot.", func() float64 { return float64(s.log.Stats().SnapshotLSN) })
+		s.reg.GaugeFunc("connectit_wal_segments", "", "Live WAL segment files.", func() float64 { return float64(s.log.Stats().Segments) })
+		s.reg.CounterFunc("connectit_wal_appends_total", "", "Records appended to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.Appends }))
+		s.reg.CounterFunc("connectit_wal_appended_edges_total", "", "Edges appended to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.AppendedEdges }))
+		s.reg.CounterFunc("connectit_wal_bytes_total", "", "Bytes written to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.Bytes }))
+		s.reg.CounterFunc("connectit_wal_syncs_total", "", "WAL fsyncs.", walStat(func(ws wal.Stats) uint64 { return ws.Syncs }))
+		s.reg.CounterFunc("connectit_wal_snapshots_total", "", "Snapshots committed since boot.", walStat(func(ws wal.Stats) uint64 { return ws.Snapshots }))
+	}
+}

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"connectit/internal/graph"
+)
+
+// Replay invokes fn, in LSN order, for every record with lsn >= from. The
+// edges slice is scratch reused across calls; fn must not retain it. Replay
+// re-reads the segment files Open validated, so it is normally called once,
+// at boot, with from = the snapshot's covering LSN. Union idempotence makes
+// over-replay harmless, so a caller unsure of its floor may replay low.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, edges []graph.Edge) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	var edges []graph.Edge
+	for i, s := range segs {
+		if s.first+s.count <= from {
+			continue
+		}
+		last := i == len(segs)-1
+		_, _, _, err := scanSegment(s.path, last, func(lsn uint64, payload []byte) error {
+			if lsn < from {
+				return nil
+			}
+			edges = decodeEdges(payload, edges[:0])
+			return fn(lsn, edges)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeEdges parses a record payload (validated to be a multiple of 8
+// bytes) into buf.
+func decodeEdges(payload []byte, buf []graph.Edge) []graph.Edge {
+	for len(payload) >= 8 {
+		buf = append(buf, graph.Edge{
+			U: binary.LittleEndian.Uint32(payload[0:4]),
+			V: binary.LittleEndian.Uint32(payload[4:8]),
+		})
+		payload = payload[8:]
+	}
+	return buf
+}
+
+// scanSegment reads one segment file, validating the header and every
+// record, and calls fn (when non-nil) per valid record. It returns the
+// segment's first LSN, the number of valid records, and the byte offset
+// where the valid prefix ends.
+//
+// repairTail selects the torn-write contract for the segment: when true
+// (final segment) the first invalid record simply ends the scan — a crash
+// mid-append legitimately leaves one partial record — and the caller
+// truncates the file there. When false (any earlier segment) an invalid
+// record is unexplainable damage and returns ErrCorrupt.
+func scanSegment(path string, repairTail bool, fn func(lsn uint64, payload []byte) error) (first, count uint64, validEnd int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	if len(data) < segHeader || string(data[0:4]) != segMagic {
+		return 0, 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
+		return 0, 0, 0, fmt.Errorf("%w: %s: unsupported segment version %d", ErrCorrupt, path, v)
+	}
+	first = binary.LittleEndian.Uint64(data[8:16])
+	off := int64(segHeader)
+	lsn := first
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return first, count, off, nil
+		}
+		ok := false
+		var payload []byte
+		if len(rest) >= recHeader {
+			n := binary.LittleEndian.Uint32(rest[0:4])
+			if n > 0 && n <= maxRecordBytes && n%8 == 0 && int(n) <= len(rest)-recHeader {
+				payload = rest[recHeader : recHeader+int(n)]
+				ok = binary.LittleEndian.Uint32(rest[4:8]) == crc32.Checksum(payload, castagnoli)
+			}
+		}
+		if !ok {
+			if repairTail {
+				return first, count, off, nil
+			}
+			return 0, 0, 0, fmt.Errorf("%w: %s: invalid record at offset %d (LSN %d) in a non-final segment", ErrCorrupt, path, off, lsn)
+		}
+		if fn != nil {
+			if err := fn(lsn, payload); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		off += int64(recHeader + len(payload))
+		lsn++
+		count++
+	}
+}

@@ -1,0 +1,448 @@
+// Package wal implements the write-ahead edge log behind the serving
+// layer's durability contract (DESIGN.md §11): every update batch the
+// server acknowledges is appended — length-prefixed and CRC-checked — to a
+// segmented log before it enters the ingest pipeline, so a crash loses
+// nothing that was acknowledged. Compaction is snapshot-based: the server
+// periodically persists its connectivity state as a .cbin star forest
+// (reusing the graph package's versioned on-disk format) tagged with the
+// log sequence number it covers, after which every fully-covered segment is
+// deleted. Boot is LatestSnapshot + Replay of the tail.
+//
+// Record format, within a segment file:
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// where the payload is a batch of edges, 8 bytes each (two little-endian
+// uint32 endpoints). Segments open with a 16-byte header (magic, version,
+// and the LSN of the segment's first record) and rotate at SegmentBytes.
+// LSNs number records (not bytes) contiguously across segments.
+//
+// Torn-write handling follows the usual WAL contract: an invalid record in
+// the *final* segment marks the end of the log — the tail beyond it is
+// discarded and physically truncated at Open, since a crash mid-append can
+// leave exactly one partial record. An invalid record anywhere else (or a
+// gap in the LSN chain between segments) cannot be explained by a torn
+// write and surfaces as ErrCorrupt.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"connectit/internal/graph"
+)
+
+// ErrCorrupt reports a log whose damage cannot be explained by a torn tail
+// write: a bad CRC or truncated record in a non-final segment, a malformed
+// segment header, or a gap in the LSN chain.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+const (
+	segMagic   = "CWAL"
+	segVersion = 1
+	segHeader  = 16 // magic[4] version[4] firstLSN[8]
+	recHeader  = 8  // payload length[4] crc[4]
+
+	// maxRecordBytes bounds one record's payload (16M edges): a corrupted
+	// length field must never drive a multi-GiB allocation.
+	maxRecordBytes = 1 << 27
+
+	defaultSegmentBytes = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Log. The zero value selects the defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold. Default 64 MiB.
+	SegmentBytes int
+	// NoSync skips the fsync after each append. Acknowledged batches then
+	// survive process crashes but not host crashes; tests and bulk loads
+	// use it.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	return o
+}
+
+// Stats is a snapshot of the log's counters.
+type Stats struct {
+	// LSN is the next record's log sequence number (= records ever
+	// appended, including compacted ones).
+	LSN uint64
+	// SnapshotLSN is the LSN the latest committed snapshot covers (records
+	// below it are reconstructible from the snapshot alone); zero when no
+	// snapshot exists.
+	SnapshotLSN uint64
+	// Appends counts appended records; AppendedEdges the edges in them.
+	Appends, AppendedEdges uint64
+	// Bytes counts bytes written (headers included); Syncs counts fsyncs.
+	Bytes, Syncs uint64
+	// Segments is the number of live segment files.
+	Segments int
+	// Snapshots counts snapshots committed by this process.
+	Snapshots uint64
+}
+
+// segment is one on-disk log file: records [first, first+count).
+type segment struct {
+	first uint64
+	count uint64
+	path  string
+}
+
+// Log is a segmented write-ahead edge log. Append/Sync/Close serialize on
+// an internal mutex; one Log owns its directory.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File // current append segment; nil until first Append
+	segOff   int64    // valid bytes in the current segment
+	lsn      uint64   // next record LSN
+	segs     []segment
+	snapLSN  uint64
+	snapPath string
+	hasSnap  bool
+	buf      []byte // append scratch
+	stats    Stats
+	closed   bool
+}
+
+// Open scans dir (creating it if needed), validates every live segment,
+// repairs a torn tail in the final segment by truncating it, and positions
+// the log to append after the last valid record. Damage a torn write cannot
+// explain returns ErrCorrupt.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opt: opt.withDefaults()}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// A snapshot that crashed before its rename; never referenced.
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".wal"):
+			var first uint64
+			if _, err := fmt.Sscanf(name, "%016x.wal", &first); err != nil {
+				return nil, fmt.Errorf("%w: unparseable segment name %q", ErrCorrupt, name)
+			}
+			l.segs = append(l.segs, segment{first: first, path: filepath.Join(dir, name)})
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".cbin"):
+			var at uint64
+			if _, err := fmt.Sscanf(name, "snap-%016x.cbin", &at); err != nil {
+				return nil, fmt.Errorf("%w: unparseable snapshot name %q", ErrCorrupt, name)
+			}
+			if !l.hasSnap || at > l.snapLSN {
+				l.hasSnap, l.snapLSN, l.snapPath = true, at, filepath.Join(dir, name)
+			}
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
+
+	// Validate the chain. Only the last segment may end in a torn record.
+	for i := range l.segs {
+		s := &l.segs[i]
+		last := i == len(l.segs)-1
+		first, count, validEnd, err := scanSegment(s.path, last, nil)
+		if err != nil {
+			return nil, err
+		}
+		if first != s.first {
+			return nil, fmt.Errorf("%w: segment %s header LSN %d does not match its name", ErrCorrupt, s.path, first)
+		}
+		if i > 0 && l.segs[i-1].first+l.segs[i-1].count != s.first {
+			return nil, fmt.Errorf("%w: LSN gap between %s and %s", ErrCorrupt, l.segs[i-1].path, s.path)
+		}
+		s.count = count
+		if last {
+			if st, err := os.Stat(s.path); err == nil && st.Size() > validEnd {
+				if err := os.Truncate(s.path, validEnd); err != nil {
+					return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", s.path, err)
+				}
+			}
+			l.segOff = validEnd
+		}
+	}
+	if n := len(l.segs); n > 0 {
+		l.lsn = l.segs[n-1].first + l.segs[n-1].count
+		// Coverage: everything from the snapshot LSN forward must be
+		// replayable. (Without a snapshot the chain must start at 0.)
+		floor := uint64(0)
+		if l.hasSnap {
+			floor = l.snapLSN
+		}
+		if l.segs[0].first > floor {
+			return nil, fmt.Errorf("%w: records [%d, %d) missing below first segment", ErrCorrupt, floor, l.segs[0].first)
+		}
+		// Reopen the last segment for appends unless it is already full.
+		if l.segOff < int64(l.opt.SegmentBytes) {
+			f, err := os.OpenFile(l.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			l.f = f
+		}
+	} else if l.hasSnap {
+		// Snapshot present, tail fully compacted: appends resume at the
+		// snapshot's LSN.
+		l.lsn = l.snapLSN
+	}
+	return l, nil
+}
+
+// LSN returns the next record's log sequence number.
+func (l *Log) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.LSN = l.lsn
+	st.SnapshotLSN = l.snapLSN
+	st.Segments = len(l.segs)
+	return st
+}
+
+// Append durably appends one record holding edges and returns its LSN. The
+// record is fsynced before Append returns unless Options.NoSync is set.
+// Empty batches append nothing and return the current LSN.
+func (l *Log) Append(edges []graph.Edge) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: log closed")
+	}
+	if len(edges) == 0 {
+		return l.lsn, nil
+	}
+	if 8*len(edges) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: batch of %d edges exceeds the %d-byte record bound", len(edges), maxRecordBytes)
+	}
+	need := recHeader + 8*len(edges)
+	if l.f == nil || (l.segOff+int64(need) > int64(l.opt.SegmentBytes) && l.segOff > segHeader) {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	if cap(l.buf) < need {
+		l.buf = make([]byte, 0, need+need/2)
+	}
+	b := l.buf[:0]
+	b = binary.LittleEndian.AppendUint32(b, uint32(8*len(edges)))
+	b = append(b, 0, 0, 0, 0) // CRC backfilled below
+	for _, e := range edges {
+		b = binary.LittleEndian.AppendUint32(b, e.U)
+		b = binary.LittleEndian.AppendUint32(b, e.V)
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[recHeader:], castagnoli))
+	l.buf = b
+	if _, err := l.f.Write(b); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if !l.opt.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		l.stats.Syncs++
+	}
+	l.segOff += int64(len(b))
+	lsn := l.lsn
+	l.lsn++
+	l.segs[len(l.segs)-1].count++
+	l.stats.Appends++
+	l.stats.AppendedEdges += uint64(len(edges))
+	l.stats.Bytes += uint64(len(b))
+	return lsn, nil
+}
+
+// rotate seals the current segment (if any) and opens a fresh one whose
+// first record will be the current LSN. Called with l.mu held.
+func (l *Log) rotate() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%016x.wal", l.lsn))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	hdr := make([]byte, 0, segHeader)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint64(hdr, l.lsn)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.segOff = segHeader
+	l.stats.Bytes += segHeader
+	// Reuse a same-named segment slot if the previous boot left an empty
+	// tail segment at this LSN (O_TRUNC above already emptied the file).
+	if n := len(l.segs); n > 0 && l.segs[n-1].first == l.lsn && l.segs[n-1].count == 0 {
+		l.segs[n-1].path = path
+		return nil
+	}
+	l.segs = append(l.segs, segment{first: l.lsn, path: path})
+	return nil
+}
+
+// Sync forces the current segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	l.stats.Syncs++
+	return l.f.Sync()
+}
+
+// Close seals the log: the current segment is synced and closed. Close is
+// idempotent; Append after Close fails.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// LatestSnapshot returns the newest committed snapshot's covering LSN and
+// path, if one exists.
+func (l *Log) LatestSnapshot() (lsn uint64, path string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapLSN, l.snapPath, l.hasSnap
+}
+
+// CommitSnapshot atomically installs a snapshot covering every record below
+// lsn and compacts the log: write is handed a temporary path to fill (the
+// server saves a .cbin star forest there), the file is fsynced and renamed
+// into place, and then every snapshot and fully-covered segment it
+// supersedes is deleted. A crash at any point leaves either the old or the
+// new snapshot installed, never neither.
+func (l *Log) CommitSnapshot(lsn uint64, write func(path string) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errors.New("wal: log closed")
+	}
+	if lsn > l.lsn {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot LSN %d beyond log end %d", lsn, l.lsn)
+	}
+	dir := l.dir
+	l.mu.Unlock()
+
+	// Write and persist the snapshot outside the lock: appends continue
+	// while the O(n) state dump runs.
+	final := filepath.Join(dir, fmt.Sprintf("snap-%016x.cbin", lsn))
+	tmp := final + ".tmp"
+	if err := write(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	oldSnap := ""
+	if l.hasSnap && l.snapPath != final {
+		oldSnap = l.snapPath
+	}
+	l.hasSnap, l.snapLSN, l.snapPath = true, lsn, final
+	l.stats.Snapshots++
+	if oldSnap != "" {
+		os.Remove(oldSnap)
+	}
+	// Drop segments every record of which the snapshot covers, keeping the
+	// open append segment alive regardless.
+	live := l.segs[:0]
+	for i, s := range l.segs {
+		isCurrent := l.f != nil && i == len(l.segs)-1
+		if !isCurrent && s.first+s.count <= lsn {
+			os.Remove(s.path)
+			continue
+		}
+		live = append(live, s)
+	}
+	l.segs = live
+	return nil
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Some platforms cannot fsync directories; rename durability is best
+	// effort there.
+	d.Sync()
+	return d.Close()
+}

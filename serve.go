@@ -1,0 +1,108 @@
+package connectit
+
+import (
+	"context"
+	"time"
+
+	"connectit/internal/ingest"
+	"connectit/internal/server"
+)
+
+// Server is the connectivity-as-a-service surface: an HTTP+JSON API over a
+// Stream with group-committed write-ahead durability, snapshot compaction,
+// replay-on-boot recovery, and a /metrics endpoint in the Prometheus text
+// format (DESIGN.md §11). Build one with NewServer or run one to completion
+// with Serve.
+type Server = server.Server
+
+// ServerOptions configures NewServer/Serve. The zero value (plus a vertex
+// count) serves the default configuration on :8080 without durability.
+type ServerOptions struct {
+	// Addr is the HTTP listen address. Default ":8080".
+	Addr string
+	// NumVertices is the vertex universe size. Required.
+	NumVertices int
+	// Spec selects the algorithm ("<sampling>;<algorithm>" as accepted by
+	// ParseConfig); empty selects DefaultConfig.
+	Spec string
+	// Stream tunes the ingest engine (sharding, epoch size, coalescing).
+	Stream StreamOptions
+	// WALDir enables write-ahead durability and recovery; empty runs the
+	// service purely in memory.
+	WALDir string
+	// SnapshotInterval is the WAL compaction period (default 5m; negative
+	// disables periodic snapshots).
+	SnapshotInterval time.Duration
+	// FlushInterval is the group-commit flush deadline (default 2ms).
+	FlushInterval time.Duration
+	// MaxBatch is the group size that triggers an immediate flush
+	// (default 8192 edges).
+	MaxBatch int
+	// MaxPendingEpochs is the backpressure bound: updates receive 429
+	// while more sealed epochs than this await apply (default 64).
+	MaxPendingEpochs int
+	// SegmentBytes is the WAL segment rotation threshold.
+	SegmentBytes int
+	// NoSync skips the per-group fsync, trading the durability of the last
+	// flush interval for throughput on slow disks.
+	NoSync bool
+}
+
+// NewServer compiles the configuration, opens a Stream over
+// opts.NumVertices vertices, recovers durable state from opts.WALDir when
+// set, and returns the service ready for Start. The caller owns shutdown
+// via Server.Close.
+func NewServer(opts ServerOptions) (*Server, error) {
+	cfg := DefaultConfig()
+	if opts.Spec != "" {
+		var err error
+		cfg, err = ParseConfig(opts.Spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st, err := NewStream(opts.NumVertices, cfg, opts.Stream)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(st, server.Options{
+		Addr:             opts.Addr,
+		WALDir:           opts.WALDir,
+		FlushInterval:    opts.FlushInterval,
+		MaxBatch:         opts.MaxBatch,
+		MaxPendingEpochs: opts.MaxPendingEpochs,
+		SnapshotInterval: opts.SnapshotInterval,
+		SegmentBytes:     opts.SegmentBytes,
+		NoSync:           opts.NoSync,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Serve builds a server from opts, listens, and blocks until ctx is
+// cancelled, then shuts down gracefully — draining in-flight group commits,
+// writing a final snapshot, and sealing the log. This is the one-call
+// entry point behind `connectit -serve`.
+func Serve(ctx context.Context, opts ServerOptions) error {
+	srv, err := NewServer(opts)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Close(shutdownCtx)
+		return err
+	}
+	<-ctx.Done()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Close(shutdownCtx)
+}
+
+// Guard against the aliases drifting: the ingest engine must keep exposing
+// the server-grade lifecycle surface the service depends on.
+var _ = []any{(*ingest.Stream).Close, (*ingest.Stream).UpdateBatch, (*ingest.Stream).PendingEpochs}

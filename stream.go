@@ -24,6 +24,12 @@ type Stream = ingest.Stream
 // pre-filter; the zero value selects the defaults.
 type StreamOptions = ingest.Options
 
+// ErrStreamClosed is returned by Stream.Update, Stream.UpdateBatch, and
+// Stream.Connected once Stream.Close has been called. The terminal state
+// itself stays queryable: Labels, NumComponents, Stats, and Sync keep
+// working after Close so callers can inspect the final connectivity.
+var ErrStreamClosed = ingest.ErrClosed
+
 // StreamStats is a snapshot of a Stream's operation counters, including
 // the apply pipeline's Epochs/Rounds/Coalesced trio (epochs-per-round is
 // the coalescing win) and the Algorithm 3 dedup decisions
