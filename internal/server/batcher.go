@@ -14,6 +14,15 @@ import (
 // reachable during shutdown, and mapped to 503 by the handler.
 var errBatcherClosed = errors.New("server: batcher closed")
 
+// maxGroupEdges hard-caps a flush group. maxBatch only *triggers* a flush;
+// while one is in progress (flushMu held through the fsync) Submits keep
+// landing in the next group, and under sustained burst load an uncapped
+// group could outgrow the WAL's 16M-edge record bound, failing the whole
+// group and turning valid requests into 503s. At the cap, Submit waits for
+// the group to flush and retries into its successor. 4M edges leaves room
+// for one more request (bounded by the 8 MiB HTTP body limit) on top.
+const maxGroupEdges = 1 << 22
+
 // group is one flush generation: every Submit between two flushes lands in
 // the same group and shares one WAL record, one fsync, and one stream feed
 // (group commit). done closes when the group is durable and fed; err is the
@@ -35,6 +44,7 @@ type batcher struct {
 	st       *ingest.Stream
 	log      *wal.Log // nil: no durability, flush feeds the stream only
 	maxBatch int
+	capEdges int // admission cap per group; maxGroupEdges outside tests
 
 	mu     sync.Mutex
 	cur    *group
@@ -52,6 +62,7 @@ func newBatcher(st *ingest.Stream, log *wal.Log, maxBatch int, interval time.Dur
 		st:       st,
 		log:      log,
 		maxBatch: maxBatch,
+		capEdges: maxGroupEdges,
 		cur:      &group{done: make(chan struct{})},
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
@@ -66,23 +77,38 @@ func newBatcher(st *ingest.Stream, log *wal.Log, maxBatch int, interval time.Dur
 // WAL record's LSN. This is the serving path's group commit: concurrent
 // requests amortize one fsync.
 func (b *batcher) Submit(edges []graph.Edge) (uint64, error) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return 0, errBatcherClosed
-	}
-	g := b.cur
-	g.edges = append(g.edges, edges...)
-	full := len(g.edges) >= b.maxBatch
-	b.mu.Unlock()
-	if full {
-		select {
-		case b.kick <- struct{}{}:
-		default:
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return 0, errBatcherClosed
 		}
+		g := b.cur
+		if len(g.edges) >= b.capEdges {
+			// Admission control: the group hit the hard cap (only possible
+			// while a flush is stalling the swap). Wait out this group and
+			// land in its successor.
+			b.mu.Unlock()
+			b.kickFlush()
+			<-g.done
+			continue
+		}
+		g.edges = append(g.edges, edges...)
+		full := len(g.edges) >= b.maxBatch
+		b.mu.Unlock()
+		if full {
+			b.kickFlush()
+		}
+		<-g.done
+		return g.lsn, g.err
 	}
-	<-g.done
-	return g.lsn, g.err
+}
+
+func (b *batcher) kickFlush() {
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
 }
 
 // loop drives deadline flushes. The ticker rather than an armed timer keeps

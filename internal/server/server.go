@@ -20,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"connectit/internal/graph"
@@ -99,9 +100,10 @@ type Server struct {
 	ln      net.Listener
 	started time.Time
 
-	stopSnap chan struct{}
-	snapDone chan struct{}
-	closed   chan struct{}
+	stopSnap  chan struct{}
+	snapDone  chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
 }
 
 // New builds a Server over st. When opt.WALDir is set it first recovers:
@@ -285,32 +287,32 @@ func (s *Server) Addr() string {
 // Close shuts the service down gracefully: stop accepting HTTP traffic,
 // drain the batcher (every acknowledged update flushed through WAL and
 // pipeline), close the stream (state final), write a final snapshot, and
-// seal the log. Idempotent; later calls return nil immediately.
+// seal the log. Idempotent; later calls (including concurrent ones) return
+// nil once the first shutdown completes.
 func (s *Server) Close(ctx context.Context) error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-		close(s.closed)
-	}
 	var first error
-	if s.httpSrv != nil {
-		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
-			first = err
+	// sync.Once rather than a select/default on s.closed: two concurrent
+	// Closes could both take the default branch and double-close the channel.
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.httpSrv != nil {
+			if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
+				first = err
+			}
 		}
-	}
-	close(s.stopSnap)
-	<-s.snapDone
-	s.bat.Close()
-	s.st.Close()
-	if s.log != nil {
-		if err := s.Snapshot(); err != nil && first == nil {
-			first = err
+		close(s.stopSnap)
+		<-s.snapDone
+		s.bat.Close()
+		s.st.Close()
+		if s.log != nil {
+			if err := s.Snapshot(); err != nil && first == nil {
+				first = err
+			}
+			if err := s.log.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
-		if err := s.log.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
+	})
 	return first
 }
 

@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"connectit/internal/core"
+	"connectit/internal/graph"
 	"connectit/internal/ingest"
 )
 
@@ -246,6 +248,89 @@ func TestServeGracefulClose(t *testing.T) {
 	hresp.Body.Close()
 	if hresp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz after Close: %d, want 503", hresp.StatusCode)
+	}
+}
+
+// TestServerCloseConcurrent races many Closes: the old select/default gate
+// on s.closed let two callers both take the default branch and double-close
+// the channel (panic). All calls must return cleanly.
+func TestServerCloseConcurrent(t *testing.T) {
+	s, err := New(testStream(t, 16), Options{FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Close(ctx); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatcherCapsGroupDuringStalledFlush stalls the flush path (fence holds
+// flushMu, exactly like a slow fsync) and floods Submits: the in-progress
+// group must stop admitting at the hard cap instead of growing toward the
+// WAL's record bound, and every capped-out Submit must still complete once
+// flushing resumes.
+func TestBatcherCapsGroupDuringStalledFlush(t *testing.T) {
+	st := testStream(t, 16)
+	defer st.Close()
+	b := newBatcher(st, nil, 1<<30 /* size trigger off */, time.Millisecond)
+	defer b.Close()
+	b.capEdges = 64
+
+	stalled, release := make(chan struct{}), make(chan struct{})
+	go b.fence(func() { close(stalled); <-release })
+	<-stalled
+
+	const submits, perSubmit = 32, 8 // 256 edges total, 4x the cap
+	var wg sync.WaitGroup
+	errs := make(chan error, submits)
+	for i := 0; i < submits; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			edges := make([]graph.Edge, perSubmit)
+			for j := range edges {
+				edges[j] = graph.Edge{U: 1, V: 2}
+			}
+			_, err := b.Submit(edges)
+			errs <- err
+		}()
+	}
+
+	// While the flush is stalled no group can be swapped out, so the cap is
+	// the only thing bounding growth. The invariant holds at every instant;
+	// sample it while the submitters hammer away.
+	deadline := time.After(100 * time.Millisecond)
+sample:
+	for {
+		b.mu.Lock()
+		n := len(b.cur.edges)
+		b.mu.Unlock()
+		if n > b.capEdges+perSubmit-1 {
+			t.Fatalf("group grew to %d edges past the %d cap", n, b.capEdges)
+		}
+		select {
+		case <-deadline:
+			break sample
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
 	}
 }
 

@@ -2,12 +2,19 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 
 	"connectit/internal/graph"
 )
+
+// errTornHeader reports a final segment whose 16-byte header is short or
+// unrecognizable — the signature of a crash between rotate's file creation
+// and its header write. Open repairs it by discarding the file; no record
+// in a headerless segment was ever acknowledged.
+var errTornHeader = errors.New("wal: torn segment header")
 
 // Replay invokes fn, in LSN order, for every record with lsn >= from. The
 // edges slice is scratch reused across calls; fn must not retain it. Replay
@@ -59,14 +66,19 @@ func decodeEdges(payload []byte, buf []graph.Edge) []graph.Edge {
 // repairTail selects the torn-write contract for the segment: when true
 // (final segment) the first invalid record simply ends the scan — a crash
 // mid-append legitimately leaves one partial record — and the caller
-// truncates the file there. When false (any earlier segment) an invalid
-// record is unexplainable damage and returns ErrCorrupt.
+// truncates the file there; a short or unrecognizable header likewise
+// returns errTornHeader (a crash mid-rotation leaves exactly that) for the
+// caller to repair. When false (any earlier segment) an invalid record or
+// header is unexplainable damage and returns ErrCorrupt.
 func scanSegment(path string, repairTail bool, fn func(lsn uint64, payload []byte) error) (first, count uint64, validEnd int64, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
 	if len(data) < segHeader || string(data[0:4]) != segMagic {
+		if repairTail {
+			return 0, 0, 0, errTornHeader
+		}
 		return 0, 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
 	}
 	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {

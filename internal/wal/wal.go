@@ -20,9 +20,13 @@
 // Torn-write handling follows the usual WAL contract: an invalid record in
 // the *final* segment marks the end of the log — the tail beyond it is
 // discarded and physically truncated at Open, since a crash mid-append can
-// leave exactly one partial record. An invalid record anywhere else (or a
-// gap in the LSN chain between segments) cannot be explained by a torn
-// write and surfaces as ErrCorrupt.
+// leave exactly one partial record — and a final segment with a short or
+// unrecognizable header (a crash mid-rotation, before any record in it was
+// acknowledged) is discarded whole. An invalid record or header anywhere
+// else (or a gap in the LSN chain between segments) cannot be explained by
+// a torn write and surfaces as ErrCorrupt. In the other direction, a failed
+// append wedges the log fail-stop: appending past a partial write would put
+// later acknowledged records beyond garbage that the next Open truncates.
 package wal
 
 import (
@@ -119,6 +123,7 @@ type Log struct {
 	buf      []byte // append scratch
 	stats    Stats
 	closed   bool
+	wedged   error // set by a failed append; fails every later Append
 }
 
 // Open scans dir (creating it if needed), validates every live segment,
@@ -158,11 +163,30 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].first < l.segs[j].first })
 
-	// Validate the chain. Only the last segment may end in a torn record.
+	// Validate the chain. Only the last segment may end in a torn record —
+	// or lack its header entirely (a crash between rotate's file creation
+	// and the 16-byte header write).
 	for i := range l.segs {
 		s := &l.segs[i]
 		last := i == len(l.segs)-1
 		first, count, validEnd, err := scanSegment(s.path, last, nil)
+		if last && errors.Is(err, errTornHeader) {
+			// Torn rotation: nothing in a headerless segment was ever
+			// acknowledged. Discard it; the previous segment (validated
+			// above, so valid end to end) carries the tail.
+			if rerr := os.Remove(s.path); rerr != nil {
+				return nil, fmt.Errorf("wal: removing torn segment %s: %w", s.path, rerr)
+			}
+			l.segs = l.segs[:i]
+			if i > 0 {
+				st, serr := os.Stat(l.segs[i-1].path)
+				if serr != nil {
+					return nil, fmt.Errorf("wal: %w", serr)
+				}
+				l.segOff = st.Size()
+			}
+			break
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -236,6 +260,9 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	if l.closed {
 		return 0, errors.New("wal: log closed")
 	}
+	if l.wedged != nil {
+		return 0, l.wedged
+	}
 	if len(edges) == 0 {
 		return l.lsn, nil
 	}
@@ -261,11 +288,11 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[recHeader:], castagnoli))
 	l.buf = b
 	if _, err := l.f.Write(b); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		return 0, l.wedge(err)
 	}
 	if !l.opt.NoSync {
 		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: %w", err)
+			return 0, l.wedge(err)
 		}
 		l.stats.Syncs++
 	}
@@ -277,6 +304,22 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	l.stats.AppendedEdges += uint64(len(edges))
 	l.stats.Bytes += uint64(len(b))
 	return lsn, nil
+}
+
+// wedge fails the log permanently after a write or sync error. A partial
+// write leaves garbage at segOff; appending past it would put later
+// acknowledged records beyond an invalid record, exactly where the next
+// Open's torn-tail repair truncates — silent loss of acked data. Refusing
+// every subsequent Append (fail-stop) keeps the invariant that everything
+// acknowledged sits in the valid prefix; the partial bytes are trimmed
+// best-effort so a clean process exit leaves no torn tail at all. Called
+// with l.mu held; returns the wedged error for the failing Append.
+func (l *Log) wedge(cause error) error {
+	l.wedged = fmt.Errorf("wal: log wedged by append failure: %w", cause)
+	if l.f != nil {
+		l.f.Truncate(l.segOff)
+	}
+	return l.wedged
 }
 
 // rotate seals the current segment (if any) and opens a fresh one whose
@@ -303,6 +346,16 @@ func (l *Log) rotate() error {
 	if _, err := f.Write(hdr); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
+	}
+	if !l.opt.NoSync {
+		// Persist the directory entry before any record in this segment is
+		// acknowledged: a record's own fsync makes its bytes durable, but on
+		// power loss the file itself can vanish if the directory was never
+		// synced, losing the whole acked segment.
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
 	}
 	l.f = f
 	l.segOff = segHeader

@@ -258,7 +258,9 @@ func TestRandomCrashPoints(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
-		cut := segHeader + rng.Intn(len(data)-segHeader+1)
+		// Cuts inside the 16-byte header model a crash mid-rotation: Open
+		// discards the headerless file and recovers an empty log.
+		cut := rng.Intn(len(data) + 1)
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, filepath.Base(segs[0])), data[:cut], 0o644); err != nil {
 			t.Fatal(err)
@@ -288,6 +290,134 @@ func TestRandomCrashPoints(t *testing.T) {
 		appendN(t, l, want, 1)
 		l.Close()
 	}
+}
+
+// TestTornRotationHeaderRepairedOnOpen models a crash between rotate's
+// file creation and its 16-byte header write: the final segment is empty or
+// holds a short header. Open must discard it and recover the chain — no
+// record in it was ever acknowledged — instead of refusing with ErrCorrupt.
+func TestTornRotationHeaderRepairedOnOpen(t *testing.T) {
+	for _, hdrBytes := range []int{0, 7, segHeader - 1} {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 256}) // force rotations
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 0, 20)
+		l.Close()
+
+		segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+		if len(segs) < 2 {
+			t.Fatalf("expected several segments, got %d", len(segs))
+		}
+		// Truncating the final segment below its header reproduces the
+		// torn-rotation on-disk state: earlier segments valid end to end, a
+		// tail file whose header never made it down. Survivors are exactly
+		// the records the earlier segments hold.
+		if err := os.Truncate(segs[len(segs)-1], int64(hdrBytes)); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, err := Open(dir, Options{SegmentBytes: 256})
+		if err != nil {
+			t.Fatalf("hdrBytes=%d: Open after torn rotation: %v", hdrBytes, err)
+		}
+		got := collect(t, l2, 0)
+		surviving := len(got)
+		if surviving == 0 || surviving >= 20 {
+			t.Fatalf("hdrBytes=%d: %d survivors, want a proper non-empty prefix", hdrBytes, surviving)
+		}
+		checkRecords(t, got, 0, surviving)
+		if lsn := l2.LSN(); lsn != uint64(surviving) {
+			t.Fatalf("hdrBytes=%d: LSN %d after repair, want %d", hdrBytes, lsn, surviving)
+		}
+		// The repaired log must accept appends on the same chain.
+		appendN(t, l2, surviving, 3)
+		checkRecords(t, collect(t, l2, 0), 0, surviving+3)
+		l2.Close()
+	}
+}
+
+// TestTornRotationOnlySegment covers the first-ever rotate crashing before
+// the header write: the lone .wal file is headerless and the log must come
+// back empty, not corrupt.
+func TestTornRotationOnlySegment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "0000000000000000.wal"), []byte("CW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with lone headerless segment: %v", err)
+	}
+	defer l.Close()
+	if lsn := l.LSN(); lsn != 0 {
+		t.Fatalf("LSN = %d, want 0", lsn)
+	}
+	appendN(t, l, 0, 3)
+	checkRecords(t, collect(t, l, 0), 0, 3)
+}
+
+// TestHeaderlessNonFinalSegmentStaysCorrupt pins the contract boundary: the
+// torn-rotation repair applies to the final segment only — a headerless
+// segment in the middle of the chain cannot be explained by a crash and
+// must still refuse to boot.
+func TestHeaderlessNonFinalSegmentStaysCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 40)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	if err := os.Truncate(segs[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentBytes: 256}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with headerless non-final segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestAppendFailureWedgesLog forces a write error (closed fd) and checks
+// the fail-stop contract: the failing Append errors, and every subsequent
+// Append refuses rather than appending past the possible partial garbage.
+func TestAppendFailureWedgesLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 5)
+
+	// Sabotage the segment fd so the next write fails like EIO would.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+
+	if _, err := l.Append(recEdges(5)); err == nil {
+		t.Fatal("Append on a dead fd succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(recEdges(5)); err == nil {
+			t.Fatal("Append accepted after a failed append (log not wedged)")
+		}
+	}
+	l.Close()
+
+	// Recovery sees exactly the acknowledged prefix.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after wedge: %v", err)
+	}
+	defer l2.Close()
+	if lsn := l2.LSN(); lsn != 5 {
+		t.Fatalf("LSN after wedge+reopen = %d, want 5", lsn)
+	}
+	checkRecords(t, collect(t, l2, 0), 0, 5)
 }
 
 func TestAppendAfterCloseFails(t *testing.T) {
