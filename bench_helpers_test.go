@@ -78,7 +78,9 @@ func runConnectivity(b *testing.B, g *Graph, cfg Config) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		solver.Components(g)
+		if _, err := solver.ComponentsOn(g); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

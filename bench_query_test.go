@@ -1,0 +1,89 @@
+package connectit
+
+// Benchmarks for the forest-backed query engine (DESIGN.md §12). The
+// engine retains BFS scratch and the histogram cache across calls, so the
+// steady-state numbers here are the serving-path cost of GET /v1/path and
+// the histogram mode of /v1/components. The bench-smoke CI job runs these
+// at -benchtime=1x alongside the stream benches.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchQueryEngine builds a quiesced stream-backed engine over a power-law
+// graph: one giant component plus fringe, the serving-path shape.
+func benchQueryEngine(b *testing.B, n int) *Query {
+	b.Helper()
+	st, err := NewStream(n, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	if err := st.UpdateBatch(BarabasiAlbertEdges(n, 8, 17)); err != nil {
+		b.Fatal(err)
+	}
+	st.Sync()
+	q, err := st.Query()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Absorb the full forest up front so the loop measures queries, not the
+	// first pull.
+	if _, err := q.NumComponents(); err != nil {
+		b.Fatal(err)
+	}
+	return q
+}
+
+// BenchmarkQueryPathBetween measures forest path reconstruction between
+// random vertex pairs (mostly inside the giant component, so the BFS does
+// real traversal work).
+func BenchmarkQueryPathBetween(b *testing.B) {
+	n := 1 << 15
+	q := benchQueryEngine(b, n)
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	hops := 0
+	for i := 0; i < b.N; i++ {
+		path, _, err := q.PathBetween(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hops += len(path)
+	}
+	b.ReportMetric(float64(hops)/float64(b.N), "hops/op")
+}
+
+// BenchmarkQueryConnected measures the point lookup the path endpoint
+// degenerates to when only the verdict is needed: two find walks over the
+// compressed index.
+func BenchmarkQueryConnected(b *testing.B) {
+	n := 1 << 15
+	q := benchQueryEngine(b, n)
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Connected(uint32(rng.Intn(n)), uint32(rng.Intn(n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryHistogram measures the component-size histogram: the first
+// call per forest length scans and sorts the roots, subsequent calls hit
+// the cache and only pay the copy — the loop measures the cached path, the
+// serving steady state.
+func BenchmarkQueryHistogram(b *testing.B) {
+	n := 1 << 15
+	q := benchQueryEngine(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.ComponentHistogram(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,7 +39,9 @@ func BenchmarkSolverReuse(b *testing.B) {
 			b.ReportAllocs()
 			solver := MustCompile(cfg)
 			for i := 0; i < b.N; i++ {
-				solver.Components(g)
+				if _, err := solver.ComponentsOn(g); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -77,14 +79,18 @@ func BenchmarkSolverBackends(b *testing.B) {
 			solver := MustCompile(cfg)
 			report(b, g)
 			for i := 0; i < b.N; i++ {
-				solver.Components(g)
+				if _, err := solver.ComponentsOn(g); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		b.Run(spec+"/Compressed", func(b *testing.B) {
 			solver := MustCompile(cfg)
 			report(b, c)
 			for i := 0; i < b.N; i++ {
-				solver.ComponentsCompressed(c)
+				if _, err := solver.ComponentsOn(c); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

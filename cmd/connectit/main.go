@@ -275,8 +275,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	comps := connectit.NumComponents(labels)
-	_, largest := connectit.LargestComponent(labels)
+	q := connectit.QueryLabels(labels)
+	comps, err := q.NumComponents()
+	if err != nil {
+		return err
+	}
+	_, largest, err := q.LargestComponent()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("components: %d (largest %d vertices, %.1f%%) in %v\n",
 		comps, largest, 100*float64(largest)/float64(len(labels)), elapsed)
 	fmt.Printf("throughput: %.1fM edges/s\n", float64(rep.NumEdges())/elapsed.Seconds()/1e6)

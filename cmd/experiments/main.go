@@ -163,7 +163,7 @@ func table1() {
 		name string
 		run  func()
 	}{
-		{"ConnectIt (kout + Union-Rem-CAS)", func() { ci.Components(g) }},
+		{"ConnectIt (kout + Union-Rem-CAS)", func() { _, _ = ci.ComponentsOn(g) }},
 		{"GBBS WorkefficientCC", func() { baseline.WorkEfficientCC(g, 0.2, 3) }},
 		{"BFSCC (Ligra)", func() { baseline.BFSCC(g) }},
 		{"GAPBS Afforest", func() { baseline.Afforest(g, 2, 3) }},
@@ -184,11 +184,11 @@ func table2() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		comps := connectit.NumComponents(labels)
-		_, largest := connectit.LargestComponent(labels)
+		q := connectit.QueryLabels(labels)
+		comps, _ := q.NumComponents()
 		// Effective diameter lower bound: BFS eccentricity from a vertex of
 		// the largest component (the paper's * entries are the same bound).
-		lbl, _ := connectit.LargestComponent(labels)
+		lbl, largest, _ := q.LargestComponent()
 		src := 0
 		for v, l := range labels {
 			if l == lbl {
@@ -237,7 +237,7 @@ func table3() {
 			solver := connectit.MustCompile(connectit.Config{Sampling: mode, Algorithm: alg, Seed: 1})
 			for _, n := range names {
 				g := graphs[n]
-				d := timeIt(func() { solver.Components(g) })
+				d := timeIt(func() { _, _ = solver.ComponentsOn(g) })
 				fmt.Printf(" %10s", secs(d))
 			}
 			fmt.Println()
@@ -305,7 +305,7 @@ func ufMatrix(mode core.SamplingMode, g *connectit.Graph) ([]string, []time.Dura
 			Seed:      2,
 		})
 		names = append(names, v.Name())
-		times = append(times, timeIt(func() { solver.Components(g) }))
+		times = append(times, timeIt(func() { _, _ = solver.ComponentsOn(g) }))
 	}
 	return names, times
 }
@@ -334,7 +334,7 @@ func figure11() {
 	for _, v := range liutarjan.Variants() {
 		solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.Algorithm{Kind: core.FinishLiuTarjan, LT: v}})
 		names = append(names, v.Code())
-		times = append(times, timeIt(func() { solver.Components(g) }))
+		times = append(times, timeIt(func() { _, _ = solver.ComponentsOn(g) }))
 	}
 	matrix("Liu-Tarjan variants, no sampling, social graph", names, times)
 }
@@ -371,7 +371,7 @@ func figure6() {
 			})
 			stats.Reset()
 			start := time.Now()
-			solver.Components(g)
+			_, _ = solver.ComponentsOn(g)
 			el := time.Since(start).Seconds()
 			fmt.Printf("%-44s %-8s %12d %12d %10.4f\n",
 				v.Name(), gname, stats.TotalPathLength(), stats.MaxPathLength(), el)
@@ -656,8 +656,8 @@ func table8() {
 		noSample.Sampling = core.NoSampling
 		noSolver := connectit.MustCompile(noSample)
 		sSolver := connectit.MustCompile(connectit.DefaultConfig())
-		tNo := timeIt(func() { noSolver.Components(g) })
-		tS := timeIt(func() { sSolver.Components(g) })
+		tNo := timeIt(func() { _, _ = noSolver.ComponentsOn(g) })
+		tS := timeIt(func() { _, _ = sSolver.ComponentsOn(g) })
 		fmt.Printf("%-8s %12s %14s %16s %14s\n", n, secs(tMap), secs(tGather), secs(tNo), secs(tS))
 	}
 }
@@ -682,8 +682,8 @@ func compressedBackend() {
 		fmt.Printf("  %-32s %12s %14s %10s\n", "Algorithm", "CSR (s)", "Compressed (s)", "Slowdown")
 		for _, spec := range algos {
 			solver := connectit.MustCompile(connectit.Config{Algorithm: connectit.MustParseAlgorithm(spec)})
-			tCSR := timeIt(func() { solver.Components(g) })
-			tComp := timeIt(func() { solver.ComponentsCompressed(c) })
+			tCSR := timeIt(func() { _, _ = solver.ComponentsOn(g) })
+			tComp := timeIt(func() { _, _ = solver.ComponentsOn(c) })
 			fmt.Printf("  %-32s %12s %14s %9.2fx\n", spec, secs(tCSR), secs(tComp),
 				float64(tComp)/float64(tCSR))
 		}
@@ -856,7 +856,7 @@ func forestOverhead() {
 	var overheads []float64
 	for _, n := range names {
 		g := graphs[n]
-		tCC := timeIt(func() { solver.Components(g) })
+		tCC := timeIt(func() { _, _ = solver.ComponentsOn(g) })
 		tSF := timeIt(func() {
 			if _, err := solver.SpanningForest(g); err != nil {
 				log.Fatal(err)

@@ -22,6 +22,18 @@
 //	labels := solver.Components(g)
 //	// labels[0] == labels[2], labels[3] == labels[4], labels[0] != labels[3]
 //
+// Richer questions — component counts, sizes, histograms, and actual paths
+// through a spanning forest — go through one composable Query handle, from
+// a Solver (static) or a Stream (live, over the forest the stream grows as
+// updates arrive):
+//
+//	q, err := solver.Query(g)                  // static: forest-backed
+//	n, _ := q.NumComponents()
+//	path, ok, _ := q.PathBetween(0, 2)         // forest edges 0 → 2
+//
+//	st, _ := solver.Stream(n)                  // live: Stream.Query
+//	q, err = st.Query()
+//
 // Any of the framework's several hundred combinations is one canonical
 // spec string away:
 //
@@ -257,9 +269,16 @@ func NewIncremental(n int, cfg Config) (*Incremental, error) {
 }
 
 // NumComponents counts the distinct components in a labeling returned by
-// Connectivity or Solver.Components.
+// ComponentsOn or Connectivity.
+//
+// Deprecated: use the Query surface — Solver.Query(g) (or QueryLabels for a
+// labeling you already hold) and Query.NumComponents — which answers
+// counting, histogram, and path queries from one handle (DESIGN.md §12).
 func NumComponents(labels []uint32) int { return core.NumComponents(labels) }
 
 // LargestComponent returns the most frequent label in a labeling and the
 // number of vertices carrying it.
+//
+// Deprecated: use the Query surface — Solver.Query(g) (or QueryLabels for a
+// labeling you already hold) and Query.LargestComponent (DESIGN.md §12).
 func LargestComponent(labels []uint32) (uint32, int) { return core.LargestComponent(labels) }

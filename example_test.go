@@ -20,9 +20,13 @@ func ExampleCompile() {
 	g := connectit.BuildGraph(5, []connectit.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
 	})
-	labels := solver.Components(g)
+	q, err := solver.Query(g)
+	if err != nil {
+		panic(err)
+	}
+	comps, _ := q.NumComponents()
 	fmt.Println(solver.Name())
-	fmt.Println(connectit.NumComponents(labels))
+	fmt.Println(comps)
 	fmt.Println(solver.Capabilities().SpanningForest)
 	// Output:
 	// kout;Union-Rem-CAS;SplitOne;FindNaive
@@ -40,7 +44,8 @@ func ExampleConnectivity() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(connectit.NumComponents(labels))
+	comps, _ := connectit.QueryLabels(labels).NumComponents()
+	fmt.Println(comps)
 	fmt.Println(labels[0] == labels[2])
 	fmt.Println(labels[0] == labels[3])
 	// Output:
@@ -64,7 +69,8 @@ func ExampleLiuTarjanAlgorithm() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(connectit.NumComponents(labels))
+	comps, _ := connectit.QueryLabels(labels).NumComponents()
+	fmt.Println(comps)
 	// Output:
 	// 2
 }
@@ -85,7 +91,8 @@ func ExampleSolver_ComponentsOn() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println(connectit.NumComponents(labels))
+	comps, _ := connectit.QueryLabels(labels).NumComponents()
+	fmt.Println(comps)
 	fmt.Println(compressed.SizeBytes() > 0)
 	// Output:
 	// 2
@@ -105,6 +112,60 @@ func ExampleSpanningForest() {
 	fmt.Println(len(forest))
 	// Output:
 	// 3
+}
+
+// The composable query surface over a static run: one handle answers
+// counting, size, histogram, and forest-path queries.
+func ExampleSolver_Query() {
+	g := connectit.BuildGraph(5, []connectit.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4},
+	})
+	solver, err := connectit.Compile(connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	q, err := solver.Query(g)
+	if err != nil {
+		panic(err)
+	}
+	comps, _ := q.NumComponents()
+	size, _ := q.ComponentSize(0)
+	path, ok, _ := q.PathBetween(0, 2)
+	fmt.Println(comps)
+	fmt.Println(size)
+	fmt.Println(ok, len(path))
+	// Output:
+	// 2
+	// 3
+	// true 2
+}
+
+// Querying a live stream: the engine pulls the spanning forest the stream
+// grows as updates arrive, so answers always reflect every applied update.
+func ExampleStream_Query() {
+	st, err := connectit.NewStream(4, connectit.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	q, err := st.Query()
+	if err != nil {
+		panic(err)
+	}
+	if err := st.UpdateBatch([]connectit.Edge{{U: 0, V: 1}, {U: 1, V: 2}}); err != nil {
+		panic(err)
+	}
+	st.Sync() // barrier: make the batch visible before asking
+	path, ok, _ := q.PathBetween(0, 2)
+	comps, _ := q.NumComponents()
+	fmt.Println(ok, len(path))
+	fmt.Println(comps)
+	st.Close()
+	_, _, err = q.PathBetween(0, 2)
+	fmt.Println(err == connectit.ErrStreamClosed)
+	// Output:
+	// true 2
+	// 2
+	// true
 }
 
 // Batch-incremental connectivity: insertions and queries in one batch.

@@ -26,11 +26,22 @@ func main() {
 	}
 	fmt.Println("algorithm:", solver.Name())
 
-	labels := solver.Components(g)
+	// Query wraps a run in the composable query surface: counting, size,
+	// histogram, and path queries from one handle.
+	q, err := solver.Query(g)
+	if err != nil {
+		panic(err)
+	}
+	labels, _ := q.Labels()
 	fmt.Println("labels:", labels)
-	fmt.Println("components:", connectit.NumComponents(labels))
-	fmt.Println("0 and 2 connected:", labels[0] == labels[2])
-	fmt.Println("0 and 4 connected:", labels[0] == labels[4])
+	comps, _ := q.NumComponents()
+	fmt.Println("components:", comps)
+	c02, _ := q.Connected(0, 2)
+	c04, _ := q.Connected(0, 4)
+	fmt.Println("0 and 2 connected:", c02)
+	fmt.Println("0 and 4 connected:", c04)
+	path, _, _ := q.PathBetween(0, 2)
+	fmt.Println("path 0 -> 2 through the spanning forest:", path)
 
 	// Any of the framework's several hundred algorithm combinations is one
 	// spec string away; for example Liu-Tarjan CRFA with LDD sampling:
@@ -42,16 +53,24 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("CRFA agrees:", connectit.NumComponents(crfa.Components(g)) == 2)
+	qCRFA, err := crfa.Query(g)
+	if err != nil {
+		panic(err)
+	}
+	crfaComps, _ := qCRFA.NumComponents()
+	fmt.Println("CRFA agrees:", crfaComps == 2)
 
 	// Every algorithm also runs directly on the byte-compressed backend —
 	// about half the resident bytes on power-law graphs, no flat CSR ever
 	// materialized. (Compress one in memory, or LoadCBIN a .cbin file to
 	// memory-map a huge graph in O(1).)
+	// Solver.Query over the compressed backend yields a label-backed handle:
+	// counting and histogram queries work; path queries report ErrNoForest.
 	compressed := connectit.Compress(g)
-	clabels, err := solver.ComponentsOn(compressed)
+	qc, err := solver.Query(compressed)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("compressed agrees:", connectit.NumComponents(clabels) == 2)
+	ccomps, _ := qc.NumComponents()
+	fmt.Println("compressed agrees:", ccomps == 2)
 }

@@ -30,14 +30,20 @@ func main() {
 		panic("algorithm does not support spanning forest")
 	}
 
+	// Query runs Algorithm 2 and wraps the forest in the query surface:
+	// the handle serves the forest itself, component counts, and paths.
 	start := time.Now()
-	forest, err := solver.SpanningForest(g)
+	q, err := solver.Query(g)
 	elapsed := time.Since(start)
 	if err != nil {
 		panic(err)
 	}
+	forest, err := q.SpanningForest()
+	if err != nil {
+		panic(err)
+	}
 
-	comps := connectit.NumComponents(solver.Components(g))
+	comps, _ := q.NumComponents()
 	fmt.Printf("spanning forest: %d edges in %v\n", len(forest), elapsed)
 	fmt.Printf("invariant |F| = n - #components: %d = %d - %d: %v\n",
 		len(forest), g.NumVertices(), comps, len(forest) == g.NumVertices()-comps)
@@ -46,4 +52,12 @@ func main() {
 	// no redundant segment.
 	fmt.Printf("backbone keeps %.1f%% of road segments\n",
 		100*float64(len(forest))/float64(g.NumEdges()))
+
+	// The backbone is navigable: PathBetween walks forest edges between any
+	// two connected intersections.
+	path, ok, err := q.PathBetween(0, uint32(g.NumVertices()-1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("route corner-to-corner: connected=%v, %d segments\n", ok, len(path))
 }

@@ -85,6 +85,12 @@ func (c *Compiled) Config() Config { return c.cfg }
 // ParseConfig round-trips it.
 func (c *Compiled) Name() string { return c.cfg.Name() }
 
+// ForestErr returns nil when the combination supports spanning forest, or
+// the ErrUnsupported verdict captured at compile time. It is the error
+// SpanningForest would return, exposed so capability-gated surfaces (the
+// query layer) can fail at construction.
+func (c *Compiled) ForestErr() error { return c.forestErr }
+
 // Capabilities reports what the compiled combination supports.
 func (c *Compiled) Capabilities() Capabilities {
 	return Capabilities{
@@ -189,9 +195,21 @@ func (c *Compiled) SpanningForest(g *graph.Graph) ([][2]uint32, error) {
 // initially isolated vertices (§3.5) running the compiled finish
 // algorithm. Combinations that cannot stream return the ErrUnsupported
 // error captured at compile time.
+//
+// When the combination also supports spanning forest, witness capture is
+// enabled by default: every accepted union deposits its witness edge
+// (DESIGN.md §12), feeding the live forest behind the query layer.
+// Incremental.DisableForestCapture opts out; combinations without forest
+// support carry the compile-time verdict, surfaced by Incremental.ForestErr.
 func (c *Compiled) NewIncremental(n int) (*Incremental, error) {
 	if c.streamErr != nil {
 		return nil, c.streamErr
 	}
-	return c.family.NewIncremental(n, c.cfg, c.streamType), nil
+	inc := c.family.NewIncremental(n, c.cfg, c.streamType)
+	if c.forestErr == nil {
+		inc.enableForestCapture()
+	} else {
+		inc.forestErr = c.forestErr
+	}
+	return inc, nil
 }

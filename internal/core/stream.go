@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"connectit/internal/concurrent"
 	"connectit/internal/graph"
 	"connectit/internal/liutarjan"
 	"connectit/internal/parallel"
@@ -57,6 +58,21 @@ type Incremental struct {
 	// steady-state apply round allocates nothing in the kernel.
 	ltRunner *liutarjan.EdgeRunner
 
+	// Streaming spanning-forest capture (DESIGN.md §12). When capture is
+	// on, every accepted union deposits its witness edge: Type (i) appends
+	// to the union-find witness log under the existing atomic discipline;
+	// Type (ii) runs the witness-capturing edge runners and merges each
+	// round's edges into fbuf at the round barrier. forestErr carries the
+	// construction-time verdict when capture is off (the compile-time
+	// ForestSupport error, or the capture-disabled sentinel).
+	capture   bool
+	forestErr error
+	fmu       sync.Mutex
+	fbuf      []graph.Edge // merged Type (ii) forest, guarded by fmu
+	fscratch  []graph.Edge // per-batch capture scratch (capacity retained)
+	svForest  *shiloachvishkin.EdgeForestRunner
+	ltForest  *liutarjan.ForestEdgeRunner
+
 	// Algorithm 3 preprocessing state: the semisort scratch, the
 	// per-stream hint, and the per-batch decision counters. Type i permits
 	// concurrent ApplyBatch calls, so the shared scratch is guarded by
@@ -104,10 +120,16 @@ func (inc *Incremental) ProcessBatch(updates []graph.Edge, queries [][2]uint32) 
 	switch inc.stype {
 	case TypeAsync:
 		total := len(updates) + len(queries)
+		capture := inc.capture
 		parallel.ForGrained(total, 256, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if i < len(updates) {
-					inc.dsu.Union(updates[i].U, updates[i].V)
+					if capture {
+						e := updates[i]
+						inc.dsu.UnionWitness(e.U, e.V, e.U, e.V)
+					} else {
+						inc.dsu.Union(updates[i].U, updates[i].V)
+					}
 				} else {
 					q := queries[i-len(updates)]
 					results[i-len(updates)] = inc.dsu.SameSet(q[0], q[1])
@@ -213,12 +235,26 @@ func (inc *Incremental) applyEdges(updates []graph.Edge) {
 	}
 	switch inc.stype {
 	case TypeAsync, TypePhased:
+		// The capture branch is hoisted out of the loop; Type (iii) never
+		// captures (ForestSupport excludes Rem+SpliceAtomic).
+		capture := inc.capture
 		parallel.ForGrained(len(updates), 256, func(lo, hi int) {
+			if capture {
+				for i := lo; i < hi; i++ {
+					e := updates[i]
+					inc.dsu.UnionWitness(e.U, e.V, e.U, e.V)
+				}
+				return
+			}
 			for i := lo; i < hi; i++ {
 				inc.dsu.Union(updates[i].U, updates[i].V)
 			}
 		})
 	case TypeSynchronous:
+		if inc.capture {
+			inc.applyCaptured(updates)
+			return
+		}
 		if inc.kind == FinishShiloachVishkin {
 			shiloachvishkin.RunEdges(updates, inc.parent)
 		} else {
@@ -233,12 +269,49 @@ func (inc *Incremental) applyEdges(updates []graph.Edge) {
 	}
 }
 
+// applyCaptured is the Type (ii) apply path with witness capture: the
+// witness-capturing edge runner executes the synchronous rounds into the
+// retained scratch, and the batch's forest edges merge into fbuf at the
+// round barrier — the appliers are caller-serialized, so the only
+// synchronization added is the buffer mutex taken once per batch, off the
+// per-edge hot path.
+func (inc *Incremental) applyCaptured(updates []graph.Edge) {
+	var out []graph.Edge
+	if inc.kind == FinishShiloachVishkin {
+		if inc.svForest == nil {
+			inc.svForest = shiloachvishkin.NewEdgeForestRunner(inc.n)
+		}
+		_, out = inc.svForest.Run(updates, inc.parent, inc.fscratch[:0])
+	} else {
+		if inc.ltForest == nil {
+			r, err := liutarjan.NewForestEdgeRunner(inc.lt)
+			if err != nil {
+				// Unreachable: capture is only enabled when ForestSupport
+				// accepted the variant, which implies RootUp.
+				panic(err)
+			}
+			inc.ltForest = r
+		}
+		_, out = inc.ltForest.Run(updates, inc.parent, inc.fscratch[:0])
+	}
+	inc.fscratch = out
+	if len(out) > 0 {
+		inc.fmu.Lock()
+		inc.fbuf = append(inc.fbuf, out...)
+		inc.fmu.Unlock()
+	}
+}
+
 // Update applies a single edge insertion. For TypeAsync and TypePhased it
 // is one concurrent union (for TypePhased the caller owns the phase
 // barrier); TypeSynchronous callers should batch instead — a single-edge
 // synchronous round costs O(n) — so Update falls back to ApplyBatch of one.
 func (inc *Incremental) Update(u, v uint32) {
 	if inc.dsu != nil {
+		if inc.capture {
+			inc.dsu.UnionWitness(u, v, u, v)
+			return
+		}
 		inc.dsu.Union(u, v)
 		return
 	}
@@ -317,4 +390,100 @@ func (inc *Incremental) NumComponents() int {
 	return int(parallel.Count(len(labels), func(i int) bool {
 		return labels[i] == uint32(i)
 	}))
+}
+
+// errForestOff is the ForestErr verdict for streams whose algorithm
+// supports capture but had it switched off (Options.DisableForestCapture).
+var errForestOff = fmt.Errorf("%w: spanning-forest capture disabled for this stream", ErrUnsupported)
+
+// enableForestCapture switches on witness capture. Called by
+// Compiled.NewIncremental, quiescently, only when the compile-time
+// ForestSupport verdict was nil.
+func (inc *Incremental) enableForestCapture() {
+	inc.capture = true
+	inc.forestErr = nil
+	if inc.dsu != nil {
+		inc.dsu.EnableWitnessLog()
+	}
+}
+
+// DisableForestCapture switches witness capture off and releases the Type
+// (i) witness log. It must be called quiescently (the ingest engine calls
+// it at stream construction); subsequent ForestErr calls report the stream
+// as forest-incapable.
+func (inc *Incremental) DisableForestCapture() {
+	if !inc.capture {
+		return
+	}
+	inc.capture = false
+	inc.forestErr = errForestOff
+	if inc.dsu != nil {
+		inc.dsu.DisableWitnessLog()
+	}
+}
+
+// ForestErr reports whether this stream maintains a live spanning forest:
+// nil when witness capture is on, and otherwise an error wrapping
+// ErrUnsupported — the compile-time ForestSupport verdict, or the
+// capture-disabled sentinel. Query construction gates on it (the
+// fail-at-construction contract mirroring Compile).
+func (inc *Incremental) ForestErr() error {
+	if inc.capture {
+		return nil
+	}
+	if inc.forestErr != nil {
+		return inc.forestErr
+	}
+	return errForestOff
+}
+
+// ForestLen reports how many forest edges have been captured so far. The
+// value is exact at quiescence and a momentary snapshot under concurrent
+// updates (Type (i) counts reserved log slots, so it may briefly exceed
+// what ForestPull can observe).
+func (inc *Incremental) ForestLen() int {
+	if !inc.capture {
+		return 0
+	}
+	if inc.dsu != nil {
+		return inc.dsu.WitnessLogLen()
+	}
+	inc.fmu.Lock()
+	n := len(inc.fbuf)
+	inc.fmu.Unlock()
+	return n
+}
+
+// ForestPull appends the forest edges captured since cursor to dst and
+// returns the advanced cursor with the grown slice. Cursors start at 0 and
+// are advanced monotonically; published edges never move, so successive
+// pulls observe a strictly growing forest prefix. Safe concurrently with
+// updates of capture-capable stream types: Type (i) reads the union-find
+// witness log wait-free (stopping at the first reserved-but-unpublished
+// slot), Type (ii) copies the round-merged buffer under its mutex.
+func (inc *Incremental) ForestPull(cursor int, dst []graph.Edge) (int, []graph.Edge) {
+	if !inc.capture {
+		return cursor, dst
+	}
+	if inc.dsu != nil {
+		var buf [256]uint64
+		for {
+			next, k := inc.dsu.WitnessLogRead(cursor, buf[:])
+			for i := 0; i < k; i++ {
+				u, v := concurrent.Unpack(buf[i])
+				dst = append(dst, graph.Edge{U: u, V: v})
+			}
+			cursor = next
+			if k < len(buf) {
+				return cursor, dst
+			}
+		}
+	}
+	inc.fmu.Lock()
+	if cursor < len(inc.fbuf) {
+		dst = append(dst, inc.fbuf[cursor:]...)
+		cursor = len(inc.fbuf)
+	}
+	inc.fmu.Unlock()
+	return cursor, dst
 }

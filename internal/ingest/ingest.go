@@ -60,13 +60,15 @@ import (
 	"connectit/internal/core"
 	"connectit/internal/graph"
 	"connectit/internal/parallel"
+	"connectit/internal/query"
 )
 
-// ErrClosed is returned by Update, UpdateBatch, and Connected after Close:
-// a closed stream's state is final, so mutations are rejected and queries
-// fail fast instead of answering from a structure the caller believes
-// sealed. Labels, NumComponents, Stats, and Sync keep working after Close —
-// they are the read-only surface a snapshotting server needs.
+// ErrClosed is returned by Update, UpdateBatch, Connected, and every query
+// issued through a Query engine after Close: a closed stream's state is
+// final, so mutations are rejected and queries fail fast instead of
+// answering from a structure the caller believes sealed. The canonical
+// list of read-only survivors — the snapshot surface a server needs after
+// Close — is documented once, on connectit.ErrStreamClosed (stream.go).
 var ErrClosed = errors.New("ingest: stream closed")
 
 // Options tunes a Stream. The zero value selects the defaults.
@@ -95,6 +97,10 @@ type Options struct {
 	// cost-model threshold; DedupAlways/DedupNever override per stream.
 	// Stats.DedupSorted/DedupSkipped record the decisions.
 	DedupHint core.DedupHint
+	// DisableForestCapture turns off the live spanning forest that
+	// forest-capable algorithms maintain by default (DESIGN.md §12).
+	// Query then fails with ErrUnsupported; Connected is unaffected.
+	DisableForestCapture bool
 }
 
 const (
@@ -253,6 +259,9 @@ type Stream struct {
 func New(inc *core.Incremental, opt Options) *Stream {
 	opt = opt.withDefaults()
 	inc.SetDedupHint(opt.DedupHint)
+	if opt.DisableForestCapture {
+		inc.DisableForestCapture()
+	}
 	s := &Stream{inc: inc, stype: inc.Type(), opt: opt}
 	s.quiet = sync.NewCond(&s.qmu)
 	s.closeDone = make(chan struct{})
@@ -642,6 +651,46 @@ func (s *Stream) NumComponents() int {
 	defer s.quiesce()()
 	return s.inc.NumComponents()
 }
+
+// Query returns a composable query engine over the stream's live spanning
+// forest: path, component-size, histogram, label, and forest queries that
+// stay current as the stream ingests (DESIGN.md §12). Capability gating
+// happens here, at construction — algorithms compiled without witness
+// support (and streams built with DisableForestCapture) return the
+// ErrUnsupported-wrapping verdict up front, mirroring Compile's
+// fail-at-compile contract — so a non-nil engine never discovers mid-query
+// that the forest does not exist.
+//
+// Engine answers reflect every applied round, the same visibility contract
+// as Connected; call Sync first for a point-in-time barrier. Engines are
+// independent cursors over one shared capture, so many may coexist, and
+// every engine method returns ErrClosed once the stream is closed.
+func (s *Stream) Query() (*query.Engine, error) {
+	if err := s.inc.ForestErr(); err != nil {
+		return nil, err
+	}
+	return query.New(streamSource{s}), nil
+}
+
+// streamSource adapts a Stream to query.Source.
+type streamSource struct{ s *Stream }
+
+func (src streamSource) NumVertices() int { return src.s.inc.Len() }
+
+func (src streamSource) ForestPull(cursor int, dst []graph.Edge) (int, []graph.Edge) {
+	return src.s.inc.ForestPull(cursor, dst)
+}
+
+func (src streamSource) Err() error {
+	if src.s.closed.Load() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// ForestLen reports the number of spanning-forest edges captured so far
+// (0 when capture is off) — the serving layer's forest-size gauge.
+func (s *Stream) ForestLen() int { return s.inc.ForestLen() }
 
 // String describes the stream's configuration.
 func (s *Stream) String() string {

@@ -1,0 +1,469 @@
+// Package query implements the composable connectivity query engine behind
+// connectit.Query (DESIGN.md §12). It separates "what to compute" — path,
+// component-size, histogram, and forest queries — from "how the labeling is
+// produced": the same Engine answers over a live streaming spanning forest
+// (pulled incrementally from a Source), a static forest computed offline
+// (Algorithm 2), or a bare connectivity labeling when no forest exists.
+//
+// The engine maintains a union-by-min disjoint-set over the forest edges it
+// has absorbed, so component labels are canonical minima — identical to the
+// labels the solvers and streams report — plus a half-edge adjacency over
+// the forest for breadth-first path reconstruction. All scratch (BFS
+// stamps, queues, histogram bins) is retained across calls, and every
+// public method is safe for concurrent use behind one mutex: queries are
+// reads over an incrementally grown index, serialized cheaply relative to
+// the traversals they perform.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"connectit/internal/graph"
+)
+
+// ErrNoForest is returned by path and forest queries on engines built from
+// a bare labeling (no spanning forest behind them). The verdict is fixed at
+// construction, mirroring the compile-time capability gating of the solver
+// surface.
+var ErrNoForest = errors.New("query: engine has no spanning forest (label-backed)")
+
+// Source feeds a live forest into an Engine. The ingest engine's Stream is
+// the canonical implementation.
+type Source interface {
+	// NumVertices is the vertex universe size.
+	NumVertices() int
+	// ForestPull appends forest edges captured since cursor to dst,
+	// returning the advanced cursor and grown slice. Must be safe to call
+	// concurrently with updates; published edges must never move.
+	ForestPull(cursor int, dst []graph.Edge) (int, []graph.Edge)
+	// Err reports the source's liveness: queries fail with this error once
+	// it is non-nil (e.g. a closed stream).
+	Err() error
+}
+
+// Bin is one histogram bucket: Count components of exactly Size vertices.
+type Bin struct {
+	Size  int `json:"size"`
+	Count int `json:"count"`
+}
+
+// Histogram is a component-size histogram in increasing Size order.
+type Histogram []Bin
+
+// Stats is a snapshot of the engine's index.
+type Stats struct {
+	// ForestEdges is the number of forest edges absorbed into the index.
+	ForestEdges int
+	// Dropped counts pulled edges rejected because their endpoints were
+	// already connected (always 0 when capture upholds the forest
+	// invariant; surfaced for observability).
+	Dropped int
+	// Components is the current number of connected components.
+	Components int
+}
+
+// noHalf is the empty half-edge list sentinel.
+const noHalf = int32(-1)
+
+// Engine answers connectivity queries over an incrementally maintained
+// spanning forest (see the package comment). Construct with New (live
+// source), NewStatic (offline forest), or NewLabelled (labeling only).
+type Engine struct {
+	mu  sync.Mutex
+	src Source
+
+	n       int
+	cursor  int
+	pathErr error // ErrNoForest for label-backed engines
+
+	forest  []graph.Edge // accepted forest edges, index-stable
+	pull    []graph.Edge // ForestPull scratch
+	dropped int
+
+	// Union-by-min over forest edges: parents strictly decrease, so every
+	// root is its component's minimum and Find yields canonical labels.
+	parent     []uint32
+	size       []uint32
+	components int
+	maxRoot    uint32
+	maxSize    uint32
+
+	// Half-edge adjacency: forest edge i contributes half-edge 2i at U
+	// (toward V) and 2i+1 at V (toward U).
+	head   []int32
+	nextHE []int32
+
+	// BFS scratch: stamp[v] == epoch marks v visited in the current
+	// traversal; via[v] is the half-edge that discovered v.
+	stamp []uint32
+	epoch uint32
+	via   []int32
+	queue []uint32
+
+	// Histogram cache, valid while the forest length is unchanged.
+	histAt int
+	hist   Histogram
+	sizes  []uint32 // histogram sort scratch
+}
+
+// New builds a live engine over src. Queries pull newly captured forest
+// edges from the source before answering, so answers always reflect every
+// update the source had published at call time.
+func New(src Source) *Engine {
+	e := newEngine(src.NumVertices())
+	e.src = src
+	return e
+}
+
+// NewStatic builds an engine over a fixed forest (the output of
+// Solver.SpanningForest). The forest is absorbed at construction; edges
+// whose endpoints repeat a component merge are dropped (Stats.Dropped).
+func NewStatic(n int, forest []graph.Edge) *Engine {
+	e := newEngine(n)
+	for _, ed := range forest {
+		e.addEdge(ed)
+	}
+	return e
+}
+
+// NewLabelled builds an engine from a connectivity labeling: labels[v] is
+// v's component label, with labels[labels[v]] == labels[v] (the canonical
+// star form every solver returns). Component, size, and histogram queries
+// work; PathBetween and SpanningForest return ErrNoForest — there is no
+// forest to walk. The labels slice is copied.
+func NewLabelled(labels []uint32) *Engine {
+	e := newEngine(len(labels))
+	e.pathErr = ErrNoForest
+	copy(e.parent, labels)
+	e.components = 0
+	for i := range e.size {
+		e.size[i] = 0
+	}
+	for i, l := range labels {
+		e.size[l]++ // flat star form: l is i's root
+		if l == uint32(i) {
+			e.components++
+		}
+	}
+	e.maxSize = 0
+	for i := range e.size {
+		if e.parent[i] == uint32(i) && e.size[i] > e.maxSize {
+			e.maxSize, e.maxRoot = e.size[i], uint32(i)
+		}
+	}
+	return e
+}
+
+func newEngine(n int) *Engine {
+	e := &Engine{
+		n:          n,
+		components: n,
+		parent:     make([]uint32, n),
+		size:       make([]uint32, n),
+		head:       make([]int32, n),
+		stamp:      make([]uint32, n),
+		via:        make([]int32, n),
+		histAt:     -1,
+	}
+	for i := 0; i < n; i++ {
+		e.parent[i] = uint32(i)
+		e.size[i] = 1
+		e.head[i] = noHalf
+	}
+	if n > 0 {
+		e.maxRoot, e.maxSize = 0, 1
+	}
+	return e
+}
+
+// find chases parent pointers with full path compression. Parents strictly
+// decrease toward the component minimum, so the walk terminates and the
+// root is the canonical label.
+func (e *Engine) find(x uint32) uint32 {
+	r := x
+	for e.parent[r] != r {
+		r = e.parent[r]
+	}
+	for e.parent[x] != x {
+		e.parent[x], x = r, e.parent[x]
+	}
+	return r
+}
+
+// addEdge absorbs one captured forest edge into the index.
+func (e *Engine) addEdge(ed graph.Edge) {
+	ru, rv := e.find(ed.U), e.find(ed.V)
+	if ru == rv {
+		e.dropped++
+		return
+	}
+	if rv < ru {
+		ru, rv = rv, ru
+	}
+	e.parent[rv] = ru
+	e.size[ru] += e.size[rv]
+	e.components--
+	if e.size[ru] > e.maxSize {
+		e.maxSize, e.maxRoot = e.size[ru], ru
+	}
+	i := int32(len(e.forest))
+	e.forest = append(e.forest, ed)
+	h0, h1 := 2*i, 2*i+1
+	e.nextHE = append(e.nextHE, e.head[ed.U], e.head[ed.V])
+	e.head[ed.U], e.head[ed.V] = h0, h1
+}
+
+// refresh pulls and absorbs newly captured forest edges. Caller holds mu.
+func (e *Engine) refresh() error {
+	if e.src == nil {
+		return nil
+	}
+	if err := e.src.Err(); err != nil {
+		return err
+	}
+	e.pull = e.pull[:0]
+	e.cursor, e.pull = e.src.ForestPull(e.cursor, e.pull)
+	for _, ed := range e.pull {
+		e.addEdge(ed)
+	}
+	return nil
+}
+
+func (e *Engine) checkVertex(v uint32) error {
+	if int(v) >= e.n {
+		return fmt.Errorf("query: vertex %d out of range [0, %d)", v, e.n)
+	}
+	return nil
+}
+
+// NumVertices returns the vertex universe size.
+func (e *Engine) NumVertices() int { return e.n }
+
+// Refresh absorbs every forest edge the source has published, without
+// answering a query. Useful before reading Stats.
+func (e *Engine) Refresh() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.refresh()
+}
+
+// Stats snapshots the engine's index counters (no source pull).
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{ForestEdges: len(e.forest), Dropped: e.dropped, Components: e.components}
+}
+
+// Connected reports whether u and v are in the same component.
+func (e *Engine) Connected(u, v uint32) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkVertex(u); err != nil {
+		return false, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return false, err
+	}
+	if err := e.refresh(); err != nil {
+		return false, err
+	}
+	return e.find(u) == e.find(v), nil
+}
+
+// Component returns the canonical component label of v — the smallest
+// vertex ID in v's component, matching the labels solvers and streams
+// report.
+func (e *Engine) Component(v uint32) (uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkVertex(v); err != nil {
+		return 0, err
+	}
+	if err := e.refresh(); err != nil {
+		return 0, err
+	}
+	return e.find(v), nil
+}
+
+// ComponentSize returns the number of vertices in v's component.
+func (e *Engine) ComponentSize(v uint32) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkVertex(v); err != nil {
+		return 0, err
+	}
+	if err := e.refresh(); err != nil {
+		return 0, err
+	}
+	return int(e.size[e.find(v)]), nil
+}
+
+// NumComponents returns the current number of connected components.
+func (e *Engine) NumComponents() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.refresh(); err != nil {
+		return 0, err
+	}
+	return e.components, nil
+}
+
+// LargestComponent returns the canonical label and size of the largest
+// component (ties broken by earliest to reach the size).
+func (e *Engine) LargestComponent() (uint32, int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.refresh(); err != nil {
+		return 0, 0, err
+	}
+	if e.n == 0 {
+		return 0, 0, nil
+	}
+	// maxRoot may have been absorbed into a smaller root of equal size;
+	// normalize to the canonical label.
+	return e.find(e.maxRoot), int(e.maxSize), nil
+}
+
+// Labels returns a fresh canonical connectivity labeling: labels[v] is the
+// smallest vertex in v's component.
+func (e *Engine) Labels() ([]uint32, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.refresh(); err != nil {
+		return nil, err
+	}
+	out := make([]uint32, e.n)
+	for i := range out {
+		out[i] = e.find(uint32(i))
+	}
+	return out, nil
+}
+
+// ComponentHistogram returns the component-size histogram in increasing
+// size order. The result is cached until the forest grows.
+func (e *Engine) ComponentHistogram() (Histogram, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.refresh(); err != nil {
+		return nil, err
+	}
+	if e.histAt != len(e.forest) {
+		e.sizes = e.sizes[:0]
+		for i := 0; i < e.n; i++ {
+			if e.parent[i] == uint32(i) {
+				e.sizes = append(e.sizes, e.size[i])
+			}
+		}
+		slices.Sort(e.sizes)
+		e.hist = e.hist[:0]
+		for i := 0; i < len(e.sizes); {
+			j := i
+			for j < len(e.sizes) && e.sizes[j] == e.sizes[i] {
+				j++
+			}
+			e.hist = append(e.hist, Bin{Size: int(e.sizes[i]), Count: j - i})
+			i = j
+		}
+		e.histAt = len(e.forest)
+	}
+	out := make(Histogram, len(e.hist))
+	copy(out, e.hist)
+	return out, nil
+}
+
+// SpanningForest returns a copy of the forest edges absorbed so far:
+// exactly n − NumComponents() real graph edges spanning every component.
+func (e *Engine) SpanningForest() ([]graph.Edge, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pathErr != nil {
+		return nil, e.pathErr
+	}
+	if err := e.refresh(); err != nil {
+		return nil, err
+	}
+	out := make([]graph.Edge, len(e.forest))
+	copy(out, e.forest)
+	return out, nil
+}
+
+// PathBetween returns a path of forest edges from u to v, oriented
+// u-to-v, and whether the endpoints are connected. The path is simple and
+// has at most ComponentSize(u) − 1 edges; it is a fresh slice. A
+// connected pair always yields a path (u == v yields an empty one).
+func (e *Engine) PathBetween(u, v uint32) ([]graph.Edge, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.checkVertex(u); err != nil {
+		return nil, false, err
+	}
+	if err := e.checkVertex(v); err != nil {
+		return nil, false, err
+	}
+	if e.pathErr != nil {
+		return nil, false, e.pathErr
+	}
+	if err := e.refresh(); err != nil {
+		return nil, false, err
+	}
+	if e.find(u) != e.find(v) {
+		return nil, false, nil
+	}
+	if u == v {
+		return []graph.Edge{}, true, nil
+	}
+
+	// Breadth-first search over the forest component (its size bounds the
+	// work); via half-edges reconstruct the walk.
+	e.epoch++
+	if e.epoch == 0 { // stamp wraparound: invalidate everything once
+		clear(e.stamp)
+		e.epoch = 1
+	}
+	e.queue = e.queue[:0]
+	e.stamp[u] = e.epoch
+	e.via[u] = noHalf
+	e.queue = append(e.queue, u)
+	found := false
+	for qi := 0; qi < len(e.queue) && !found; qi++ {
+		x := e.queue[qi]
+		for h := e.head[x]; h != noHalf; h = e.nextHE[h] {
+			ed := e.forest[h/2]
+			to := ed.V
+			if h&1 == 1 {
+				to = ed.U
+			}
+			if e.stamp[to] == e.epoch {
+				continue
+			}
+			e.stamp[to] = e.epoch
+			e.via[to] = h
+			if to == v {
+				found = true
+				break
+			}
+			e.queue = append(e.queue, to)
+		}
+	}
+	if !found {
+		// Unreachable when the forest invariant holds (find said
+		// connected); fail loudly rather than return a wrong answer.
+		return nil, false, fmt.Errorf("query: forest is missing a path between %d and %d", u, v)
+	}
+	var path []graph.Edge
+	for x := v; x != u; {
+		h := e.via[x]
+		ed := e.forest[h/2]
+		from := ed.U
+		if h&1 == 1 {
+			from = ed.V
+		}
+		path = append(path, graph.Edge{U: from, V: x})
+		x = from
+	}
+	slices.Reverse(path)
+	return path, true, nil
+}

@@ -1,0 +1,219 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"connectit/internal/graph"
+)
+
+// buildForest deterministically grows a forest over n vertices with one
+// tree per residue class mod comps, returning the edges.
+func buildForest(n, comps int) []graph.Edge {
+	var edges []graph.Edge
+	for v := comps; v < n; v++ {
+		// Attach v to an earlier vertex of the same class, hashed for shape.
+		stride := comps * (1 + int(graph.Hash64(uint64(v))%4))
+		p := v - stride
+		for p < 0 {
+			p += comps
+		}
+		edges = append(edges, graph.Edge{U: uint32(p), V: uint32(v)})
+	}
+	return edges
+}
+
+// bfsOracle answers connectivity and distance over an adjacency list.
+type bfsOracle struct {
+	adj  [][]uint32
+	seen []int
+	mark int
+}
+
+func newBFSOracle(n int, edges []graph.Edge) *bfsOracle {
+	o := &bfsOracle{adj: make([][]uint32, n), seen: make([]int, n)}
+	for _, e := range edges {
+		o.adj[e.U] = append(o.adj[e.U], e.V)
+		o.adj[e.V] = append(o.adj[e.V], e.U)
+	}
+	return o
+}
+
+// reach returns whether v is reachable from u and the hop distance.
+func (o *bfsOracle) reach(u, v uint32) (bool, int) {
+	o.mark++
+	type qe struct {
+		v uint32
+		d int
+	}
+	queue := []qe{{u, 0}}
+	o.seen[u] = o.mark
+	for qi := 0; qi < len(queue); qi++ {
+		x := queue[qi]
+		if x.v == v {
+			return true, x.d
+		}
+		for _, w := range o.adj[x.v] {
+			if o.seen[w] != o.mark {
+				o.seen[w] = o.mark
+				queue = append(queue, qe{w, x.d + 1})
+			}
+		}
+	}
+	return false, 0
+}
+
+// TestStaticAgainstBFSOracle checks every pair-query answer on a static
+// forest against an independent BFS: connectivity, path existence, path
+// length (forest paths are unique, so length must equal BFS distance), and
+// path chaining.
+func TestStaticAgainstBFSOracle(t *testing.T) {
+	const n, comps = 256, 3
+	forest := buildForest(n, comps)
+	e := NewStatic(n, forest)
+	oracle := newBFSOracle(n, forest)
+
+	if nc, err := e.NumComponents(); err != nil || nc != comps {
+		t.Fatalf("NumComponents = (%d, %v), want (%d, nil)", nc, err, comps)
+	}
+	if s := e.Stats(); s.ForestEdges != n-comps || s.Dropped != 0 {
+		t.Fatalf("Stats = %+v, want %d forest edges, 0 dropped", s, n-comps)
+	}
+	for u := uint32(0); u < n; u += 3 {
+		for v := uint32(1); v < n; v += 7 {
+			wantConn, wantDist := oracle.reach(u, v)
+			path, conn, err := e.PathBetween(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if conn != wantConn {
+				t.Fatalf("PathBetween(%d,%d) connected = %v, oracle %v", u, v, conn, wantConn)
+			}
+			if !conn {
+				continue
+			}
+			if len(path) != wantDist {
+				t.Fatalf("PathBetween(%d,%d) length = %d, oracle distance %d", u, v, len(path), wantDist)
+			}
+			at := u
+			for _, ed := range path {
+				if ed.U != at {
+					t.Fatalf("PathBetween(%d,%d): broken chain at %d", u, v, ed.U)
+				}
+				at = ed.V
+			}
+			if at != v {
+				t.Fatalf("PathBetween(%d,%d): path ends at %d", u, v, at)
+			}
+		}
+	}
+}
+
+// TestStaticDroppedEdges: NewStatic tolerates redundant input edges —
+// they are counted, not indexed.
+func TestStaticDroppedEdges(t *testing.T) {
+	e := NewStatic(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 0}})
+	s := e.Stats()
+	if s.ForestEdges != 2 || s.Dropped != 2 {
+		t.Fatalf("Stats = %+v, want 2 indexed, 2 dropped", s)
+	}
+	if nc, _ := e.NumComponents(); nc != 2 {
+		t.Fatalf("NumComponents = %d, want 2 ({0,1,2} and {3})", nc)
+	}
+}
+
+// TestSelfPairAndRange: u == v yields an empty non-nil path;
+// out-of-range vertices error on every pair/point query.
+func TestSelfPairAndRange(t *testing.T) {
+	e := NewStatic(4, []graph.Edge{{U: 0, V: 1}})
+	path, conn, err := e.PathBetween(1, 1)
+	if err != nil || !conn || path == nil || len(path) != 0 {
+		t.Fatalf("PathBetween(1,1) = (%v, %v, %v), want empty path", path, conn, err)
+	}
+	if _, _, err := e.PathBetween(0, 4); err == nil {
+		t.Fatal("PathBetween(0,4) accepted an out-of-range vertex")
+	}
+	if _, err := e.Component(9); err == nil {
+		t.Fatal("Component(9) accepted an out-of-range vertex")
+	}
+	if _, err := e.ComponentSize(4); err == nil {
+		t.Fatal("ComponentSize(4) accepted an out-of-range vertex")
+	}
+	if _, err := e.Connected(4, 0); err == nil {
+		t.Fatal("Connected(4,0) accepted an out-of-range vertex")
+	}
+}
+
+// TestLabelled: label-backed engines answer counting queries and refuse
+// walks with ErrNoForest, decided at construction.
+func TestLabelled(t *testing.T) {
+	// Components {0,1,2}, {3,4}, {5}: canonical star labeling.
+	e := NewLabelled([]uint32{0, 0, 0, 3, 3, 5})
+	if nc, _ := e.NumComponents(); nc != 3 {
+		t.Fatalf("NumComponents = %d, want 3", nc)
+	}
+	if lbl, size, _ := e.LargestComponent(); lbl != 0 || size != 3 {
+		t.Fatalf("LargestComponent = (%d, %d), want (0, 3)", lbl, size)
+	}
+	if sz, _ := e.ComponentSize(4); sz != 2 {
+		t.Fatalf("ComponentSize(4) = %d, want 2", sz)
+	}
+	if c, _ := e.Connected(1, 2); !c {
+		t.Fatal("Connected(1,2) = false, want true")
+	}
+	hist, err := e.ComponentHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Histogram{{Size: 1, Count: 1}, {Size: 2, Count: 1}, {Size: 3, Count: 1}}
+	if len(hist) != len(want) {
+		t.Fatalf("histogram = %v, want %v", hist, want)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", hist, want)
+		}
+	}
+	if _, _, err := e.PathBetween(0, 1); !errors.Is(err, ErrNoForest) {
+		t.Fatalf("PathBetween on labels: err = %v, want ErrNoForest", err)
+	}
+	if _, err := e.SpanningForest(); !errors.Is(err, ErrNoForest) {
+		t.Fatalf("SpanningForest on labels: err = %v, want ErrNoForest", err)
+	}
+}
+
+// fakeSource is a scripted Source for refresh tests.
+type fakeSource struct {
+	n      int
+	edges  []graph.Edge
+	failed error
+}
+
+func (f *fakeSource) NumVertices() int { return f.n }
+func (f *fakeSource) Err() error       { return f.failed }
+func (f *fakeSource) ForestPull(cursor int, dst []graph.Edge) (int, []graph.Edge) {
+	dst = append(dst, f.edges[cursor:]...)
+	return len(f.edges), dst
+}
+
+// TestLiveRefresh: a live engine absorbs source edges incrementally and
+// starts failing the moment the source reports closure.
+func TestLiveRefresh(t *testing.T) {
+	src := &fakeSource{n: 4}
+	e := New(src)
+	if c, _ := e.Connected(0, 1); c {
+		t.Fatal("Connected(0,1) before any edges, want false")
+	}
+	src.edges = append(src.edges, graph.Edge{U: 0, V: 1})
+	if c, _ := e.Connected(0, 1); !c {
+		t.Fatal("Connected(0,1) after publishing {0,1}, want true")
+	}
+	src.edges = append(src.edges, graph.Edge{U: 1, V: 2})
+	if path, _, _ := e.PathBetween(0, 2); len(path) != 2 {
+		t.Fatalf("PathBetween(0,2) length = %d, want 2", len(path))
+	}
+	src.failed = errors.New("closed")
+	if _, err := e.NumComponents(); !errors.Is(err, src.failed) {
+		t.Fatalf("query on failed source: err = %v, want %v", err, src.failed)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"connectit/internal/graph"
 	"connectit/internal/ingest"
 	"connectit/internal/parallel"
+	"connectit/internal/query"
 	"connectit/internal/wal"
 )
 
@@ -89,6 +90,12 @@ type Server struct {
 	reg *Registry
 	mux *http.ServeMux
 
+	// q answers forest-backed queries (/v1/path, /v1/component, histogram
+	// mode); nil when the stream's algorithm lacks spanning-forest support,
+	// with qErr holding the capability verdict for the 501 response.
+	q    *query.Engine
+	qErr error
+
 	// pending reports the backpressure signal; a field so tests can force
 	// the 429 path deterministically.
 	pending func() int
@@ -123,6 +130,11 @@ func New(st *ingest.Stream, opt Options) (*Server, error) {
 		closed:   make(chan struct{}),
 	}
 	s.pending = st.PendingEpochs
+	if q, err := st.Query(); err != nil {
+		s.qErr = err
+	} else {
+		s.q = q
+	}
 
 	if opt.WALDir != "" {
 		l, err := wal.Open(opt.WALDir, wal.Options{SegmentBytes: opt.SegmentBytes, NoSync: opt.NoSync})
@@ -328,6 +340,8 @@ func (s *Server) routes() {
 	s.handle("/v1/update", "update", s.handleUpdate)
 	s.handle("/v1/connected", "connected", s.handleConnected)
 	s.handle("/v1/components", "components", s.handleComponents)
+	s.handle("/v1/path", "path", s.handlePath)
+	s.handle("/v1/component", "component", s.handleComponent)
 	s.handle("/v1/stats", "stats", s.handleStats)
 	s.handle("/healthz", "healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", s.reg)
@@ -456,10 +470,105 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 
 // handleComponents syncs the stream and counts components — the expensive
 // quiescent analytical query, deliberately separate from /v1/connected.
+// With ?histogram=1 it additionally returns the component-size histogram
+// from the live forest index (forest-backed algorithms only).
 func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"vertices":   s.st.Len(),
 		"components": s.st.NumComponents(),
+	}
+	if h := r.URL.Query().Get("histogram"); h == "1" || h == "true" {
+		q, ok := s.queryEngine(w)
+		if !ok {
+			return
+		}
+		s.st.Sync() // barrier: absorb every accepted update into the answer
+		hist, err := q.ComponentHistogram()
+		if err != nil {
+			queryError(w, err)
+			return
+		}
+		resp["histogram"] = hist
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryEngine returns the forest-backed query engine, or writes the 501
+// capability verdict (fixed at construction: the algorithm cannot maintain
+// a spanning forest) and reports false.
+func (s *Server) queryEngine(w http.ResponseWriter) (*query.Engine, bool) {
+	if s.q == nil {
+		httpError(w, http.StatusNotImplemented, "forest queries unsupported: "+s.qErr.Error())
+		return nil, false
+	}
+	return s.q, true
+}
+
+// queryError maps a query engine failure: a closed stream is a service
+// state (503), anything else is an internal invariant violation (500).
+func queryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ingest.ErrClosed) {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error())
+}
+
+// handlePath walks the live spanning forest between two vertices: the
+// response carries the connectivity verdict and, when connected, the
+// witness path as [u, v] pairs oriented from u to v (Algorithm 2's
+// Theorem 6 guarantees the forest spans every component, so a connected
+// pair always yields a path).
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.queryEngine(w)
+	if !ok {
+		return
+	}
+	u, errU := parseVertex(r.URL.Query().Get("u"), s.st.Len())
+	v, errV := parseVertex(r.URL.Query().Get("v"), s.st.Len())
+	if errU != nil || errV != nil {
+		httpError(w, http.StatusBadRequest, "u and v must be vertex ids in [0, n)")
+		return
+	}
+	path, connected, err := q.PathBetween(u, v)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	pairs := make([][2]uint32, len(path))
+	for i, e := range path {
+		pairs[i] = [2]uint32{e.U, e.V}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"u": u, "v": v, "connected": connected,
+		"path": pairs, "length": len(pairs),
+	})
+}
+
+// handleComponent reports a vertex's canonical component label (the
+// smallest vertex in its component) and size from the live forest index.
+func (s *Server) handleComponent(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.queryEngine(w)
+	if !ok {
+		return
+	}
+	v, err := parseVertex(r.URL.Query().Get("v"), s.st.Len())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "v must be a vertex id in [0, n)")
+		return
+	}
+	label, err := q.Component(v)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	size, err := q.ComponentSize(v)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"v": v, "component": label, "size": size,
 	})
 }
 
@@ -530,6 +639,12 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("connectit_stream_dedup_skipped_total", "", "Batches applied unsorted by the dedup estimator.", stream(func(st ingest.Stats) uint64 { return st.DedupSkipped }))
 	s.reg.GaugeFunc("connectit_stream_pending_epochs", "", "Sealed epochs not yet fully applied (backpressure signal).", func() float64 { return float64(s.st.PendingEpochs()) })
 	s.reg.GaugeFunc("connectit_stream_vertices", "", "Vertex universe size.", func() float64 { return float64(s.st.Len()) })
+
+	if s.q != nil {
+		s.reg.GaugeFunc("connectit_query_forest_edges", "", "Spanning-forest edges captured by the stream (witness log length).", func() float64 { return float64(s.st.ForestLen()) })
+		s.reg.GaugeFunc("connectit_query_index_edges", "", "Forest edges absorbed into the query index.", func() float64 { return float64(s.q.Stats().ForestEdges) })
+		s.reg.GaugeFunc("connectit_query_index_dropped", "", "Pulled edges rejected by the query index as redundant (0 while the forest invariant holds).", func() float64 { return float64(s.q.Stats().Dropped) })
+	}
 
 	pool := func(f func(parallel.Stats) uint64) func() uint64 {
 		return func() uint64 { return f(parallel.PoolStats()) }

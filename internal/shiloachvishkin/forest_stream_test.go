@@ -1,0 +1,153 @@
+package shiloachvishkin
+
+import (
+	"runtime"
+	"testing"
+
+	"connectit/internal/graph"
+)
+
+// seqDSU is the sequential oracle for forest invariant checks.
+type seqDSU struct{ p []uint32 }
+
+func newSeqDSU(n int) *seqDSU {
+	d := &seqDSU{p: make([]uint32, n)}
+	for i := range d.p {
+		d.p[i] = uint32(i)
+	}
+	return d
+}
+
+func (d *seqDSU) find(x uint32) uint32 {
+	for d.p[x] != x {
+		d.p[x] = d.p[d.p[x]]
+		x = d.p[x]
+	}
+	return x
+}
+
+// union returns true when the edge merged two components.
+func (d *seqDSU) union(u, v uint32) bool {
+	ru, rv := d.find(u), d.find(v)
+	if ru == rv {
+		return false
+	}
+	d.p[ru] = rv
+	return true
+}
+
+func randEdges(n, m int, seed uint64) []graph.Edge {
+	rng := seed
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		rng = graph.Hash64(rng)
+		u := uint32(rng % uint64(n))
+		rng = graph.Hash64(rng)
+		v := uint32(rng % uint64(n))
+		if u == v {
+			v = (v + 1) % uint32(n)
+		}
+		edges[i] = graph.Edge{U: u, V: v}
+	}
+	return edges
+}
+
+// TestEdgeForestRunnerInvariants drives a sequence of batches through one
+// runner and checks the streaming forest contract after every batch: the
+// partition matches a sequential oracle, the cumulative forest holds
+// exactly n - #components edges drawn from the input, and the forest edges
+// themselves form a forest (every one merges two oracle components).
+func TestEdgeForestRunnerInvariants(t *testing.T) {
+	const n = 1 << 10
+	r := NewEdgeForestRunner(n)
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	oracle := newSeqDSU(n)
+	inSet := make(map[[2]uint32]bool)
+	var forest []graph.Edge
+
+	for batch := 0; batch < 6; batch++ {
+		edges := randEdges(n, 600, uint64(batch)*977+13)
+		for _, e := range edges {
+			u, v := e.U, e.V
+			if v < u {
+				u, v = v, u
+			}
+			inSet[[2]uint32{u, v}] = true
+			oracle.union(e.U, e.V)
+		}
+		_, forest = r.Run(edges, parent, forest)
+
+		// Partition agreement: chase parent to its root and compare the
+		// equivalence against the oracle over every input edge endpoint pair.
+		chase := func(x uint32) uint32 {
+			for parent[x] != x {
+				x = parent[x]
+			}
+			return x
+		}
+		for v := uint32(1); v < n; v++ {
+			got := chase(v) == chase(v-1)
+			want := oracle.find(v) == oracle.find(v-1)
+			if got != want {
+				t.Fatalf("batch %d: connectivity(%d,%d) = %v, oracle %v", batch, v-1, v, got, want)
+			}
+		}
+
+		comps := 0
+		for v := uint32(0); v < n; v++ {
+			if oracle.find(v) == v {
+				comps++
+			}
+		}
+		if len(forest) != n-comps {
+			t.Fatalf("batch %d: |forest| = %d, want n - #components = %d", batch, len(forest), n-comps)
+		}
+		check := newSeqDSU(n)
+		for _, e := range forest {
+			u, v := e.U, e.V
+			if v < u {
+				u, v = v, u
+			}
+			if !inSet[[2]uint32{u, v}] {
+				t.Fatalf("batch %d: forest edge {%d,%d} was never inserted", batch, e.U, e.V)
+			}
+			if !check.union(e.U, e.V) {
+				t.Fatalf("batch %d: forest edge {%d,%d} closes a cycle", batch, e.U, e.V)
+			}
+		}
+	}
+}
+
+// TestEdgeForestRunnerSteadyStateAllocs: once warmed (hook array, candidate
+// buffers, forest capacity), re-running already-connected batches performs
+// zero heap allocations — the property the Type (ii) apply path relies on.
+func TestEdgeForestRunnerSteadyStateAllocs(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	const n = 1 << 12
+	edges := randEdges(n, 4*n, 42)
+	r := NewEdgeForestRunner(n)
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var forest []graph.Edge
+	_, forest = r.Run(edges, parent, forest) // warm up: scratch + forest capacity
+
+	res := testing.Benchmark(func(b *testing.B) {
+		runtime.GOMAXPROCS(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Steady state: the batch is already absorbed, so no hooks fire
+			// and the forest append stays within retained capacity.
+			_, forest = r.Run(edges, parent, forest)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("steady-state EdgeForestRunner.Run allocates %d allocs/op, want 0", a)
+	}
+}

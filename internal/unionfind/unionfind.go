@@ -127,6 +127,13 @@ type Options struct {
 	// UnionWitness that wins the hook of root r is recorded for r.
 	RecordWitness bool
 
+	// WitnessLog additionally appends every winning witness edge to a
+	// preallocated log readable incrementally with WitnessLogRead. This is
+	// the streaming spanning-forest path (DESIGN.md §12): appends are a
+	// fetch-add plus an atomic store, so capture stays allocation-free and
+	// wait-free on the union hot path.
+	WitnessLog bool
+
 	// Stats, when non-nil, receives path-length and memory-operation
 	// instrumentation (the paper's TPL/MPL analysis, §4.1.1).
 	Stats *Stats
@@ -155,6 +162,8 @@ type DSU struct {
 	locks   []concurrent.Spinlock // Union-Rem-Lock per-vertex locks
 	prio    []uint32              // Union-JTB random priorities
 	witness []uint64              // packed (u,v) edge that hooked each root
+	wlog    []uint64              // append-only log of winning witness edges
+	wcur    atomic.Int64          // wlog reservation cursor
 	opt     Options
 	stats   *Stats
 }
@@ -175,7 +184,7 @@ func Validate(opt Options) error {
 	if opt.Union == UnionJTB && opt.Find != FindNaive && opt.Find != FindTwoTrySplit {
 		return fmt.Errorf("%w: Union-JTB supports FindNaive or FindTwoTrySplit", ErrInvalidCombination)
 	}
-	if isRem && opt.Splice == SpliceAtomic && opt.RecordWitness {
+	if isRem && opt.Splice == SpliceAtomic && (opt.RecordWitness || opt.WitnessLog) {
 		// SpliceAtomic re-parents vertices across trees mid-union, so the
 		// hooked root need not be the root of the witness edge's endpoint
 		// and the recorded edges can form cycles. Spanning forest therefore
@@ -231,6 +240,16 @@ func (d *DSU) initAux(n int) {
 			d.witness = make([]uint64, n)
 		}
 		parallel.For(n, func(i int) { d.witness[i] = NoWitness })
+	}
+	if d.opt.WitnessLog {
+		// n slots always suffice: every log append corresponds to a root
+		// being hooked, and each of the n vertices stops being a root at
+		// most once over the whole execution.
+		if len(d.wlog) != n {
+			d.wlog = make([]uint64, n)
+		}
+		parallel.For(n, func(i int) { d.wlog[i] = NoWitness })
+		d.wcur.Store(0)
 	}
 }
 
@@ -381,11 +400,77 @@ func (d *DSU) WitnessEdges(dst [][2]uint32) [][2]uint32 {
 }
 
 // recordWitness stores the hooking edge for root r. Each root is hooked at
-// most once across the entire execution, so a plain atomic store suffices.
+// most once across the entire execution, so a plain atomic store suffices
+// for the per-root slot; log appends reserve a slot with a fetch-add and
+// publish it with an atomic store (readers treat a still-sentinel slot as
+// the current end of the log and resume there later).
 func (d *DSU) recordWitness(r uint32, w uint64) {
-	if d.witness != nil && w != NoWitness {
+	if w == NoWitness {
+		return
+	}
+	if d.witness != nil {
 		atomic.StoreUint64(&d.witness[r], w)
 	}
+	if d.wlog != nil {
+		i := d.wcur.Add(1) - 1
+		atomic.StoreUint64(&d.wlog[i], w)
+	}
+}
+
+// EnableWitnessLog switches on witness-log capture for a DSU constructed
+// without Options.WitnessLog. It must be called quiescently before any
+// unions, and never for Rem + SpliceAtomic (the combination Validate
+// rejects for witness recording).
+func (d *DSU) EnableWitnessLog() {
+	d.opt.WitnessLog = true
+	n := len(d.parent)
+	if len(d.wlog) != n {
+		d.wlog = make([]uint64, n)
+	}
+	parallel.For(n, func(i int) { d.wlog[i] = NoWitness })
+	d.wcur.Store(0)
+}
+
+// DisableWitnessLog releases the witness log. Must be called quiescently.
+func (d *DSU) DisableWitnessLog() {
+	d.opt.WitnessLog = false
+	d.wlog = nil
+	d.wcur.Store(0)
+}
+
+// WitnessLogLen returns the number of log slots reserved so far. Some of
+// the most recent slots may still be unpublished; the value is exact at
+// quiescence and a (momentary) upper bound under concurrent unions.
+func (d *DSU) WitnessLogLen() int { return int(d.wcur.Load()) }
+
+// WitnessLogRead copies packed witness edges (unpack with concurrent.Unpack)
+// from the append-only log starting at cursor into dst, returning the new
+// cursor and the number of edges copied. It is wait-free and safe to call
+// concurrently with unions: a slot that has been reserved but not yet
+// published reads as the sentinel, and the scan stops there — the caller
+// resumes from the returned cursor on a later call. Edges never move once
+// published, so successive reads observe a strictly growing prefix.
+func (d *DSU) WitnessLogRead(cursor int, dst []uint64) (int, int) {
+	if d.wlog == nil {
+		return cursor, 0
+	}
+	limit := int(d.wcur.Load())
+	if len(d.wlog) < limit {
+		limit = len(d.wlog)
+	}
+	if m := cursor + len(dst); m < limit {
+		limit = m
+	}
+	n := 0
+	for i := cursor; i < limit; i++ {
+		w := atomic.LoadUint64(&d.wlog[i])
+		if w == NoWitness {
+			break
+		}
+		dst[n] = w
+		n++
+	}
+	return cursor + n, n
 }
 
 // jtbLess orders roots by (priority, id) for Union-JTB's randomized linking.

@@ -1,0 +1,88 @@
+package connectit
+
+import (
+	"fmt"
+
+	"connectit/internal/query"
+)
+
+// Query is the composable connectivity query surface (DESIGN.md §12): one
+// engine type answering path, component, histogram, and forest queries over
+// whatever produced the connectivity — a live Stream's spanning forest
+// (Stream.Query), a static forest computed by Algorithm 2 (Solver.Query over
+// a *Graph), or a bare labeling (Solver.Query over a *CompressedGraph, or
+// QueryLabels).
+//
+// Capability gating happens at construction, mirroring Compile's
+// fail-at-compile contract: a handle you hold answers every query its
+// backing supports, and the queries a label-backed handle cannot answer
+// (PathBetween, SpanningForest) return ErrNoForest — a verdict fixed when
+// the handle was built, never discovered mid-query.
+//
+// A Query is safe for concurrent use.
+type Query = query.Engine
+
+// QueryStats is a snapshot of a Query engine's index counters.
+type QueryStats = query.Stats
+
+// Bin is one component-size histogram bucket: Count components of exactly
+// Size vertices.
+type Bin = query.Bin
+
+// Histogram is a component-size histogram in increasing Size order, as
+// returned by Query.ComponentHistogram.
+type Histogram = query.Histogram
+
+// ErrNoForest is returned by Query.PathBetween and Query.SpanningForest on
+// label-backed engines (no spanning forest behind them). Forest-backed
+// engines never return it.
+var ErrNoForest = query.ErrNoForest
+
+// QueryLabels builds a label-backed Query over a connectivity labeling, as
+// returned by Solver.Components or Connectivity: labels[v] is v's component
+// label in canonical star form (labels[labels[v]] == labels[v]).
+// Component, size, counting, and histogram queries work; PathBetween and
+// SpanningForest return ErrNoForest. The labels slice is copied.
+//
+// It subsumes the label-level helpers: NumComponents(labels) is
+// QueryLabels(labels).NumComponents(), LargestComponent(labels) is
+// QueryLabels(labels).LargestComponent().
+func QueryLabels(labels []uint32) *Query {
+	return query.NewLabelled(labels)
+}
+
+// Query computes connectivity of g with the compiled combination and wraps
+// the result in a Query handle — the one-stop surface replacing the
+// Components / NumComponents / LargestComponent call chains.
+//
+// The handle's power is fixed at construction by what the combination and
+// representation support, mirroring Compile's capability gating:
+//
+//   - Combinations without spanning-forest support (Rem+SpliceAtomic
+//     union-find, non-RootUp Liu-Tarjan, Stergiou, Label-Propagation)
+//     return the ErrUnsupported error captured at compile time — use
+//     ComponentsOn + QueryLabels for a label-only view of those.
+//   - A *Graph yields a forest-backed handle: every query works, including
+//     PathBetween and SpanningForest (Algorithm 2).
+//   - A *CompressedGraph yields a label-backed handle (the compressed
+//     kernels compute labelings, not forests): counting and histogram
+//     queries work; PathBetween and SpanningForest return ErrNoForest.
+//
+// The handle owns a snapshot of the result and stays valid after further
+// Solver runs.
+func (s *Solver) Query(g GraphRep) (*Query, error) {
+	if err := s.c.ForestErr(); err != nil {
+		return nil, err
+	}
+	switch g := g.(type) {
+	case *Graph:
+		forest, err := s.SpanningForest(g)
+		if err != nil {
+			return nil, err
+		}
+		return query.NewStatic(g.NumVertices(), forest), nil
+	case *CompressedGraph:
+		return QueryLabels(s.ComponentsCompressed(g)), nil
+	}
+	return nil, fmt.Errorf("%w: graph representation %T", ErrUnsupported, g)
+}

@@ -57,11 +57,19 @@ func (s *Solver) Capabilities() Capabilities { return s.c.Capabilities() }
 // In the NoSampling configuration the returned slice is scratch owned by
 // the Solver and is overwritten by the next run; copy it if it must
 // outlive the next call. Sampled configurations return a fresh slice.
+//
+// Deprecated: use Solver.Query, which wraps the run in a Query handle
+// answering counting, histogram, and path queries (DESIGN.md §12), or
+// ComponentsOn when a raw labeling is genuinely what downstream code needs.
 func (s *Solver) Components(g *Graph) []uint32 { return s.c.Components(g) }
 
 // ComponentsCompressed is Components directly over the byte-compressed
 // backend: sampling and finish decode neighbors off the encoding without
 // materializing a flat CSR.
+//
+// Deprecated: use Solver.Query, which yields a label-backed Query handle
+// over the compressed run (DESIGN.md §12), or ComponentsOn when a raw
+// labeling is genuinely what downstream code needs.
 func (s *Solver) ComponentsCompressed(g *CompressedGraph) []uint32 {
 	return s.c.ComponentsCompressed(g)
 }

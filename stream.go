@@ -17,17 +17,25 @@ import (
 // Unlike Incremental's synchronous call-per-batch ProcessBatch, a Stream is
 // the serving-path surface: producers and queriers drive it concurrently
 // and the engine enforces each stream type's concurrency discipline
-// internally.
+// internally. Beyond point Connected lookups, Stream.Query opens a Query
+// engine over the live spanning forest the stream grows as updates arrive
+// (DESIGN.md §12).
 type Stream = ingest.Stream
 
 // StreamOptions tunes a Stream's sharding, epoch size, coalesce bound, and
 // pre-filter; the zero value selects the defaults.
 type StreamOptions = ingest.Options
 
-// ErrStreamClosed is returned by Stream.Update, Stream.UpdateBatch, and
-// Stream.Connected once Stream.Close has been called. The terminal state
-// itself stays queryable: Labels, NumComponents, Stats, and Sync keep
-// working after Close so callers can inspect the final connectivity.
+// ErrStreamClosed is the closed-stream error. This is the canonical
+// contract for what survives Stream.Close:
+//
+//   - Update, UpdateBatch, and Connected return ErrStreamClosed, and so
+//     does every query issued through a Query engine obtained from
+//     Stream.Query — PathBetween, ComponentSize, ComponentHistogram, and
+//     the rest all surface the same error once the stream is closed.
+//   - The read-only survivors are exactly Labels, NumComponents, Stats,
+//     ForestLen, and Sync: they keep working after Close so callers can
+//     inspect the final connectivity state.
 var ErrStreamClosed = ingest.ErrClosed
 
 // StreamStats is a snapshot of a Stream's operation counters, including
