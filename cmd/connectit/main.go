@@ -82,11 +82,17 @@ var (
 
 	serve         = flag.Bool("serve", false, "run the HTTP connectivity service over -n vertices (see -addr, -wal-dir)")
 	addr          = flag.String("addr", ":8080", "listen address for -serve")
+	ingestAddr    = flag.String("ingest-addr", "", "binary TCP ingest listen address for -serve (empty disables; see -load)")
 	walDir        = flag.String("wal-dir", "", "write-ahead log directory for -serve (empty = no durability)")
 	snapInterval  = flag.Duration("snapshot-interval", 5*time.Minute, "WAL compaction period for -serve, in [1s, 24h] (negative disables)")
 	flushInterval = flag.Duration("flush-interval", 2*time.Millisecond, "group-commit flush deadline for -serve, in [100µs, 10s]")
 	maxPending    = flag.Int("max-pending", 64, "backpressure bound for -serve: updates get 429 while more sealed epochs than this await apply")
 	walNoSync     = flag.Bool("wal-nosync", false, "skip the per-group fsync for -serve (risks the last flush interval on crash)")
+
+	loadAddr  = flag.String("load", "", "drive a server's binary TCP ingest listener at this address with generated edges and report edges/sec")
+	loadURL   = flag.String("load-http", "", "drive POST /v1/update at this base URL with JSON batches instead (the comparison path)")
+	loadEdges = flag.Int("load-edges", 1<<20, "edges to send in -load / -load-http mode")
+	loadBatch = flag.Int("load-batch", 4096, "edges per frame/request in -load / -load-http mode")
 
 	stream   = flag.Bool("stream", false, "drive the concurrent ingest engine instead of a static run")
 	workers  = flag.Int("workers", 8, "concurrent producer goroutines for -stream")
@@ -153,12 +159,31 @@ func validateFlags() error {
 	if *stream && *forest {
 		return errors.New("-stream and -forest are mutually exclusive")
 	}
+	if *loadAddr != "" && *loadURL != "" {
+		return errors.New("-load and -load-http are mutually exclusive")
+	}
+	if *loadAddr != "" || *loadURL != "" {
+		if *serve || *stream || *forest || *convert != "" {
+			return errors.New("-load/-load-http is mutually exclusive with -serve, -stream, -forest, and -convert")
+		}
+		if *loadEdges < 1 || *loadEdges > 1<<30 {
+			return fmt.Errorf("-load-edges %d out of range [1, %d]", *loadEdges, 1<<30)
+		}
+		if *loadBatch < 1 || *loadBatch > 1<<20 {
+			return fmt.Errorf("-load-batch %d out of range [1, %d]", *loadBatch, 1<<20)
+		}
+	}
 	if *serve {
 		if *stream || *forest || *convert != "" {
 			return errors.New("-serve is mutually exclusive with -stream, -forest, and -convert")
 		}
 		if _, err := net.ResolveTCPAddr("tcp", *addr); err != nil {
 			return fmt.Errorf("-addr %q is not a valid listen address: %v", *addr, err)
+		}
+		if *ingestAddr != "" {
+			if _, err := net.ResolveTCPAddr("tcp", *ingestAddr); err != nil {
+				return fmt.Errorf("-ingest-addr %q is not a valid listen address: %v", *ingestAddr, err)
+			}
 		}
 		if *snapInterval >= 0 && (*snapInterval < time.Second || *snapInterval > 24*time.Hour) {
 			return fmt.Errorf("-snapshot-interval %v out of range [1s, 24h]", *snapInterval)
@@ -201,6 +226,9 @@ func run() error {
 	}
 	if *serve {
 		return runServe()
+	}
+	if *loadAddr != "" || *loadURL != "" {
+		return runLoad()
 	}
 
 	cfg, err := connectit.ParseConfig(*samplingName + ";" + *algo)
@@ -370,8 +398,12 @@ func runServe() error {
 		durable = "wal " + *walDir
 	}
 	fmt.Printf("serving on %s: n=%d, algo %s;%s, %s\n", *addr, *n, *samplingName, *algo, durable)
+	if *ingestAddr != "" {
+		fmt.Printf("binary ingest on %s\n", *ingestAddr)
+	}
 	return connectit.Serve(ctx, connectit.ServerOptions{
 		Addr:        *addr,
+		IngestAddr:  *ingestAddr,
 		NumVertices: *n,
 		Spec:        *samplingName + ";" + *algo,
 		Stream: connectit.StreamOptions{

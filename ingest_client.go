@@ -1,0 +1,188 @@
+package connectit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"connectit/internal/wire"
+)
+
+// IngestClient is the producer side of the binary TCP ingest protocol
+// (DESIGN.md §13): edge batches are delta-varint coded into length-prefixed
+// frames and pipelined over one persistent connection, with a background
+// reader absorbing the server's batched LSN acks. Send blocks only when the
+// pipeline window is full, so a single client saturates the server's group
+// commit without per-batch round trips. Not safe for concurrent use; run
+// one client per producer goroutine.
+type IngestClient struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	n    uint64 // vertex universe advertised by the server hello
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	outstanding int    // frames sent but not yet acked
+	lastLSN     uint64 // highest LSN acked
+	err         error  // terminal: AckErr message or transport failure
+
+	window  int
+	scratch []byte
+	done    chan struct{}
+}
+
+// DialIngest connects to a server's binary ingest listener (Options
+// IngestAddr / the -ingest-addr flag), performs the hello exchange, and
+// returns a client ready to Send.
+func DialIngest(addr string) (*IngestClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write([]byte(wire.Magic)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("connectit: ingest hello: %w", err)
+	}
+	var hello [12]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("connectit: ingest hello: %w", err)
+	}
+	if string(hello[:4]) != wire.Magic {
+		conn.Close()
+		return nil, fmt.Errorf("connectit: ingest hello: bad magic %q", hello[:4])
+	}
+	c := &IngestClient{
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		n:      binary.LittleEndian.Uint64(hello[4:]),
+		window: 64,
+		done:   make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readAcks()
+	return c, nil
+}
+
+// NumVertices returns the vertex universe size the server advertised.
+func (c *IngestClient) NumVertices() int { return int(c.n) }
+
+// readAcks drains server acks, advancing the pipeline window. An AckErr or
+// transport error is terminal: it is surfaced by every later Send/Flush.
+func (c *IngestClient) readAcks() {
+	defer close(c.done)
+	br := bufio.NewReader(c.conn)
+	for {
+		status, err := br.ReadByte()
+		if err != nil {
+			c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
+			return
+		}
+		switch status {
+		case wire.AckOK:
+			var body [wire.AckSize - 1]byte
+			if _, err := io.ReadFull(br, body[:]); err != nil {
+				c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
+				return
+			}
+			lsn, frames := wire.ParseAckOK(body[:])
+			c.mu.Lock()
+			c.lastLSN = lsn
+			c.outstanding -= int(frames)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case wire.AckErr:
+			var msgLen [4]byte
+			if _, err := io.ReadFull(br, msgLen[:]); err != nil {
+				c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
+				return
+			}
+			msg := make([]byte, binary.LittleEndian.Uint32(msgLen[:]))
+			io.ReadFull(br, msg)
+			c.fail(fmt.Errorf("connectit: server rejected ingest: %s", msg))
+			return
+		default:
+			c.fail(fmt.Errorf("connectit: ingest ack stream: unknown status 0x%02x", status))
+			return
+		}
+	}
+}
+
+func (c *IngestClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// Send frames one edge batch into the pipeline. It returns once the frame
+// is written (or buffered); durability is confirmed asynchronously by the
+// ack stream — call Flush for a barrier. Send blocks when the number of
+// unacked frames reaches the pipeline window, which is what paces a fast
+// producer to the server's group-commit throughput.
+func (c *IngestClient) Send(edges []Edge) error {
+	c.mu.Lock()
+	for c.err == nil && c.outstanding >= c.window {
+		c.mu.Unlock()
+		if err := c.bw.Flush(); err != nil {
+			c.fail(err)
+		}
+		c.mu.Lock()
+		for c.err == nil && c.outstanding >= c.window {
+			c.cond.Wait()
+		}
+	}
+	if c.err != nil {
+		defer c.mu.Unlock()
+		return c.err
+	}
+	c.outstanding++
+	c.mu.Unlock()
+	c.scratch = wire.AppendFrame(c.scratch[:0], edges)
+	_, err := c.bw.Write(c.scratch)
+	if err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Flush pushes every buffered frame to the server and blocks until all of
+// them are acked, returning the highest committed LSN. A zero LSN with a
+// nil error means nothing has been sent on a non-durable server.
+func (c *IngestClient) Flush() (uint64, error) {
+	if err := c.bw.Flush(); err != nil {
+		c.fail(err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && c.outstanding > 0 {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		return c.lastLSN, c.err
+	}
+	return c.lastLSN, nil
+}
+
+// LastLSN returns the highest LSN the server has acked so far.
+func (c *IngestClient) LastLSN() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastLSN
+}
+
+// Close flushes and waits for outstanding acks, then tears the connection
+// down. The first error — a rejected frame, a transport failure, or the
+// flush itself — is returned.
+func (c *IngestClient) Close() error {
+	_, err := c.Flush()
+	c.conn.Close()
+	<-c.done
+	return err
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"connectit/internal/parallel"
+	"connectit/internal/varint"
 )
 
 // CompressedGraph is a byte-compressed CSR graph mirroring the Ligra+
@@ -260,29 +261,10 @@ func (c *CompressedGraph) Close() error {
 	return munmap(m)
 }
 
-func zigzag(x int64) uint64   { return uint64((x << 1) ^ (x >> 63)) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
-
-func putVarint(buf []byte, x uint64) int {
-	i := 0
-	for x >= 0x80 {
-		buf[i] = byte(x) | 0x80
-		x >>= 7
-		i++
-	}
-	buf[i] = byte(x)
-	return i + 1
-}
-
-func getVarint(buf []byte) (uint64, int) {
-	var x uint64
-	var shift uint
-	for i, b := range buf {
-		if b < 0x80 {
-			return x | uint64(b)<<shift, i + 1
-		}
-		x |= uint64(b&0x7f) << shift
-		shift += 7
-	}
-	return 0, 0
-}
+// The byte-code primitives live in internal/varint (shared with the wire
+// protocol and the WAL's compressed record payloads); these aliases keep
+// the decode hot paths above reading naturally.
+func zigzag(x int64) uint64              { return varint.Zigzag(x) }
+func unzigzag(u uint64) int64            { return varint.Unzigzag(u) }
+func putVarint(buf []byte, x uint64) int { return varint.Put(buf, x) }
+func getVarint(buf []byte) (uint64, int) { return varint.Get(buf) }

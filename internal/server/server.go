@@ -17,9 +17,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"connectit/internal/parallel"
 	"connectit/internal/query"
 	"connectit/internal/wal"
+	"connectit/internal/wire"
 )
 
 // Options configures a Server. The zero value serves on :8080 without
@@ -35,6 +38,10 @@ import (
 type Options struct {
 	// Addr is the listen address. Default ":8080".
 	Addr string
+	// IngestAddr, when non-empty, additionally serves the persistent
+	// binary TCP ingest protocol (DESIGN.md §13) on that address:
+	// length-prefixed wire frames, pipelined, with batched LSN acks.
+	IngestAddr string
 	// WALDir enables durability: accepted update batches append to a
 	// write-ahead log there before entering the pipeline, and boot replays
 	// snapshot+tail. Empty disables durability (a pure in-memory service).
@@ -103,8 +110,15 @@ type Server struct {
 	accepted     *Counter
 	backpressure *Counter
 
+	// connectit_ingest_frames_total by transport: one JSON request, one
+	// binary HTTP body, or one TCP frame each count as a frame.
+	framesJSON   *Counter
+	framesBinary *Counter
+	framesTCP    *Counter
+
 	httpSrv *http.Server
 	ln      net.Listener
+	ingest  *ingestListener // nil unless Options.IngestAddr is set
 	started time.Time
 
 	stopSnap  chan struct{}
@@ -275,8 +289,9 @@ func (s *Server) snapshotLoop() {
 // existing server or httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start listens on Options.Addr and serves in the background. Use Addr for
-// the bound address (useful with ":0") and Close to shut down.
+// Start listens on Options.Addr (and Options.IngestAddr when set) and
+// serves in the background. Use Addr/IngestAddr for the bound addresses
+// (useful with ":0") and Close to shut down.
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.opt.Addr)
 	if err != nil {
@@ -285,6 +300,14 @@ func (s *Server) Start() error {
 	s.ln = ln
 	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.httpSrv.Serve(ln)
+	if s.opt.IngestAddr != "" {
+		il, err := newIngestListener(s, s.opt.IngestAddr)
+		if err != nil {
+			s.httpSrv.Close()
+			return err
+		}
+		s.ingest = il
+	}
 	return nil
 }
 
@@ -294,6 +317,15 @@ func (s *Server) Addr() string {
 		return s.opt.Addr
 	}
 	return s.ln.Addr().String()
+}
+
+// IngestAddr returns the bound binary ingest address after Start, or ""
+// when the TCP ingest listener is not configured.
+func (s *Server) IngestAddr() string {
+	if s.ingest == nil {
+		return ""
+	}
+	return s.ingest.ln.Addr().String()
 }
 
 // Close shuts the service down gracefully: stop accepting HTTP traffic,
@@ -311,6 +343,9 @@ func (s *Server) Close(ctx context.Context) error {
 			if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
 				first = err
 			}
+		}
+		if s.ingest != nil {
+			s.ingest.Close()
 		}
 		close(s.stopSnap)
 		<-s.snapDone
@@ -337,6 +372,10 @@ var latencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.
 func (s *Server) routes() {
 	s.accepted = s.reg.Counter("connectit_updates_accepted_total", "", "Edges acknowledged by POST /v1/update (durable when the WAL is enabled).")
 	s.backpressure = s.reg.Counter("connectit_backpressure_total", "", "Update requests rejected with 429 because the apply pipeline was too far behind.")
+	const framesHelp = "Accepted ingest frames by transport: one JSON request, one binary HTTP body, or one TCP wire frame each."
+	s.framesJSON = s.reg.Counter("connectit_ingest_frames_total", `{proto="json"}`, framesHelp)
+	s.framesBinary = s.reg.Counter("connectit_ingest_frames_total", `{proto="binary"}`, framesHelp)
+	s.framesTCP = s.reg.Counter("connectit_ingest_frames_total", `{proto="tcp"}`, framesHelp)
 	s.handle("/v1/update", "update", s.handleUpdate)
 	s.handle("/v1/connected", "connected", s.handleConnected)
 	s.handle("/v1/components", "components", s.handleComponents)
@@ -394,18 +433,67 @@ type updateRequest struct {
 	Edges [][2]uint32 `json:"edges"`
 }
 
-// handleUpdate is the transactional ingest path: backpressure check, JSON
-// decode, endpoint validation, then a group commit through the batcher —
-// 200 means the batch is durable (WAL enabled) and in the epoch pipeline.
+// retryAfter derives the 429 Retry-After hint from how far behind the
+// apply pipeline actually is: the excess epochs drain at roughly one per
+// flush interval, rounded up to the header's whole-second granularity and
+// never below 1 so clients always back off a little.
+func (s *Server) retryAfter(pending int) string {
+	excess := pending - s.opt.MaxPendingEpochs
+	if excess < 0 {
+		excess = 0
+	}
+	d := time.Duration(excess) * s.opt.FlushInterval
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// Scratch pools for the binary ingest paths: one for request/frame bytes,
+// one for decoded edge slices. Both are returned after Submit copies the
+// batch into the flush group, so steady-state ingest allocates nothing per
+// request beyond what the pool amortizes.
+var (
+	bytePool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+	edgePool = sync.Pool{New: func() any { e := make([]graph.Edge, 0, 8192); return &e }}
+)
+
+// readAllInto reads r to EOF into buf (reusing its capacity), returning
+// the filled slice.
+func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// handleUpdate is the transactional ingest path: backpressure check, body
+// decode (JSON, or a wire edge block when Content-Type selects the binary
+// fast path), endpoint validation, then a group commit through the batcher
+// — 200 means the batch is durable (WAL enabled) and in the epoch pipeline.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	if s.pending() > s.opt.MaxPendingEpochs {
+	if p := s.pending(); p > s.opt.MaxPendingEpochs {
 		s.backpressure.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter(p))
 		httpError(w, http.StatusTooManyRequests, "apply pipeline behind; retry")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct == wire.ContentTypeEdges || strings.HasPrefix(ct, wire.ContentTypeEdges+";") {
+		s.handleUpdateBinary(w, r)
 		return
 	}
 	var req updateRequest
@@ -442,6 +530,56 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.accepted.Add(uint64(len(edges)))
+	s.framesJSON.Inc()
+	resp := map[string]any{"accepted": len(edges), "durable": s.log != nil}
+	if s.log != nil {
+		resp["lsn"] = lsn
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleUpdateBinary is the zero-copy fast path behind the binary
+// content type: the body is one wire edge block, read into pooled scratch
+// and delta-decoded into a pooled edge slice that goes straight into the
+// group commit — no JSON, no per-request allocation in steady state.
+func (s *Server) handleUpdateBinary(w http.ResponseWriter, r *http.Request) {
+	bp := bytePool.Get().(*[]byte)
+	defer bytePool.Put(bp)
+	body, err := readAllInto(http.MaxBytesReader(w, r.Body, wire.MaxFrameBytes), (*bp)[:0])
+	*bp = body[:0]
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	ep := edgePool.Get().(*[]graph.Edge)
+	defer edgePool.Put(ep)
+	edges, n, err := wire.DecodeBlock(body, (*ep)[:0])
+	if err == nil && n != len(body) {
+		err = fmt.Errorf("%w: %d trailing bytes after block", wire.ErrMalformed, len(body)-n)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	*ep = edges[:0]
+	nv := uint32(s.st.Len())
+	for _, e := range edges {
+		if e.U >= nv || e.V >= nv {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge {%d, %d} endpoint out of range [0, %d)", e.U, e.V, nv))
+			return
+		}
+	}
+	if len(edges) == 0 {
+		httpError(w, http.StatusBadRequest, "empty edge block")
+		return
+	}
+	lsn, err := s.bat.Submit(edges)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.accepted.Add(uint64(len(edges)))
+	s.framesBinary.Inc()
 	resp := map[string]any{"accepted": len(edges), "durable": s.log != nil}
 	if s.log != nil {
 		resp["lsn"] = lsn
@@ -583,6 +721,11 @@ type statsResponse struct {
 		Accepted      uint64  `json:"accepted"`
 		Backpressure  uint64  `json:"backpressure"`
 	} `json:"server"`
+	Ingest struct {
+		JSONFrames   uint64 `json:"json_frames"`
+		BinaryFrames uint64 `json:"binary_frames"`
+		TCPFrames    uint64 `json:"tcp_frames"`
+	} `json:"ingest"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -597,6 +740,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Server.PendingEpochs = s.st.PendingEpochs()
 	resp.Server.Accepted = s.accepted.Value()
 	resp.Server.Backpressure = s.backpressure.Value()
+	resp.Ingest.JSONFrames = s.framesJSON.Value()
+	resp.Ingest.BinaryFrames = s.framesBinary.Value()
+	resp.Ingest.TCPFrames = s.framesTCP.Value()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -667,6 +813,8 @@ func (s *Server) registerMetrics() {
 		s.reg.CounterFunc("connectit_wal_appends_total", "", "Records appended to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.Appends }))
 		s.reg.CounterFunc("connectit_wal_appended_edges_total", "", "Edges appended to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.AppendedEdges }))
 		s.reg.CounterFunc("connectit_wal_bytes_total", "", "Bytes written to the WAL.", walStat(func(ws wal.Stats) uint64 { return ws.Bytes }))
+		s.reg.CounterFunc("connectit_wal_raw_bytes", "", "Payload bytes appended records would cost at the raw 8 bytes per edge.", walStat(func(ws wal.Stats) uint64 { return ws.RawBytes }))
+		s.reg.CounterFunc("connectit_wal_written_bytes", "", "Payload bytes actually stored after wire-block compression (raw/written is the WAL compression ratio).", walStat(func(ws wal.Stats) uint64 { return ws.WrittenBytes }))
 		s.reg.CounterFunc("connectit_wal_syncs_total", "", "WAL fsyncs.", walStat(func(ws wal.Stats) uint64 { return ws.Syncs }))
 		s.reg.CounterFunc("connectit_wal_snapshots_total", "", "Snapshots committed since boot.", walStat(func(ws wal.Stats) uint64 { return ws.Snapshots }))
 	}

@@ -1,0 +1,64 @@
+// Package varint is the shared home of the byte-code primitives behind
+// every difference-coded surface in the repo: the Ligra+-style compressed
+// adjacency (§3.6 / DESIGN.md §10), the binary edge wire protocol
+// (internal/wire), and the WAL's group-compressed record payloads. One
+// implementation keeps the encodings bit-compatible — a delta stream
+// written by any of them decodes under the same rules everywhere.
+//
+// The encoding is the standard LEB128 base-128 varint (7 value bits per
+// byte, high bit = continuation), with zig-zag mapping for signed deltas so
+// small negative differences stay small on the wire.
+package varint
+
+// MaxLen is the worst-case encoded size of a uint64 (ten 7-bit groups).
+const MaxLen = 10
+
+// Zigzag maps a signed delta onto the unsigned varint domain: 0, -1, 1,
+// -2, ... become 0, 1, 2, 3, ... so magnitude, not sign, sets the width.
+func Zigzag(x int64) uint64 { return uint64((x << 1) ^ (x >> 63)) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Put writes x into buf (which must have room for its encoding; MaxLen
+// bytes always suffice) and returns the number of bytes written.
+func Put(buf []byte, x uint64) int {
+	i := 0
+	for x >= 0x80 {
+		buf[i] = byte(x) | 0x80
+		x >>= 7
+		i++
+	}
+	buf[i] = byte(x)
+	return i + 1
+}
+
+// Append appends x's encoding to buf and returns the extended slice — the
+// allocation-friendly form for encoders that build records in a reused
+// scratch buffer.
+func Append(buf []byte, x uint64) []byte {
+	for x >= 0x80 {
+		buf = append(buf, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(buf, byte(x))
+}
+
+// Get decodes one varint from buf, returning the value and the number of
+// bytes consumed. A truncated or overlong encoding returns n == 0; callers
+// on untrusted input (wire frames, WAL payloads) must treat that as
+// corruption.
+func Get(buf []byte) (x uint64, n int) {
+	var shift uint
+	for i, b := range buf {
+		if i == MaxLen-1 && b > 1 {
+			return 0, 0 // overflows uint64
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<shift, i + 1
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}

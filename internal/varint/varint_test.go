@@ -1,0 +1,84 @@
+package varint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 129, 16383, 16384, 1 << 21, 1 << 28,
+		1 << 35, 1 << 42, 1 << 49, 1 << 56, 1<<63 - 1, 1 << 63, math.MaxUint64}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		cases = append(cases, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	var buf [MaxLen]byte
+	for _, v := range cases {
+		k := Put(buf[:], v)
+		got, n := Get(buf[:k])
+		if got != v || n != k {
+			t.Fatalf("Put/Get(%d): got (%d, %d), wrote %d bytes", v, got, n, k)
+		}
+		app := Append(nil, v)
+		if len(app) != k {
+			t.Fatalf("Append(%d): %d bytes, Put wrote %d", v, len(app), k)
+		}
+		for i := range app {
+			if app[i] != buf[i] {
+				t.Fatalf("Append(%d) byte %d: %02x != %02x", v, i, app[i], buf[i])
+			}
+		}
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 63, -63, 64, -64, math.MaxInt64, math.MinInt64}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		cases = append(cases, int64(rng.Uint64()))
+	}
+	for _, d := range cases {
+		if got := Unzigzag(Zigzag(d)); got != d {
+			t.Fatalf("Unzigzag(Zigzag(%d)) = %d", d, got)
+		}
+	}
+	// Small magnitudes must encode small regardless of sign.
+	var buf [MaxLen]byte
+	for d := int64(-63); d <= 63; d++ {
+		if k := Put(buf[:], Zigzag(d)); k != 1 {
+			t.Fatalf("Zigzag(%d) took %d bytes, want 1", d, k)
+		}
+	}
+}
+
+// TestGetTruncated pins the untrusted-input contract: a varint cut mid-
+// encoding decodes to n == 0, never to a fabricated value or a panic.
+func TestGetTruncated(t *testing.T) {
+	var buf [MaxLen]byte
+	for _, v := range []uint64{128, 1 << 20, 1 << 40, math.MaxUint64} {
+		k := Put(buf[:], v)
+		for cut := 0; cut < k; cut++ {
+			if _, n := Get(buf[:cut]); n != 0 {
+				t.Fatalf("Get of %d truncated at %d bytes: n = %d, want 0", v, cut, n)
+			}
+		}
+	}
+}
+
+// TestGetOverflow rejects an 11-byte continuation run and a 10th byte that
+// would overflow uint64.
+func TestGetOverflow(t *testing.T) {
+	over := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}
+	if _, n := Get(over); n != 0 {
+		t.Fatalf("11-byte varint: n = %d, want 0", n)
+	}
+	big := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}
+	if _, n := Get(big); n != 0 {
+		t.Fatalf("overflowing 10th byte: n = %d, want 0", n)
+	}
+	max := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	if v, n := Get(max); n != MaxLen || v != math.MaxUint64 {
+		t.Fatalf("MaxUint64: got (%d, %d)", v, n)
+	}
+}

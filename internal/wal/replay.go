@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"connectit/internal/graph"
+	"connectit/internal/wire"
 )
 
 // errTornHeader reports a final segment whose 16-byte header is short or
@@ -18,9 +19,11 @@ var errTornHeader = errors.New("wal: torn segment header")
 
 // Replay invokes fn, in LSN order, for every record with lsn >= from. The
 // edges slice is scratch reused across calls; fn must not retain it. Replay
-// re-reads the segment files Open validated, so it is normally called once,
-// at boot, with from = the snapshot's covering LSN. Union idempotence makes
-// over-replay harmless, so a caller unsure of its floor may replay low.
+// re-reads the segment files Open validated, decoding each segment in its
+// own format (v1 raw pairs, v2 wire blocks), so mixed pre-/post-upgrade
+// chains replay transparently. It is normally called once, at boot, with
+// from = the snapshot's covering LSN. Union idempotence makes over-replay
+// harmless, so a caller unsure of its floor may replay low.
 func (l *Log) Replay(from uint64, fn func(lsn uint64, edges []graph.Edge) error) error {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segs...)
@@ -31,11 +34,14 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, edges []graph.Edge) error)
 			continue
 		}
 		last := i == len(segs)-1
-		_, _, _, err := scanSegment(s.path, last, func(lsn uint64, payload []byte) error {
+		_, _, _, _, err := scanSegment(s.path, last, func(lsn uint64, version uint32, payload []byte) error {
 			if lsn < from {
 				return nil
 			}
-			edges = decodeEdges(payload, edges[:0])
+			var err error
+			if edges, err = decodePayload(version, payload, edges); err != nil {
+				return err
+			}
 			return fn(lsn, edges)
 		})
 		if err != nil {
@@ -45,9 +51,25 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, edges []graph.Edge) error)
 	return nil
 }
 
-// decodeEdges parses a record payload (validated to be a multiple of 8
-// bytes) into buf.
-func decodeEdges(payload []byte, buf []graph.Edge) []graph.Edge {
+// decodePayload parses one record payload in the segment version's format
+// into buf (reused across records).
+func decodePayload(version uint32, payload []byte, buf []graph.Edge) ([]graph.Edge, error) {
+	if version == segVersionRaw {
+		return decodeRawEdges(payload, buf[:0]), nil
+	}
+	edges, n, err := wire.DecodeBlock(payload, buf)
+	if err == nil && n != len(payload) {
+		err = fmt.Errorf("%w: %d trailing payload bytes", wire.ErrMalformed, len(payload)-n)
+	}
+	if err != nil {
+		return buf, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return edges, nil
+}
+
+// decodeRawEdges parses a v1 record payload (validated to be a multiple of
+// 8 bytes) into buf.
+func decodeRawEdges(payload []byte, buf []graph.Edge) []graph.Edge {
 	for len(payload) >= 8 {
 		buf = append(buf, graph.Edge{
 			U: binary.LittleEndian.Uint32(payload[0:4]),
@@ -60,8 +82,8 @@ func decodeEdges(payload []byte, buf []graph.Edge) []graph.Edge {
 
 // scanSegment reads one segment file, validating the header and every
 // record, and calls fn (when non-nil) per valid record. It returns the
-// segment's first LSN, the number of valid records, and the byte offset
-// where the valid prefix ends.
+// segment's first LSN, the number of valid records, the byte offset where
+// the valid prefix ends, and the header's format version.
 //
 // repairTail selects the torn-write contract for the segment: when true
 // (final segment) the first invalid record simply ends the scan — a crash
@@ -69,20 +91,25 @@ func decodeEdges(payload []byte, buf []graph.Edge) []graph.Edge {
 // truncates the file there; a short or unrecognizable header likewise
 // returns errTornHeader (a crash mid-rotation leaves exactly that) for the
 // caller to repair. When false (any earlier segment) an invalid record or
-// header is unexplainable damage and returns ErrCorrupt.
-func scanSegment(path string, repairTail bool, fn func(lsn uint64, payload []byte) error) (first, count uint64, validEnd int64, err error) {
+// header is unexplainable damage and returns ErrCorrupt. One exception cuts
+// across both modes: a record whose CRC verifies but whose v2 payload is
+// not a parseable wire block is ErrCorrupt even in the final segment — a
+// torn write cannot checksum garbage correctly, so that damage has no
+// crash explanation.
+func scanSegment(path string, repairTail bool, fn func(lsn uint64, version uint32, payload []byte) error) (first, count uint64, validEnd int64, version uint32, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+		return 0, 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}
 	if len(data) < segHeader || string(data[0:4]) != segMagic {
 		if repairTail {
-			return 0, 0, 0, errTornHeader
+			return 0, 0, 0, 0, errTornHeader
 		}
-		return 0, 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s: bad segment header", ErrCorrupt, path)
 	}
-	if v := binary.LittleEndian.Uint32(data[4:8]); v != segVersion {
-		return 0, 0, 0, fmt.Errorf("%w: %s: unsupported segment version %d", ErrCorrupt, path, v)
+	version = binary.LittleEndian.Uint32(data[4:8])
+	if version != segVersionRaw && version != segVersion {
+		return 0, 0, 0, 0, fmt.Errorf("%w: %s: unsupported segment version %d", ErrCorrupt, path, version)
 	}
 	first = binary.LittleEndian.Uint64(data[8:16])
 	off := int64(segHeader)
@@ -90,26 +117,40 @@ func scanSegment(path string, repairTail bool, fn func(lsn uint64, payload []byt
 	for {
 		rest := data[off:]
 		if len(rest) == 0 {
-			return first, count, off, nil
+			return first, count, off, version, nil
 		}
 		ok := false
 		var payload []byte
 		if len(rest) >= recHeader {
 			n := binary.LittleEndian.Uint32(rest[0:4])
-			if n > 0 && n <= maxRecordBytes && n%8 == 0 && int(n) <= len(rest)-recHeader {
+			lenOK := n > 0 && n <= maxRecordBytes && int(n) <= len(rest)-recHeader
+			if lenOK && version == segVersionRaw {
+				lenOK = n%8 == 0
+			}
+			if lenOK {
 				payload = rest[recHeader : recHeader+int(n)]
 				ok = binary.LittleEndian.Uint32(rest[4:8]) == crc32.Checksum(payload, castagnoli)
 			}
 		}
 		if !ok {
 			if repairTail {
-				return first, count, off, nil
+				return first, count, off, version, nil
 			}
-			return 0, 0, 0, fmt.Errorf("%w: %s: invalid record at offset %d (LSN %d) in a non-final segment", ErrCorrupt, path, off, lsn)
+			return 0, 0, 0, 0, fmt.Errorf("%w: %s: invalid record at offset %d (LSN %d) in a non-final segment", ErrCorrupt, path, off, lsn)
+		}
+		if version == segVersion {
+			// Structural validation behind the CRC: a checksum-valid block
+			// that does not parse is damage no torn write explains.
+			if _, n, err := wire.CountBlock(payload); err != nil || n != len(payload) {
+				if err == nil {
+					err = fmt.Errorf("%w: %d trailing payload bytes", wire.ErrMalformed, len(payload)-n)
+				}
+				return 0, 0, 0, 0, fmt.Errorf("%w: %s: record at offset %d (LSN %d): %v", ErrCorrupt, path, off, lsn, err)
+			}
 		}
 		if fn != nil {
-			if err := fn(lsn, payload); err != nil {
-				return 0, 0, 0, err
+			if err := fn(lsn, version, payload); err != nil {
+				return 0, 0, 0, 0, err
 			}
 		}
 		off += int64(recHeader + len(payload))

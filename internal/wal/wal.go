@@ -12,10 +12,20 @@
 //
 //	[4B little-endian payload length][4B CRC-32C of payload][payload]
 //
-// where the payload is a batch of edges, 8 bytes each (two little-endian
-// uint32 endpoints). Segments open with a 16-byte header (magic, version,
-// and the LSN of the segment's first record) and rotate at SegmentBytes.
-// LSNs number records (not bytes) contiguously across segments.
+// where the payload depends on the segment version. Version 1 segments
+// (pre-upgrade logs) hold a batch of edges, 8 bytes each (two little-endian
+// uint32 endpoints). Version 2 segments — what this code writes — hold one
+// wire edge block (internal/wire): a tag byte, the uncompressed edge count
+// as a varint, and the zigzag-delta varint coded edges (or the raw fallback
+// when a batch has no locality to exploit), typically well under 8
+// bytes/edge on sorted or locality-heavy batches. The CRC always covers the
+// stored (compressed) payload bytes. Readers replay both versions
+// interchangeably, including mixed v1→v2 chains; writers never append
+// records into a v1 segment — the first post-upgrade Append rotates to a
+// fresh v2 segment, keeping every segment's format uniform. Segments open
+// with a 16-byte header (magic, version, and the LSN of the segment's first
+// record) and rotate at SegmentBytes. LSNs number records (not bytes)
+// contiguously across segments.
 //
 // Torn-write handling follows the usual WAL contract: an invalid record in
 // the *final* segment marks the end of the log — the tail beyond it is
@@ -24,7 +34,10 @@
 // unrecognizable header (a crash mid-rotation, before any record in it was
 // acknowledged) is discarded whole. An invalid record or header anywhere
 // else (or a gap in the LSN chain between segments) cannot be explained by
-// a torn write and surfaces as ErrCorrupt. In the other direction, a failed
+// a torn write and surfaces as ErrCorrupt. A record whose CRC verifies but
+// whose v2 payload does not parse as a wire block is ErrCorrupt in every
+// position: a torn write cannot produce a valid checksum over garbage, so
+// that state is writer damage, not a crash artifact. In the other direction, a failed
 // append wedges the log fail-stop: appending past a partial write would put
 // later acknowledged records beyond garbage that the next Open truncates.
 package wal
@@ -41,6 +54,7 @@ import (
 	"sync"
 
 	"connectit/internal/graph"
+	"connectit/internal/wire"
 )
 
 // ErrCorrupt reports a log whose damage cannot be explained by a torn tail
@@ -49,10 +63,14 @@ import (
 var ErrCorrupt = errors.New("wal: corrupt log")
 
 const (
-	segMagic   = "CWAL"
-	segVersion = 1
-	segHeader  = 16 // magic[4] version[4] firstLSN[8]
-	recHeader  = 8  // payload length[4] crc[4]
+	segMagic = "CWAL"
+	// segVersionRaw segments hold raw 8-byte-per-edge payloads (the
+	// pre-upgrade format, still replayable); segVersion segments hold wire
+	// edge blocks and are what rotate creates.
+	segVersionRaw = 1
+	segVersion    = 2
+	segHeader     = 16 // magic[4] version[4] firstLSN[8]
+	recHeader     = 8  // payload length[4] crc[4]
 
 	// maxRecordBytes bounds one record's payload (16M edges): a corrupted
 	// length field must never drive a multi-GiB allocation.
@@ -93,17 +111,24 @@ type Stats struct {
 	Appends, AppendedEdges uint64
 	// Bytes counts bytes written (headers included); Syncs counts fsyncs.
 	Bytes, Syncs uint64
+	// RawBytes counts the payload bytes appended records would have cost in
+	// the raw 8-bytes-per-edge format; WrittenBytes counts the payload
+	// bytes actually stored after wire-block compression. RawBytes over
+	// WrittenBytes is the observable WAL compression ratio.
+	RawBytes, WrittenBytes uint64
 	// Segments is the number of live segment files.
 	Segments int
 	// Snapshots counts snapshots committed by this process.
 	Snapshots uint64
 }
 
-// segment is one on-disk log file: records [first, first+count).
+// segment is one on-disk log file: records [first, first+count), payloads
+// in the format its header version selects.
 type segment struct {
-	first uint64
-	count uint64
-	path  string
+	first   uint64
+	count   uint64
+	version uint32
+	path    string
 }
 
 // Log is a segmented write-ahead edge log. Append/Sync/Close serialize on
@@ -169,7 +194,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	for i := range l.segs {
 		s := &l.segs[i]
 		last := i == len(l.segs)-1
-		first, count, validEnd, err := scanSegment(s.path, last, nil)
+		first, count, validEnd, version, err := scanSegment(s.path, last, nil)
 		if last && errors.Is(err, errTornHeader) {
 			// Torn rotation: nothing in a headerless segment was ever
 			// acknowledged. Discard it; the previous segment (validated
@@ -197,6 +222,7 @@ func Open(dir string, opt Options) (*Log, error) {
 			return nil, fmt.Errorf("%w: LSN gap between %s and %s", ErrCorrupt, l.segs[i-1].path, s.path)
 		}
 		s.count = count
+		s.version = version
 		if last {
 			if st, err := os.Stat(s.path); err == nil && st.Size() > validEnd {
 				if err := os.Truncate(s.path, validEnd); err != nil {
@@ -217,8 +243,11 @@ func Open(dir string, opt Options) (*Log, error) {
 		if l.segs[0].first > floor {
 			return nil, fmt.Errorf("%w: records [%d, %d) missing below first segment", ErrCorrupt, floor, l.segs[0].first)
 		}
-		// Reopen the last segment for appends unless it is already full.
-		if l.segOff < int64(l.opt.SegmentBytes) {
+		// Reopen the last segment for appends unless it is already full or
+		// in the pre-upgrade format — appending into a v1 segment would mix
+		// record formats within one file, so the first post-upgrade Append
+		// rotates to a fresh v2 segment instead.
+		if l.segOff < int64(l.opt.SegmentBytes) && l.segs[n-1].version == segVersion {
 			f, err := os.OpenFile(l.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
@@ -266,27 +295,25 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	if len(edges) == 0 {
 		return l.lsn, nil
 	}
-	if 8*len(edges) > maxRecordBytes {
+	if 8*len(edges)+recHeader > maxRecordBytes {
 		return 0, fmt.Errorf("wal: batch of %d edges exceeds the %d-byte record bound", len(edges), maxRecordBytes)
 	}
-	need := recHeader + 8*len(edges)
-	if l.f == nil || (l.segOff+int64(need) > int64(l.opt.SegmentBytes) && l.segOff > segHeader) {
+	// Encode the record into the retained scratch: the 8-byte header is
+	// reserved up front, the wire block appends in place behind it, and the
+	// length and CRC (over the compressed payload) are backfilled — one
+	// buffer, no per-append allocation once it has grown to the workload.
+	b := l.buf[:0]
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b = wire.AppendBlock(b, edges)
+	payload := b[recHeader:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
+	l.buf = b
+	if l.f == nil || (l.segOff+int64(len(b)) > int64(l.opt.SegmentBytes) && l.segOff > segHeader) {
 		if err := l.rotate(); err != nil {
 			return 0, err
 		}
 	}
-	if cap(l.buf) < need {
-		l.buf = make([]byte, 0, need+need/2)
-	}
-	b := l.buf[:0]
-	b = binary.LittleEndian.AppendUint32(b, uint32(8*len(edges)))
-	b = append(b, 0, 0, 0, 0) // CRC backfilled below
-	for _, e := range edges {
-		b = binary.LittleEndian.AppendUint32(b, e.U)
-		b = binary.LittleEndian.AppendUint32(b, e.V)
-	}
-	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[recHeader:], castagnoli))
-	l.buf = b
 	if _, err := l.f.Write(b); err != nil {
 		return 0, l.wedge(err)
 	}
@@ -303,6 +330,8 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	l.stats.Appends++
 	l.stats.AppendedEdges += uint64(len(edges))
 	l.stats.Bytes += uint64(len(b))
+	l.stats.RawBytes += uint64(8 * len(edges))
+	l.stats.WrittenBytes += uint64(len(b) - recHeader)
 	return lsn, nil
 }
 
@@ -361,12 +390,14 @@ func (l *Log) rotate() error {
 	l.segOff = segHeader
 	l.stats.Bytes += segHeader
 	// Reuse a same-named segment slot if the previous boot left an empty
-	// tail segment at this LSN (O_TRUNC above already emptied the file).
+	// tail segment at this LSN (O_TRUNC above already emptied the file; the
+	// fresh header upgrades a reused pre-upgrade slot to v2).
 	if n := len(l.segs); n > 0 && l.segs[n-1].first == l.lsn && l.segs[n-1].count == 0 {
 		l.segs[n-1].path = path
+		l.segs[n-1].version = segVersion
 		return nil
 	}
-	l.segs = append(l.segs, segment{first: l.lsn, path: path})
+	l.segs = append(l.segs, segment{first: l.lsn, version: segVersion, path: path})
 	return nil
 }
 

@@ -1,13 +1,16 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"connectit/internal/graph"
+	"connectit/internal/wire"
 )
 
 // recEdges generates the deterministic payload for record i, so replay
@@ -271,11 +274,14 @@ func TestRandomCrashPoints(t *testing.T) {
 		}
 		got := collect(t, l, 0)
 		// The survivor count is determined by the cut: records are laid out
-		// sequentially, so count full records fitting in data[:cut].
+		// sequentially, so count full records fitting in data[:cut]. Record
+		// size is the header plus the wire block's encoded length — cuts
+		// landing inside a varint run are just interior truncations, caught
+		// by the length/CRC checks like any other torn byte.
 		want := 0
 		off := segHeader
 		for i := 0; i < records; i++ {
-			off += recHeader + 8*len(recEdges(i))
+			off += recHeader + len(wire.AppendBlock(nil, recEdges(i)))
 			if off <= cut {
 				want = i + 1
 			} else {
@@ -433,5 +439,293 @@ func TestAppendAfterCloseFails(t *testing.T) {
 	}
 	if _, err := l.Append(recEdges(0)); err == nil {
 		t.Fatal("Append after Close succeeded")
+	}
+}
+
+// appendRecord writes one raw record (header + payload + CRC) to the end
+// of a segment file, bypassing the Log — the corruption matrix uses it to
+// craft states no writer produces.
+func appendRecord(t *testing.T, path string, payload []byte) {
+	t.Helper()
+	rec := make([]byte, 0, recHeader+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, castagnoli))
+	rec = append(rec, payload...)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+// copyDir clones the committed fixture so tests never mutate testdata.
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestV1FixtureReplaysUnderNewReader is the upgrade acceptance check: a log
+// written byte-for-byte by the pre-upgrade (v1, raw 8-byte-per-edge) code —
+// committed under testdata, 25 records across 4 segments — must open and
+// replay identically under the v2 reader, and keep accepting appends, which
+// land in fresh v2 segments (mixed-version chain).
+func TestV1FixtureReplaysUnderNewReader(t *testing.T) {
+	const fixtureRecords = 25
+	dir := t.TempDir()
+	copyDir(t, filepath.Join("testdata", "v1log"), dir)
+
+	l, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("Open v1 fixture: %v", err)
+	}
+	if got := l.LSN(); got != fixtureRecords {
+		t.Fatalf("LSN = %d, want %d", got, fixtureRecords)
+	}
+	checkRecords(t, collect(t, l, 0), 0, fixtureRecords)
+
+	// Appends must not extend a v1 segment: the first one rotates to v2.
+	segsBefore := l.Stats().Segments
+	appendN(t, l, fixtureRecords, 5)
+	checkRecords(t, collect(t, l, 0), 0, fixtureRecords+5)
+	if got := l.Stats().Segments; got <= segsBefore {
+		t.Fatalf("append reused a v1 segment: %d segments, had %d", got, segsBefore)
+	}
+	for _, s := range l.segs[:segsBefore] {
+		if s.version != segVersionRaw {
+			t.Fatalf("fixture segment %s scanned as version %d", s.path, s.version)
+		}
+	}
+	if v := l.segs[len(l.segs)-1].version; v != segVersion {
+		t.Fatalf("new tail segment has version %d, want %d", v, segVersion)
+	}
+	l.Close()
+
+	// The mixed v1→v2 chain must survive a reopen end to end.
+	l2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("reopen mixed-version chain: %v", err)
+	}
+	defer l2.Close()
+	checkRecords(t, collect(t, l2, 0), 0, fixtureRecords+5)
+	appendN(t, l2, fixtureRecords+5, 3)
+	checkRecords(t, collect(t, l2, 0), 0, fixtureRecords+8)
+}
+
+// TestCompressionRatioObservable pins the tentpole's WAL claim: sorted and
+// locality-heavy batches must cost measurably fewer than 8 payload bytes
+// per edge, with the ratio visible in Stats.
+func TestCompressionRatioObservable(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	edges := make([]graph.Edge, 4096)
+	for i := range edges {
+		u := uint32(i * 3)
+		edges[i] = graph.Edge{U: u, V: u + 1 + uint32(i%16)}
+	}
+	if _, err := l.Append(edges); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.RawBytes != uint64(8*len(edges)) {
+		t.Fatalf("RawBytes = %d, want %d", st.RawBytes, 8*len(edges))
+	}
+	if st.WrittenBytes >= st.RawBytes {
+		t.Fatalf("no compression: wrote %d payload bytes for %d raw", st.WrittenBytes, st.RawBytes)
+	}
+	if perEdge := float64(st.WrittenBytes) / float64(len(edges)); perEdge >= 4 {
+		t.Fatalf("sorted batch cost %.2f bytes/edge in the WAL, want < 4", perEdge)
+	}
+	checkEq := collect(t, l, 0)
+	if len(checkEq[0]) != len(edges) {
+		t.Fatalf("replayed %d edges, want %d", len(checkEq[0]), len(edges))
+	}
+	for i := range edges {
+		if checkEq[0][i] != edges[i] {
+			t.Fatalf("edge %d: %v != %v", i, checkEq[0][i], edges[i])
+		}
+	}
+}
+
+// TestV2CorruptionMatrix extends the CRC-corruption contract to compressed
+// records: payload damage in a non-final segment refuses to boot, the same
+// damage in the final segment is torn-tail repaired to the exact prefix,
+// and a CRC-valid but unparseable block is ErrCorrupt even in the final
+// segment (no torn write checksums garbage correctly).
+func TestV2CorruptionMatrix(t *testing.T) {
+	build := func(t *testing.T, segBytes int) (string, []string) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: segBytes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendN(t, l, 0, 30)
+		l.Close()
+		segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+		return dir, segs
+	}
+
+	t.Run("payload-flip-non-final", func(t *testing.T) {
+		dir, segs := build(t, 128)
+		if len(segs) < 3 {
+			t.Fatalf("expected several segments, got %d", len(segs))
+		}
+		data, _ := os.ReadFile(segs[0])
+		data[segHeader+recHeader+1] ^= 0xff
+		os.WriteFile(segs[0], data, 0o644)
+		if _, err := Open(dir, Options{SegmentBytes: 128}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("truncation-inside-varint-run-final", func(t *testing.T) {
+		dir, segs := build(t, 1<<20) // one segment
+		if len(segs) != 1 {
+			t.Fatalf("expected 1 segment, got %d", len(segs))
+		}
+		// Chop mid-payload: the cut lands inside the last record's varint
+		// run. The record dies (short length), every earlier one survives.
+		st, _ := os.Stat(segs[0])
+		if err := os.Truncate(segs[0], st.Size()-2); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("Open after varint-run truncation: %v", err)
+		}
+		defer l.Close()
+		if got := l.LSN(); got != 29 {
+			t.Fatalf("LSN = %d, want 29 (exact prefix)", got)
+		}
+		checkRecords(t, collect(t, l, 0), 0, 29)
+		appendN(t, l, 29, 2)
+		checkRecords(t, collect(t, l, 0), 0, 31)
+	})
+
+	t.Run("crc-valid-malformed-block-final", func(t *testing.T) {
+		dir, segs := build(t, 1<<20)
+		// A record whose CRC verifies over a payload that is not a block:
+		// damage with no crash explanation, so even the final segment
+		// refuses with ErrCorrupt rather than silently truncating.
+		appendRecord(t, segs[len(segs)-1], []byte{0x7f, 0x03, 0x01, 0x02})
+		if _, err := Open(dir, Options{SegmentBytes: 1 << 20}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("crc-flip-final-is-torn-tail", func(t *testing.T) {
+		dir, segs := build(t, 1<<20)
+		data, _ := os.ReadFile(segs[0])
+		data[len(data)-1] ^= 0xff // last payload byte of the last record
+		os.WriteFile(segs[0], data, 0o644)
+		l, err := Open(dir, Options{SegmentBytes: 1 << 20})
+		if err != nil {
+			t.Fatalf("Open after final-record flip: %v", err)
+		}
+		defer l.Close()
+		checkRecords(t, collect(t, l, 0), 0, 29)
+	})
+}
+
+// TestEmptyBlockRecord covers the zero-edge record corner: the writer never
+// emits one (Append skips empty batches), but a reader must treat a
+// hand-crafted empty block as a valid record occupying one LSN, not as
+// corruption.
+func TestEmptyBlockRecord(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, 3)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	empty := wire.AppendBlock(nil, nil)
+	appendRecord(t, segs[0], empty)
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with empty-block record: %v", err)
+	}
+	defer l2.Close()
+	if got := l2.LSN(); got != 4 {
+		t.Fatalf("LSN = %d, want 4 (empty record holds LSN 3)", got)
+	}
+	got := collect(t, l2, 0)
+	if len(got) != 4 {
+		t.Fatalf("replayed %d records, want 4", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		want := recEdges(i)
+		if have := got[uint64(i)]; len(have) != len(want) {
+			t.Fatalf("record %d: %d edges, want %d", i, len(have), len(want))
+		}
+	}
+	if edges, ok := got[3]; !ok || len(edges) != 0 {
+		t.Fatalf("record 3 = %v (present=%v), want an empty record", edges, ok)
+	}
+	appendN(t, l2, 4, 2)
+	checkRecords(t, collect(t, l2, 4), 4, 6)
+}
+
+// TestRandomCrashPointsV2Rotations reruns the byte-truncation sweep over a
+// multi-segment v2 log: every cut must recover the exact prefix of fully
+// durable records, wherever it lands — header, record header, or inside a
+// compressed varint run.
+func TestRandomCrashPointsV2Rotations(t *testing.T) {
+	const records = 18
+	master := t.TempDir()
+	l, err := Open(master, Options{SegmentBytes: 192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, 0, records)
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(master, "*.wal"))
+	if len(segs) < 2 {
+		t.Fatalf("expected rotations, got %d segments", len(segs))
+	}
+	lastData, err := os.ReadFile(segs[len(segs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		cut := rng.Intn(len(lastData) + 1)
+		dir := t.TempDir()
+		copyDir(t, master, dir)
+		if err := os.Truncate(filepath.Join(dir, filepath.Base(segs[len(segs)-1])), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{SegmentBytes: 192})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		got := collect(t, l, 0)
+		want := len(got) // prefix property: recovered set must be a prefix
+		checkRecords(t, got, 0, want)
+		if lsn := l.LSN(); lsn != uint64(want) {
+			t.Fatalf("cut=%d: LSN %d after %d survivors", cut, lsn, want)
+		}
+		appendN(t, l, want, 1)
+		l.Close()
 	}
 }

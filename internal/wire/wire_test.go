@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"connectit/internal/graph"
+)
+
+func roundTrip(t *testing.T, edges []graph.Edge) []byte {
+	t.Helper()
+	block := AppendBlock(nil, edges)
+	got, n, err := DecodeBlock(block, nil)
+	if err != nil {
+		t.Fatalf("DecodeBlock: %v", err)
+	}
+	if n != len(block) {
+		t.Fatalf("DecodeBlock consumed %d of %d bytes", n, len(block))
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %v want %v", i, got[i], edges[i])
+		}
+	}
+	return block
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	cases := map[string][]graph.Edge{
+		"empty":      {},
+		"single":     {{U: 7, V: 9}},
+		"self-loop":  {{U: 3, V: 3}},
+		"sorted-run": {{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}},
+		"extremes":   {{U: 0, V: 0xffffffff}, {U: 0xffffffff, V: 0}, {U: 0xffffffff, V: 0xffffffff}},
+		"descending": {{U: 100, V: 90}, {U: 50, V: 40}, {U: 0, V: 10}},
+	}
+	rng := rand.New(rand.NewSource(11))
+	rnd := make([]graph.Edge, 500)
+	for i := range rnd {
+		rnd[i] = graph.Edge{U: rng.Uint32(), V: rng.Uint32()}
+	}
+	cases["random"] = rnd
+	local := make([]graph.Edge, 500)
+	base := uint32(1 << 20)
+	for i := range local {
+		u := base + uint32(i)
+		local[i] = graph.Edge{U: u, V: u + uint32(rng.Intn(64))}
+	}
+	cases["locality"] = local
+	for name, edges := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, edges) })
+	}
+}
+
+// TestDeltaCompresses pins the tentpole's size claim: sorted and locality-
+// heavy batches must encode well below 8 bytes/edge, and the raw fallback
+// caps adversarial batches at raw size + header.
+func TestDeltaCompresses(t *testing.T) {
+	edges := make([]graph.Edge, 4096)
+	for i := range edges {
+		u := uint32(i)
+		edges[i] = graph.Edge{U: u, V: u + 1 + uint32(i%32)}
+	}
+	block := roundTrip(t, edges)
+	if perEdge := float64(len(block)) / float64(len(edges)); perEdge >= 4 {
+		t.Fatalf("sorted batch encodes at %.2f bytes/edge, want < 4", perEdge)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := range edges {
+		edges[i] = graph.Edge{U: rng.Uint32(), V: rng.Uint32()}
+	}
+	block = roundTrip(t, edges)
+	if block[0] != TagRaw {
+		t.Fatalf("random batch encoded with tag %d, want raw fallback", block[0])
+	}
+	if len(block) > 8*len(edges)+3 {
+		t.Fatalf("raw fallback is %d bytes for %d edges", len(block), len(edges))
+	}
+}
+
+func TestDecodeReusesBuffer(t *testing.T) {
+	edges := []graph.Edge{{U: 1, V: 2}, {U: 3, V: 4}}
+	block := AppendBlock(nil, edges)
+	buf := make([]graph.Edge, 0, 16)
+	got, _, err := DecodeBlock(block, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("DecodeBlock allocated despite sufficient buffer capacity")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good := AppendBlock(nil, []graph.Edge{{U: 5, V: 6}, {U: 7, V: 8}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"tag-only":       {TagDelta},
+		"unknown-tag":    {0x7f, 0x01, 0x00, 0x00},
+		"count-overrun":  {TagDelta, 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"truncated-body": good[:len(good)-1],
+		"raw-short":      {TagRaw, 0x02, 1, 2, 3, 4, 5, 6, 7, 8},
+		// ΔV pushes V past uint32: U=0, then zigzag(2^33).
+		"overflow-v": append([]byte{TagDelta, 0x01, 0x00}, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01),
+	}
+	for name, src := range cases {
+		if _, _, err := DecodeBlock(src, nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+	// Truncation inside a varint run, at every cut of a delta block.
+	edges := []graph.Edge{{U: 1000, V: 2000}, {U: 1001, V: 500000}, {U: 9, V: 1 << 30}}
+	block := AppendBlock(nil, edges)
+	if block[0] != TagDelta {
+		t.Fatal("test batch unexpectedly took the raw fallback")
+	}
+	for cut := 0; cut < len(block); cut++ {
+		if _, _, err := DecodeBlock(block[:cut], nil); err == nil {
+			t.Fatalf("cut=%d: truncated block decoded successfully", cut)
+		}
+	}
+}
+
+func TestFrameLayout(t *testing.T) {
+	edges := []graph.Edge{{U: 1, V: 2}}
+	frame := AppendFrame(nil, edges)
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if int(n) != len(frame)-4 {
+		t.Fatalf("frame length prefix %d, body %d", n, len(frame)-4)
+	}
+	got, k, err := DecodeBlock(frame[4:], nil)
+	if err != nil || k != int(n) || len(got) != 1 || got[0] != edges[0] {
+		t.Fatalf("frame body decode: %v %d %v", got, k, err)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	ack := AppendAckOK(nil, 0xdeadbeefcafe, 42)
+	if len(ack) != AckSize || ack[0] != AckOK {
+		t.Fatalf("AckOK encoded to %d bytes, status %d", len(ack), ack[0])
+	}
+	lsn, frames := ParseAckOK(ack[1:])
+	if lsn != 0xdeadbeefcafe || frames != 42 {
+		t.Fatalf("ParseAckOK = (%d, %d)", lsn, frames)
+	}
+	e := AppendAckErr(nil, "boom")
+	if e[0] != AckErr || binary.LittleEndian.Uint32(e[1:5]) != 4 || string(e[5:]) != "boom" {
+		t.Fatalf("AckErr layout: % x", e)
+	}
+}
+
+// FuzzDecodeBlock feeds arbitrary bytes to the decoder: it must never
+// panic or allocate past the input-proportional bound, and anything it
+// accepts must re-encode to an equivalent block (decode∘encode∘decode
+// fixpoint).
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{TagDelta, 0x02, 0x02, 0x02, 0x02, 0x02})
+	f.Add([]byte{TagRaw, 0x01, 1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(AppendBlock(nil, []graph.Edge{{U: 5, V: 1 << 30}, {U: 0xffffffff, V: 0}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, n, err := DecodeBlock(data, nil)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendBlock(nil, append([]graph.Edge(nil), edges...))
+		got, _, err := DecodeBlock(re, nil)
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if len(got) != len(edges) {
+			t.Fatalf("re-encode changed count: %d != %d", len(got), len(edges))
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+			}
+		}
+	})
+}
+
+// FuzzBlockRoundTrip builds edges from fuzz bytes and checks the encoder/
+// decoder pair is lossless for every input.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges := make([]graph.Edge, 0, len(data)/8)
+		for len(data) >= 8 {
+			edges = append(edges, graph.Edge{
+				U: binary.LittleEndian.Uint32(data[0:4]),
+				V: binary.LittleEndian.Uint32(data[4:8]),
+			})
+			data = data[8:]
+		}
+		block := AppendBlock(nil, edges)
+		got, n, err := DecodeBlock(block, nil)
+		if err != nil || n != len(block) {
+			t.Fatalf("decode: n=%d err=%v", n, err)
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				t.Fatalf("edge %d: %v != %v", i, got[i], edges[i])
+			}
+		}
+	})
+}

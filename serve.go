@@ -20,6 +20,10 @@ type Server = server.Server
 type ServerOptions struct {
 	// Addr is the HTTP listen address. Default ":8080".
 	Addr string
+	// IngestAddr, when non-empty, additionally serves the persistent
+	// binary TCP ingest protocol there (DESIGN.md §13); connect with
+	// DialIngest.
+	IngestAddr string
 	// NumVertices is the vertex universe size. Required.
 	NumVertices int
 	// Spec selects the algorithm ("<sampling>;<algorithm>" as accepted by
@@ -67,6 +71,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	}
 	srv, err := server.New(st, server.Options{
 		Addr:             opts.Addr,
+		IngestAddr:       opts.IngestAddr,
 		WALDir:           opts.WALDir,
 		FlushInterval:    opts.FlushInterval,
 		MaxBatch:         opts.MaxBatch,
