@@ -20,8 +20,20 @@ var errBatcherClosed = errors.New("server: batcher closed")
 // group could outgrow the WAL's 16M-edge record bound, failing the whole
 // group and turning valid requests into 503s. At the cap, Submit waits for
 // the group to flush and retries into its successor. 4M edges leaves room
-// for one more request (bounded by the 8 MiB HTTP body limit) on top.
+// for one more submission on top — the JSON path is bounded by its 8 MiB
+// body limit and both binary paths by maxRequestEdges — keeping the
+// worst-case group (see maxRequestEdges) inside the WAL record bound.
 const maxGroupEdges = 1 << 22
+
+// maxRequestEdges caps the *decoded* edge count of one binary ingest unit
+// — an HTTP body or a TCP frame. wire.MaxFrameBytes bounds only the bytes:
+// a 64 MiB delta block can decode to ~33.5M edges, enough for one request
+// to push a flush group past the WAL's ~16.7M-edge record bound and fail
+// innocent writers sharing the group commit. With this cap the worst group
+// is maxGroupEdges (admission check) plus one TCP batch — maxGroupEdges/2
+// drained frames plus one final maxRequestEdges frame — ≈ 8M edges, half
+// the WAL bound.
+const maxRequestEdges = maxGroupEdges / 2
 
 // group is one flush generation: every Submit between two flushes lands in
 // the same group and shares one WAL record, one fsync, and one stream feed
@@ -77,6 +89,13 @@ func newBatcher(st *ingest.Stream, log *wal.Log, maxBatch int, interval time.Dur
 // WAL record's LSN. This is the serving path's group commit: concurrent
 // requests amortize one fsync.
 func (b *batcher) Submit(edges []graph.Edge) (uint64, error) {
+	if len(edges) == 0 {
+		// Backstop: appending nothing to a group would park this goroutine
+		// forever — flush() completes only non-empty groups. Callers reject
+		// or skip empty batches before Submit; nothing was committed, so
+		// there is no LSN to report.
+		return 0, nil
+	}
 	for {
 		b.mu.Lock()
 		if b.closed {

@@ -115,6 +115,7 @@ func (il *ingestListener) serveConn(conn net.Conn) {
 		ack   []byte
 	)
 	n := uint32(il.s.st.Len())
+	lastLSN := uint64(0)
 	for {
 		batch = batch[:0]
 		frames := uint32(0)
@@ -139,6 +140,10 @@ func (il *ingestListener) serveConn(conn net.Conn) {
 				conn.Write(wire.AppendAckErr(ack[:0], err.Error()))
 				return
 			}
+			if len(dec) > maxRequestEdges {
+				conn.Write(wire.AppendAckErr(ack[:0], fmt.Sprintf("frame of %d edges exceeds the %d-edge bound", len(dec), maxRequestEdges)))
+				return
+			}
 			for _, e := range dec {
 				if e.U >= n || e.V >= n {
 					conn.Write(wire.AppendAckErr(ack[:0], fmt.Sprintf("edge {%d, %d} endpoint out of range [0, %d)", e.U, e.V, n)))
@@ -151,14 +156,21 @@ func (il *ingestListener) serveConn(conn net.Conn) {
 				break
 			}
 		}
-		lsn, err := il.s.bat.Submit(batch)
-		if err != nil {
-			conn.Write(wire.AppendAckErr(ack[:0], err.Error()))
-			return
+		// An all-empty burst (zero-edge blocks are valid wire) skips the
+		// group commit: Submit would have nothing to flush, and the frames
+		// still need acking so the client's pipeline window advances. The
+		// ack repeats the last committed LSN, keeping it monotonic.
+		if len(batch) > 0 {
+			lsn, err := il.s.bat.Submit(batch)
+			if err != nil {
+				conn.Write(wire.AppendAckErr(ack[:0], err.Error()))
+				return
+			}
+			lastLSN = lsn
+			il.s.accepted.Add(uint64(len(batch)))
 		}
-		il.s.accepted.Add(uint64(len(batch)))
 		il.s.framesTCP.Add(uint64(frames))
-		ack = wire.AppendAckOK(ack[:0], lsn, frames)
+		ack = wire.AppendAckOK(ack[:0], lastLSN, frames)
 		if _, err := conn.Write(ack); err != nil {
 			return
 		}

@@ -235,3 +235,106 @@ func TestMetricsIngestAndWALFamilies(t *testing.T) {
 		t.Errorf("%d TYPE lines for the frames family, want 1", got)
 	}
 }
+
+// TestTCPIngestEmptyFrames pins the empty-burst contract: zero-edge blocks
+// are valid wire, and a burst of nothing but them must be acked without a
+// group commit — Submit on an empty batch used to park the connection
+// goroutine on a group flush() never completes, hanging the client and
+// deadlocking Server.Close in the listener's wg.Wait.
+func TestTCPIngestEmptyFrames(t *testing.T) {
+	s := startedServer(t, 16, Options{WALDir: t.TempDir()})
+	conn, _ := dialIngest(t, s.IngestAddr())
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	readAcks := func(want uint32) uint64 {
+		t.Helper()
+		acked, lsn := uint32(0), uint64(0)
+		for acked < want {
+			var ack [wire.AckSize]byte
+			if _, err := io.ReadFull(conn, ack[:]); err != nil {
+				t.Fatalf("reading ack after %d/%d frames: %v", acked, want, err)
+			}
+			if ack[0] != wire.AckOK {
+				t.Fatalf("ack status = 0x%02x, want AckOK", ack[0])
+			}
+			l, frames := wire.ParseAckOK(ack[1:])
+			lsn, acked = l, acked+frames
+		}
+		return lsn
+	}
+
+	// An all-empty burst before anything committed acks LSN 0.
+	var buf []byte
+	buf = wire.AppendFrame(buf, nil)
+	buf = wire.AppendFrame(buf, nil)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := readAcks(2); lsn != 0 {
+		t.Fatalf("empty-burst ack LSN = %d, want 0 (nothing committed)", lsn)
+	}
+
+	// Two real commits (sequential, so they land in separate groups — the
+	// first WAL record is LSN 0, indistinguishable from "nothing"), then an
+	// empty frame: its ack repeats the last committed LSN rather than
+	// regressing to 0.
+	if _, err := conn.Write(wire.AppendFrame(nil, []graph.Edge{{U: 1, V: 2}})); err != nil {
+		t.Fatal(err)
+	}
+	first := readAcks(1)
+	if _, err := conn.Write(wire.AppendFrame(nil, []graph.Edge{{U: 2, V: 3}})); err != nil {
+		t.Fatal(err)
+	}
+	committed := readAcks(1)
+	if committed <= first {
+		t.Fatalf("second commit LSN = %d, want > %d", committed, first)
+	}
+	if _, err := conn.Write(wire.AppendFrame(nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if lsn := readAcks(1); lsn != committed {
+		t.Fatalf("post-commit empty-frame ack LSN = %d, want %d", lsn, committed)
+	}
+	if got := s.framesTCP.Value(); got != 5 {
+		t.Fatalf("tcp frame counter = %d, want 5 (empty frames count)", got)
+	}
+}
+
+// oversizedEdges is one more edge than a binary ingest unit may carry; as
+// all-zero self-loops it delta-codes at 2 bytes/edge, so the block stays
+// far under MaxFrameBytes — the decoded count alone must trip the cap.
+func oversizedEdges() []graph.Edge { return make([]graph.Edge, maxRequestEdges+1) }
+
+func TestBinaryUpdateRejectsOversizedBlock(t *testing.T) {
+	_, ts := testServer(t, 16, Options{})
+	resp, body := postBinary(t, ts.URL+"/v1/update", oversizedEdges())
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized block: %d %s, want 413", resp.StatusCode, body)
+	}
+}
+
+func TestTCPIngestRejectsOversizedFrame(t *testing.T) {
+	s := startedServer(t, 16, Options{})
+	conn, _ := dialIngest(t, s.IngestAddr())
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(wire.AppendFrame(nil, oversizedEdges())); err != nil {
+		t.Fatal(err)
+	}
+	var status [1]byte
+	if _, err := io.ReadFull(conn, status[:]); err != nil || status[0] != wire.AckErr {
+		t.Fatalf("status, err = 0x%02x, %v; want AckErr", status[0], err)
+	}
+	var msgLen [4]byte
+	if _, err := io.ReadFull(conn, msgLen[:]); err != nil {
+		t.Fatal(err)
+	}
+	msg := make([]byte, binary.LittleEndian.Uint32(msgLen[:]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(msg), "exceeds") {
+		t.Fatalf("AckErr message = %q, want the edge-bound rejection", msg)
+	}
+}

@@ -562,16 +562,23 @@ func (s *Server) handleUpdateBinary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	*ep = edges[:0]
+	if len(edges) == 0 {
+		httpError(w, http.StatusBadRequest, "empty edge block")
+		return
+	}
+	if len(edges) > maxRequestEdges {
+		// MaxBytesReader bounds the body's bytes; this bounds its decoded
+		// edge count, so one request can never push a flush group past the
+		// WAL record bound (see maxRequestEdges).
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("block of %d edges exceeds the %d-edge bound", len(edges), maxRequestEdges))
+		return
+	}
 	nv := uint32(s.st.Len())
 	for _, e := range edges {
 		if e.U >= nv || e.V >= nv {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("edge {%d, %d} endpoint out of range [0, %d)", e.U, e.V, nv))
 			return
 		}
-	}
-	if len(edges) == 0 {
-		httpError(w, http.StatusBadRequest, "empty edge block")
-		return
 	}
 	lsn, err := s.bat.Submit(edges)
 	if err != nil {

@@ -45,9 +45,11 @@ func Append(buf []byte, x uint64) []byte {
 }
 
 // Get decodes one varint from buf, returning the value and the number of
-// bytes consumed. A truncated or overlong encoding returns n == 0; callers
-// on untrusted input (wire frames, WAL payloads) must treat that as
-// corruption.
+// bytes consumed. A truncated, overlong (non-minimal — a trailing 0x00
+// continuation group, e.g. 0x80 0x00 for 0), or uint64-overflowing
+// encoding returns n == 0, so every value has exactly one accepted
+// encoding; callers on untrusted input (wire frames, WAL payloads) must
+// treat n == 0 as corruption.
 func Get(buf []byte) (x uint64, n int) {
 	var shift uint
 	for i, b := range buf {
@@ -55,6 +57,9 @@ func Get(buf []byte) (x uint64, n int) {
 			return 0, 0 // overflows uint64
 		}
 		if b < 0x80 {
+			if b == 0 && i > 0 {
+				return 0, 0 // non-minimal: final group contributes nothing
+			}
 			return x | uint64(b)<<shift, i + 1
 		}
 		x |= uint64(b&0x7f) << shift

@@ -82,3 +82,24 @@ func TestGetOverflow(t *testing.T) {
 		t.Fatalf("MaxUint64: got (%d, %d)", v, n)
 	}
 }
+
+// TestGetNonMinimal pins the one-encoding-per-value contract: a trailing
+// zero continuation group (an overlong encoding of a smaller value) is
+// rejected, so "checksum-valid but unparseable" stays a reliable writer-
+// damage signal for the strict wire/WAL decoders.
+func TestGetNonMinimal(t *testing.T) {
+	for _, buf := range [][]byte{
+		{0x80, 0x00},
+		{0xff, 0x00},
+		{0x80, 0x80, 0x00},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x00},
+	} {
+		if v, n := Get(buf); n != 0 {
+			t.Fatalf("Get(%x) = (%d, %d), want n == 0 for non-minimal encoding", buf, v, n)
+		}
+	}
+	// The single zero byte is the minimal encoding of 0 and must survive.
+	if v, n := Get([]byte{0x00}); n != 1 || v != 0 {
+		t.Fatalf("Get(00) = (%d, %d), want (0, 1)", v, n)
+	}
+}
