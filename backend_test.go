@@ -7,29 +7,46 @@ import (
 )
 
 // TestBackendEquivalenceAllAlgorithms runs every registered finish
-// algorithm on both backends over the standard graph panel and checks that
-// CSR and compressed produce the same partition (and the true one). With
-// sampling disabled every algorithm traverses the whole edge set, so the
-// compressed decode path is exercised end to end.
+// algorithm on all three backends over the standard graph panel and checks
+// that CSR, compressed, and segmented produce the same partition (and the
+// true one). With sampling disabled every algorithm traverses the whole
+// edge set, so the compressed decode path — including the multi-segment
+// resolution path — is exercised end to end.
 func TestBackendEquivalenceAllAlgorithms(t *testing.T) {
 	panel := testutil.Panel()
 	for name, g := range panel {
 		truth := testutil.Components(g)
 		c := Compress(g)
+		// 512-byte segments split every non-trivial panel graph; the rmat
+		// entry must land well past the 3-segment mark so the segmented rows
+		// genuinely cross segment boundaries.
+		seg, err := TrySegment(g, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "rmat" && seg.NumSegments() < 3 {
+			t.Fatalf("rmat panel graph split into %d segments, want >= 3", seg.NumSegments())
+		}
 		for _, a := range Algorithms() {
 			solver, err := Compile(Config{Algorithm: a, Seed: 7})
 			if err != nil {
 				t.Fatal(err)
 			}
 			// NoSampling labelings are solver-owned scratch: copy the CSR
-			// result before the compressed run overwrites it.
+			// result before the compressed runs overwrite it.
 			csrLabels := append([]uint32(nil), solver.Components(g)...)
 			compLabels, err := solver.ComponentsOn(c)
 			if err != nil {
 				t.Fatal(err)
 			}
+			compLabels = append([]uint32(nil), compLabels...)
+			segLabels, err := solver.ComponentsOn(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			testutil.CheckPartition(t, name+"/"+a.Name()+"/csr", csrLabels, truth)
 			testutil.CheckPartition(t, name+"/"+a.Name()+"/compressed", compLabels, truth)
+			testutil.CheckPartition(t, name+"/"+a.Name()+"/segmented", segLabels, truth)
 		}
 	}
 }
@@ -53,6 +70,10 @@ func TestBackendEquivalenceSampled(t *testing.T) {
 	for name, g := range panel {
 		truth := testutil.Components(g)
 		c := Compress(g)
+		seg, err := TrySegment(g, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, spec := range specs {
 			cfg, err := ParseConfig(spec)
 			if err != nil {
@@ -61,10 +82,63 @@ func TestBackendEquivalenceSampled(t *testing.T) {
 			cfg.Seed = 42
 			solver := MustCompile(cfg)
 			csrLabels := append([]uint32(nil), solver.Components(g)...)
-			compLabels := solver.ComponentsCompressed(c)
+			compLabels := append([]uint32(nil), solver.ComponentsCompressed(c)...)
+			segLabels, err := solver.ComponentsOn(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
 			testutil.CheckPartition(t, name+"/"+spec+"/csr", csrLabels, truth)
 			testutil.CheckPartition(t, name+"/"+spec+"/compressed", compLabels, truth)
+			testutil.CheckPartition(t, name+"/"+spec+"/segmented", segLabels, truth)
 		}
+	}
+}
+
+// TestBackendEquivalenceMappedSegmented is the acceptance chain for the
+// out-of-core path end to end: a graph forced past the single-segment cap
+// splits into many segments, round-trips through a .cbin v2 file, loads
+// back memory-mapped, and produces labels identical to the CSR backend for
+// every registered algorithm.
+func TestBackendEquivalenceMappedSegmented(t *testing.T) {
+	g := NewRMAT(11, 12000, 4)
+	truth := testutil.Components(g)
+	seg, err := TrySegment(g, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.NumSegments() < 3 {
+		t.Fatalf("split into %d segments, want >= 3", seg.NumSegments())
+	}
+	path := t.TempDir() + "/seg.cbin"
+	if err := SaveCBIN(path, seg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCBIN(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, ok := loaded.(*SegmentedGraph)
+	if !ok {
+		t.Fatalf("loaded as %T, want *SegmentedGraph", loaded)
+	}
+	defer func() {
+		if err := mapped.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	if got, want := mapped.NumSegments(), seg.NumSegments(); got != want {
+		t.Fatalf("loaded %d segments, want %d", got, want)
+	}
+	for _, a := range Algorithms() {
+		solver, err := Compile(Config{Algorithm: a, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels, err := solver.ComponentsOn(mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testutil.CheckPartition(t, a.Name()+"/mapped-segmented", labels, truth)
 	}
 }
 

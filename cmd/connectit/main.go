@@ -12,14 +12,21 @@
 //
 // The graph representation is selected with -format: "csr" (flat CSR,
 // default), "compressed" (byte-compressed CSR; every algorithm runs
-// directly on the encoding), or "bin" (memory-map a .cbin file named by
-// -path, opening in O(1)). -convert writes the graph to a .cbin file and
-// exits, and -v prints the per-backend memory footprint (SizeBytes and
-// bytes/edge) so the space/throughput tradeoff is visible:
+// directly on the encoding), "segmented" (multi-segment byte-compressed,
+// split at -segment-bytes; the out-of-core backend), or "bin" (memory-map a
+// .cbin file named by -path, opening in O(index); multi-segment v2 files
+// map each segment independently). -convert writes the graph to a .cbin v2
+// file and exits — combined with -format bin it re-encodes an existing
+// file, and -segment-bytes re-segments at a new granularity, so old v1
+// files convert to segmented v2 in one step. -v prints the per-backend
+// memory footprint (SizeBytes and bytes/edge) so the space/throughput
+// tradeoff is visible:
 //
 //	connectit -graph rmat -scale 20 -convert rmat20.cbin
 //	connectit -format bin -path rmat20.cbin -v -algo "uf;rem-cas;naive;split-one"
 //	connectit -graph rmat -scale 18 -format compressed -v
+//	connectit -graph rmat -scale 20 -convert big.cbin -segment-bytes 268435456
+//	connectit -format bin -path old-v1.cbin -convert new-v2.cbin
 //
 // -serve runs the HTTP connectivity service over -n initially isolated
 // vertices: POST /v1/update ingests edges (group-committed through the
@@ -76,9 +83,10 @@ var (
 	withStats = flag.Bool("stats", false, "report union-find path-length statistics")
 	list      = flag.Bool("list", false, "list every registered finish algorithm and exit")
 
-	format  = flag.String("format", "csr", "graph representation: csr|compressed|bin (bin memory-maps the .cbin file named by -path)")
-	convert = flag.String("convert", "", "write the graph to this .cbin file and exit")
-	verbose = flag.Bool("v", false, "print per-backend memory footprint (SizeBytes, bytes/edge)")
+	format   = flag.String("format", "csr", "graph representation: csr|compressed|segmented|bin (bin memory-maps the .cbin file named by -path)")
+	convert  = flag.String("convert", "", "write the graph to this .cbin (v2) file and exit")
+	segBytes = flag.Uint64("segment-bytes", 0, "per-segment encoded-adjacency byte target for -format segmented and -convert re-segmentation (0 = the 4 GiB cap)")
+	verbose  = flag.Bool("v", false, "print per-backend memory footprint (SizeBytes, bytes/edge)")
 
 	serve         = flag.Bool("serve", false, "run the HTTP connectivity service over -n vertices (see -addr, -wal-dir)")
 	addr          = flag.String("addr", ":8080", "listen address for -serve")
@@ -201,9 +209,9 @@ func validateFlags() error {
 		}
 	}
 	switch *format {
-	case "csr", "compressed", "bin":
+	case "csr", "compressed", "segmented", "bin":
 	default:
-		return fmt.Errorf("unknown -format %q (want csr|compressed|bin)", *format)
+		return fmt.Errorf("unknown -format %q (want csr|compressed|segmented|bin)", *format)
 	}
 	if *format == "bin" && *path == "" {
 		return errors.New("-format bin requires -path naming a .cbin file")
@@ -254,16 +262,34 @@ func run() error {
 	}
 
 	if *convert != "" {
-		c, ok := rep.(*connectit.CompressedGraph)
-		if !ok {
-			if c, err = connectit.TryCompress(csr); err != nil {
+		out := rep
+		_, isCSR := rep.(*connectit.Graph)
+		if isCSR || (*segBytes > 0 && *format == "bin") {
+			// CSR input needs encoding; a loaded .cbin re-encodes only when
+			// -segment-bytes asks for a different granularity.
+			src := csr
+			if src == nil {
+				if src, err = connectit.Materialize(rep); err != nil {
+					return err
+				}
+			}
+			if *segBytes > 0 {
+				out, err = connectit.TrySegment(src, *segBytes)
+			} else {
+				out, err = connectit.TryCompress(src)
+			}
+			if err != nil {
 				return err
 			}
 		}
-		if err := connectit.SaveCBIN(*convert, c); err != nil {
+		if err := connectit.SaveCBIN(*convert, out); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s: n=%d m=%d, %s\n", *convert, c.NumVertices(), c.NumEdges(), footprint(c))
+		segInfo := ""
+		if s, ok := out.(*connectit.SegmentedGraph); ok {
+			segInfo = fmt.Sprintf(" (%d segments)", s.NumSegments())
+		}
+		fmt.Printf("wrote %s: n=%d m=%d%s, %s\n", *convert, out.NumVertices(), out.NumEdges(), segInfo, footprint(out))
 		return nil
 	}
 
@@ -277,6 +303,12 @@ func run() error {
 			fmt.Printf("footprint[compressed]: %s\n", footprint(c))
 			if csr != nil {
 				fmt.Printf("footprint ratio: %.2fx smaller\n", float64(csr.SizeBytes())/float64(c.SizeBytes()))
+			}
+		}
+		if s, ok := rep.(*connectit.SegmentedGraph); ok {
+			fmt.Printf("footprint[segmented]: %s, %d segments\n", footprint(s), s.NumSegments())
+			if csr != nil {
+				fmt.Printf("footprint ratio: %.2fx smaller\n", float64(csr.SizeBytes())/float64(s.SizeBytes()))
 			}
 		}
 	}
@@ -365,6 +397,13 @@ func makeRep() (rep connectit.GraphRep, csr *connectit.Graph, err error) {
 			return nil, nil, err
 		}
 		return c, g, nil
+	}
+	if *format == "segmented" {
+		s, err := connectit.TrySegment(g, *segBytes)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, g, nil
 	}
 	return g, g, nil
 }

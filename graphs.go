@@ -11,10 +11,11 @@ import (
 // binary format), and the synthetic generators used by the paper's
 // evaluation.
 
-// GraphRep is the pluggable graph-representation interface: both the flat
-// CSR Graph and the byte-compressed CompressedGraph satisfy it, and
-// Solver.ComponentsOn runs on whichever representation was built or
-// loaded. See internal/graph.Rep for the iteration contract.
+// GraphRep is the pluggable graph-representation interface: the flat CSR
+// Graph, the byte-compressed CompressedGraph, and the multi-segment
+// SegmentedGraph all satisfy it, and Solver.ComponentsOn runs on whichever
+// representation was built or loaded. See internal/graph.Rep for the
+// iteration contract.
 type GraphRep = graph.Rep
 
 // CompressedGraph is the byte-compressed CSR backend (Ligra+-style
@@ -23,6 +24,14 @@ type GraphRep = graph.Rep
 // CSR on power-law graphs. Build one with Compress, or open a .cbin file
 // with LoadCBIN.
 type CompressedGraph = graph.CompressedGraph
+
+// SegmentedGraph is the multi-segment byte-compressed backend: k
+// independently encoded segments, each under its own 4 GiB offset-index
+// cap, so graphs whose encoding exceeds a single segment still compress —
+// and, loaded from a .cbin v2 file, each segment memory-maps independently,
+// letting a graph larger than RAM execute out of core. TryCompress returns
+// one automatically past the cap; TrySegment forces the representation.
+type SegmentedGraph = graph.SegmentedGraph
 
 // BuildGraph constructs a symmetric CSR graph with n vertices from an
 // undirected edge list, dropping self loops and duplicate edges. It panics
@@ -34,29 +43,49 @@ func BuildGraph(n int, edges []Edge) *Graph { return graph.Build(n, edges) }
 func TryBuildGraph(n int, edges []Edge) (*Graph, error) { return graph.TryBuild(n, edges) }
 
 // Compress byte-encodes g into the compressed backend. It panics if the
-// encoded adjacency would exceed the backend's 4 GiB offset-index cap;
-// TryCompress reports that as an error instead.
+// encoded adjacency would exceed the backend's 4 GiB single-segment
+// offset-index cap; TryCompress auto-segments instead.
 func Compress(g *Graph) *CompressedGraph { return graph.Compress(g) }
 
-// TryCompress is Compress with the offset-index cap reported as an error,
-// for graphs whose encoded size is not known in advance (file conversions
-// and other untrusted inputs), mirroring BuildGraph/TryBuildGraph.
-func TryCompress(g *Graph) (*CompressedGraph, error) { return graph.TryCompress(g) }
+// TryCompress byte-encodes g into whichever compressed representation
+// fits: a *CompressedGraph while the encoding stays within the 4 GiB
+// single-segment offset-index cap, a *SegmentedGraph beyond it. Both
+// satisfy GraphRep and run every registered algorithm, so callers with
+// inputs of unknown size (file conversions, snapshots) need no cap logic.
+func TryCompress(g *Graph) (GraphRep, error) { return graph.TryCompress(g) }
+
+// TrySegment byte-encodes g as a SegmentedGraph with at most segmentBytes
+// of encoded adjacency per segment (0 selects the 4 GiB cap), always
+// returning the segmented representation even when one segment would do —
+// the forced path behind the CLI's -format segmented and benchmarks.
+func TrySegment(g *Graph, segmentBytes uint64) (*SegmentedGraph, error) {
+	return graph.TrySegment(g, segmentBytes)
+}
+
+// Materialize returns the flat CSR form of any representation: CSR graphs
+// pass through, compressed and segmented graphs decompress. It backs format
+// conversions that need to re-encode a loaded graph (the CLI's -convert
+// between .cbin versions and segment granularities).
+func Materialize(r GraphRep) (*Graph, error) { return graph.Materialize(r) }
 
 // LoadEdgeListFile reads a whitespace-separated edge-list file ("u v" per
 // line, '#'/'%' comments) and builds a symmetric graph. Malformed input is
 // reported as an error carrying the offending line number.
 func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
 
-// SaveCBIN writes a compressed graph to path in the versioned .cbin binary
-// format, the companion of LoadCBIN.
-func SaveCBIN(path string, c *CompressedGraph) error { return graph.SaveCBIN(path, c) }
+// SaveCBIN writes a compressed representation (*CompressedGraph or
+// *SegmentedGraph) to path in the versioned .cbin binary format (v2), the
+// companion of LoadCBIN.
+func SaveCBIN(path string, r GraphRep) error { return graph.SaveCBIN(path, r) }
 
 // LoadCBIN memory-maps a .cbin file written by SaveCBIN: the encoded
 // adjacency is never copied and pages in on demand as it is traversed
-// (only the much smaller offset index is scanned for validity). Call Close
-// on the result to release the mapping.
-func LoadCBIN(path string) (*CompressedGraph, error) { return graph.LoadCBIN(path) }
+// (only the much smaller offset index is scanned for validity), so a v2
+// file larger than RAM opens in O(segment table) and executes out of core.
+// Single-segment files (including every v1 file) return a
+// *CompressedGraph; multi-segment v2 files return a *SegmentedGraph. Call
+// Close on the result to release the mapping(s).
+func LoadCBIN(path string) (GraphRep, error) { return graph.LoadCBIN(path) }
 
 // ReadEdgeList parses an edge list from r and returns the edges plus the
 // implied vertex count.

@@ -32,10 +32,11 @@ type Capabilities struct {
 // hot path. It is the engine behind the public connectit.Solver.
 //
 // A Compiled carries one monomorphized runner per registered graph
-// representation (flat CSR and byte-compressed CSR), so the same instance
-// runs directly on whichever representation was built or loaded —
-// Components for CSR, ComponentsCompressed for compressed, ComponentsOn to
-// dispatch on a representation chosen at load time.
+// representation (flat CSR, byte-compressed CSR, and segmented), so the
+// same instance runs directly on whichever representation was built or
+// loaded — Components for CSR, ComponentsCompressed for compressed,
+// ComponentsSegmented for segmented, ComponentsOn to dispatch on a
+// representation chosen at load time.
 //
 // A Compiled is not safe for concurrent use — it owns scratch state.
 // Compile one instance per goroutine; compilation is cheap.
@@ -44,6 +45,7 @@ type Compiled struct {
 	family *Family
 	run    *Runner[*graph.Graph]
 	runC   *Runner[*graph.CompressedGraph]
+	runS   *Runner[*graph.SegmentedGraph]
 	forest ForestFunc
 
 	forestErr  error
@@ -70,8 +72,9 @@ func Compile(cfg Config) (*Compiled, error) {
 	c := &Compiled{cfg: cfg, family: f}
 	c.forestErr = f.ForestSupport(cfg.Algorithm)
 	c.streamType, c.streamErr = f.StreamSupport(cfg.Algorithm)
-	c.run = f.NewRunner(cfg)
-	c.runC = f.NewCompressedRunner(cfg)
+	c.run = f.Runners.CSR(cfg)
+	c.runC = f.Runners.Compressed(cfg)
+	c.runS = f.Runners.Segmented(cfg)
 	if c.forestErr == nil && f.NewForest != nil {
 		c.forest = f.NewForest(cfg)
 	}
@@ -161,6 +164,14 @@ func (c *Compiled) ComponentsCompressed(g *graph.CompressedGraph) []uint32 {
 	return components(c, g, c.runC)
 }
 
+// ComponentsSegmented is Components directly over the multi-segment
+// byte-compressed representation — the out-of-core backend: sampling and
+// finish decode neighbors segment by segment off the (possibly memory-
+// mapped) encoding, never materializing a flat CSR.
+func (c *Compiled) ComponentsSegmented(g *graph.SegmentedGraph) []uint32 {
+	return components(c, g, c.runS)
+}
+
 // ComponentsOn dispatches Components on the concrete representation behind
 // r — the load-time-chosen backend path used by the CLI and the public
 // Solver. The dispatch happens once per run; the selected kernel is the
@@ -171,6 +182,8 @@ func (c *Compiled) ComponentsOn(r graph.Rep) ([]uint32, error) {
 		return c.Components(g), nil
 	case *graph.CompressedGraph:
 		return c.ComponentsCompressed(g), nil
+	case *graph.SegmentedGraph:
+		return c.ComponentsSegmented(g), nil
 	}
 	return nil, fmt.Errorf("%w: graph representation %T", ErrUnsupported, r)
 }

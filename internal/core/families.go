@@ -17,10 +17,10 @@ import (
 // Stergiou, and Label-Propagation.
 //
 // Every family's execution hooks are built by one generic constructor
-// instantiated per graph representation (NewRunner for the flat CSR,
-// NewCompressedRunner for the byte-compressed backend), so each backend's
-// finish loop monomorphizes over its representation — the compressed path
-// decodes neighbors straight off the encoding with no interface calls.
+// instantiated across the Runners backend table (flat CSR, byte-compressed,
+// segmented), so each backend's finish loop monomorphizes over its
+// representation — the compressed paths decode neighbors straight off the
+// encoding with no interface calls.
 
 // liutarjanByCode indexes the paper's sixteen Liu-Tarjan variants by their
 // four-letter code.
@@ -78,9 +78,12 @@ func init() {
 			}
 			return TypeAsync, nil
 		},
-		NewRunner:           newUFRunner[*graph.Graph],
-		NewCompressedRunner: newUFRunner[*graph.CompressedGraph],
-		NewForest:           newUFForest,
+		Runners: Runners{
+			CSR:        newUFRunner[*graph.Graph],
+			Compressed: newUFRunner[*graph.CompressedGraph],
+			Segmented:  newUFRunner[*graph.SegmentedGraph],
+		},
+		NewForest: newUFForest,
 		NewIncremental: func(n int, cfg Config, st StreamType) *Incremental {
 			return &Incremental{
 				kind:  FinishUnionFind,
@@ -99,12 +102,15 @@ func init() {
 		Enumerate: func() []Algorithm {
 			return []Algorithm{{Kind: FinishShiloachVishkin}}
 		},
-		ParseParams:         noParams(FinishShiloachVishkin),
-		Validate:            func(Algorithm) error { return nil },
-		ForestSupport:       func(Algorithm) error { return nil },
-		StreamSupport:       func(Algorithm) (StreamType, error) { return TypeSynchronous, nil },
-		NewRunner:           newSVRunner[*graph.Graph],
-		NewCompressedRunner: newSVRunner[*graph.CompressedGraph],
+		ParseParams:   noParams(FinishShiloachVishkin),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: func(Algorithm) error { return nil },
+		StreamSupport: func(Algorithm) (StreamType, error) { return TypeSynchronous, nil },
+		Runners: Runners{
+			CSR:        newSVRunner[*graph.Graph],
+			Compressed: newSVRunner[*graph.CompressedGraph],
+			Segmented:  newSVRunner[*graph.SegmentedGraph],
+		},
 		NewForest: func(cfg Config) ForestFunc {
 			return func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
 				_, acc = shiloachvishkin.RunForest(g, labels, skip, acc)
@@ -148,8 +154,11 @@ func init() {
 			}
 			return TypeSynchronous, nil
 		},
-		NewRunner:           newLTRunner[*graph.Graph],
-		NewCompressedRunner: newLTRunner[*graph.CompressedGraph],
+		Runners: Runners{
+			CSR:        newLTRunner[*graph.Graph],
+			Compressed: newLTRunner[*graph.CompressedGraph],
+			Segmented:  newLTRunner[*graph.SegmentedGraph],
+		},
 		NewForest: func(cfg Config) ForestFunc {
 			v := cfg.Algorithm.LT
 			return func(g *graph.Graph, labels []uint32, skip []bool, acc [][2]uint32) ([][2]uint32, error) {
@@ -163,30 +172,36 @@ func init() {
 	})
 
 	RegisterFamily(&Family{
-		Kind:                FinishStergiou,
-		Name:                "stergiou",
-		Doc:                 "Stergiou et al.'s two-array min-label algorithm (§B.2.5)",
-		Enumerate:           func() []Algorithm { return []Algorithm{{Kind: FinishStergiou}} },
-		ParseParams:         noParams(FinishStergiou),
-		Validate:            func(Algorithm) error { return nil },
-		ForestSupport:       unsupportedForest(FinishStergiou),
-		StreamSupport:       unsupportedStream(FinishStergiou),
-		NewRunner:           newStergiouRunner[*graph.Graph],
-		NewCompressedRunner: newStergiouRunner[*graph.CompressedGraph],
+		Kind:          FinishStergiou,
+		Name:          "stergiou",
+		Doc:           "Stergiou et al.'s two-array min-label algorithm (§B.2.5)",
+		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishStergiou}} },
+		ParseParams:   noParams(FinishStergiou),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: unsupportedForest(FinishStergiou),
+		StreamSupport: unsupportedStream(FinishStergiou),
+		Runners: Runners{
+			CSR:        newStergiouRunner[*graph.Graph],
+			Compressed: newStergiouRunner[*graph.CompressedGraph],
+			Segmented:  newStergiouRunner[*graph.SegmentedGraph],
+		},
 	})
 
 	RegisterFamily(&Family{
-		Kind:                FinishLabelProp,
-		Name:                "lp",
-		Aliases:             []string{"label-propagation", "label-prop", "labelprop"},
-		Doc:                 "folklore frontier-based label propagation (§B.2.6)",
-		Enumerate:           func() []Algorithm { return []Algorithm{{Kind: FinishLabelProp}} },
-		ParseParams:         noParams(FinishLabelProp),
-		Validate:            func(Algorithm) error { return nil },
-		ForestSupport:       unsupportedForest(FinishLabelProp),
-		StreamSupport:       unsupportedStream(FinishLabelProp),
-		NewRunner:           newLPRunner[*graph.Graph],
-		NewCompressedRunner: newLPRunner[*graph.CompressedGraph],
+		Kind:          FinishLabelProp,
+		Name:          "lp",
+		Aliases:       []string{"label-propagation", "label-prop", "labelprop"},
+		Doc:           "folklore frontier-based label propagation (§B.2.6)",
+		Enumerate:     func() []Algorithm { return []Algorithm{{Kind: FinishLabelProp}} },
+		ParseParams:   noParams(FinishLabelProp),
+		Validate:      func(Algorithm) error { return nil },
+		ForestSupport: unsupportedForest(FinishLabelProp),
+		StreamSupport: unsupportedStream(FinishLabelProp),
+		Runners: Runners{
+			CSR:        newLPRunner[*graph.Graph],
+			Compressed: newLPRunner[*graph.CompressedGraph],
+			Segmented:  newLPRunner[*graph.SegmentedGraph],
+		},
 	})
 }
 

@@ -36,14 +36,12 @@ type Family struct {
 	// StreamSupport returns a's streaming classification (§3.5), or an
 	// error wrapping ErrUnsupported when a cannot run batch-incrementally.
 	StreamSupport func(a Algorithm) (StreamType, error)
-	// NewRunner compiles the per-solver execution hooks for a validated
-	// configuration on the flat CSR backend. Runners may retain scratch
-	// state across runs; each Compiled owns exactly one per backend.
-	NewRunner func(cfg Config) *Runner[*graph.Graph]
-	// NewCompressedRunner is NewRunner for the byte-compressed backend. The
-	// families register the same generic constructor instantiated per
-	// backend, so both hot loops monomorphize over their representation.
-	NewCompressedRunner func(cfg Config) *Runner[*graph.CompressedGraph]
+	// Runners is the per-backend constructor table: the same generic
+	// constructor instantiated once per registered graph representation,
+	// so every backend's finish loop monomorphizes over its representation.
+	// Each Compiled owns exactly one runner per backend; runners may retain
+	// scratch state across runs.
+	Runners Runners
 	// NewForest compiles the spanning-forest hook (CSR only — witness
 	// recording indexes the flat adjacency). nil when ForestSupport always
 	// fails.
@@ -51,6 +49,21 @@ type Family struct {
 	// NewIncremental constructs the streaming structure for a validated
 	// configuration whose StreamSupport succeeded with st.
 	NewIncremental func(n int, cfg Config, st StreamType) *Incremental
+}
+
+// Runners is a family's backend-constructor table — the single mechanism
+// through which finish hooks reach a concrete representation. Go cannot
+// store an uninstantiated generic function, so each family fills the table
+// with its one generic constructor instantiated per backend; adding a
+// backend is one field here, one instantiation row per family, and one
+// dispatch case in ComponentsOn — nothing else in the registry changes.
+type Runners struct {
+	// CSR builds the flat-CSR runner.
+	CSR func(cfg Config) *Runner[*graph.Graph]
+	// Compressed builds the single-segment byte-compressed runner.
+	Compressed func(cfg Config) *Runner[*graph.CompressedGraph]
+	// Segmented builds the multi-segment byte-compressed runner.
+	Segmented func(cfg Config) *Runner[*graph.SegmentedGraph]
 }
 
 // Runner holds the compiled finish-phase hook of one algorithm

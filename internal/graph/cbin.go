@@ -13,34 +13,125 @@ import (
 )
 
 // This file implements the versioned .cbin on-disk format for compressed
-// graphs. The layout is a header followed by the three CompressedGraph
-// arrays verbatim (little-endian), so a memory-mapped file IS the in-memory
-// representation — huge graphs open in O(1) without materializing anything:
+// graphs. Both versions share the idea that a memory-mapped file IS the
+// in-memory representation — the arrays are stored verbatim (little-endian)
+// so huge graphs open without materializing anything.
+//
+// Version 1 is a single segment: a header followed by the three
+// CompressedGraph arrays:
 //
 //	offset  0: magic   "CBIN" (4 bytes)
-//	offset  4: version uint32 (currently 1)
+//	offset  4: version uint32 (1)
 //	offset  8: n       uint64 (vertex count)
 //	offset 16: m       uint64 (directed edge count)
 //	offset 24: dataLen uint64 (encoded adjacency bytes)
 //	offset 32: offsets (n+1)×uint32, degrees n×uint32, data dataLen bytes
 //
-// The 32-byte header keeps the offsets array 4-aligned for the mmap cast.
+// Version 2 is the multi-segment layout that lifts the 4 GiB cap: the same
+// 32-byte header (dataLen replaced by the segment count k), a k-entry
+// segment table, then each segment's arrays back to back:
+//
+//	offset  0: magic   "CBIN" (4 bytes)
+//	offset  4: version uint32 (2)
+//	offset  8: n       uint64 (vertex count)
+//	offset 16: m       uint64 (directed edge count, all segments)
+//	offset 24: k       uint64 (segment count)
+//	offset 32: k × 32-byte table entries:
+//	             firstVertex uint64, numVertices uint64,
+//	             dataLen uint64, m uint64 (segment's directed edges)
+//	then     : k segment blobs, each padded to an 8-byte boundary:
+//	             offsets (numVertices+1)×uint32 (segment-relative),
+//	             degrees numVertices×uint32, data dataLen bytes, pad
+//
+// Segment table entries must tile [0, n) contiguously in order. The header
+// and table are 32- and 8-byte multiples and every blob is padded to 8, so
+// each blob's offsets array stays 4-aligned for the mmap cast — and each
+// segment memory-maps independently, which is how a v2 file larger than RAM
+// opens in O(table) and pages in on demand.
+//
+// WriteCBIN always writes version 2 (a single-segment graph is a v2 file
+// with k=1); version 1 files remain fully loadable.
 
 const (
-	cbinMagic   = "CBIN"
-	cbinVersion = 1
-	cbinHeader  = 32
+	cbinMagic    = "CBIN"
+	cbinVersion1 = 1
+	cbinVersion2 = 2
+	cbinHeader   = 32
+	cbinSegEntry = 32
 )
 
 // ErrBadCBIN reports a malformed, truncated, or wrong-version .cbin input.
 var ErrBadCBIN = fmt.Errorf("graph: invalid cbin file")
 
-// WriteCBIN writes c in the .cbin format.
-func WriteCBIN(w io.Writer, c *CompressedGraph) error {
+// WriteCBIN writes r in the .cbin v2 format. r must already be compressed
+// (*CompressedGraph or *SegmentedGraph); compress CSR graphs first.
+func WriteCBIN(w io.Writer, r Rep) error {
+	segs, starts, m, err := cbinSegments(r)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var hdr [cbinHeader]byte
 	copy(hdr[0:4], cbinMagic)
-	binary.LittleEndian.PutUint32(hdr[4:8], cbinVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], cbinVersion2)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(r.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:24], m)
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(segs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var ent [cbinSegEntry]byte
+	for i := range segs {
+		binary.LittleEndian.PutUint64(ent[0:8], uint64(starts[i]))
+		binary.LittleEndian.PutUint64(ent[8:16], uint64(starts[i+1])-uint64(starts[i]))
+		binary.LittleEndian.PutUint64(ent[16:24], uint64(len(segs[i].data)))
+		binary.LittleEndian.PutUint64(ent[24:32], segs[i].m)
+		if _, err := bw.Write(ent[:]); err != nil {
+			return err
+		}
+	}
+	var pad [8]byte
+	for i := range segs {
+		s := &segs[i]
+		if err := writeU32s(bw, s.offsets); err != nil {
+			return err
+		}
+		if err := writeU32s(bw, s.degrees); err != nil {
+			return err
+		}
+		if _, err := bw.Write(s.data); err != nil {
+			return err
+		}
+		if p := -(4*len(s.offsets) + 4*len(s.degrees) + len(s.data)) & 7; p > 0 {
+			if _, err := bw.Write(pad[:p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// cbinSegments views a compressed representation as its segment list: a
+// CompressedGraph is one segment covering [0, n).
+func cbinSegments(r Rep) (segs []segmentRef, starts []uint32, m uint64, err error) {
+	switch g := r.(type) {
+	case *CompressedGraph:
+		return []segmentRef{{offsets: g.Offsets, degrees: g.Degrees, data: g.Data, m: g.m}},
+			[]uint32{0, uint32(g.NumVertices())}, g.m, nil
+	case *SegmentedGraph:
+		return g.segs, g.starts, g.m, nil
+	}
+	return nil, nil, 0, fmt.Errorf("graph: cannot write %T as .cbin; compress it first", r)
+}
+
+// writeCBINv1 writes the legacy single-segment v1 layout. Production code
+// always writes v2; this exists so tests can fabricate old-format files and
+// prove the compatibility path.
+func writeCBINv1(w io.Writer, c *CompressedGraph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [cbinHeader]byte
+	copy(hdr[0:4], cbinMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], cbinVersion1)
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(c.NumVertices()))
 	binary.LittleEndian.PutUint64(hdr[16:24], c.m)
 	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(c.Data)))
@@ -83,21 +174,21 @@ func writeU32s(w io.Writer, vals []uint32) error {
 	return nil
 }
 
-// SaveCBIN writes c to path in the .cbin format.
-func SaveCBIN(path string, c *CompressedGraph) error {
+// SaveCBIN writes r to path in the .cbin v2 format.
+func SaveCBIN(path string, r Rep) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteCBIN(f, c); err != nil {
+	if err := WriteCBIN(f, r); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// cbinDims validates a .cbin header and returns (n, m, dataLen). size is the
-// total input length in bytes when known (mmap/stat), or -1 for streams.
+// cbinDims validates a v1 .cbin header and returns (n, m, dataLen). size is
+// the total input length in bytes when known (mmap/stat), or -1 for streams.
 func cbinDims(hdr []byte, size int64) (n, m, dataLen uint64, err error) {
 	if len(hdr) < cbinHeader {
 		return 0, 0, 0, fmt.Errorf("%w: %d-byte input shorter than the %d-byte header", ErrBadCBIN, len(hdr), cbinHeader)
@@ -105,8 +196,8 @@ func cbinDims(hdr []byte, size int64) (n, m, dataLen uint64, err error) {
 	if string(hdr[0:4]) != cbinMagic {
 		return 0, 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadCBIN, hdr[0:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != cbinVersion {
-		return 0, 0, 0, fmt.Errorf("%w: unsupported version %d (want %d)", ErrBadCBIN, v, cbinVersion)
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != cbinVersion1 {
+		return 0, 0, 0, fmt.Errorf("%w: unsupported version %d (want %d or %d)", ErrBadCBIN, v, cbinVersion1, cbinVersion2)
 	}
 	n = binary.LittleEndian.Uint64(hdr[8:16])
 	m = binary.LittleEndian.Uint64(hdr[16:24])
@@ -126,17 +217,84 @@ func cbinDims(hdr []byte, size int64) (n, m, dataLen uint64, err error) {
 	return n, m, dataLen, nil
 }
 
-// checkCBINIndex validates the offset/degree index shared by the mmap and
+// cbinSegMeta is one parsed-and-validated v2 segment table entry, with the
+// absolute file offset of the segment's blob.
+type cbinSegMeta struct {
+	first, count  uint64
+	dataLen, m    uint64
+	blobOff       uint64
+	blobLen       uint64 // unpadded: offsets + degrees + data bytes
+	blobLenPadded uint64
+}
+
+// parseCBINTable validates a v2 segment table against the header's (n, m, k)
+// and returns per-segment metadata. The entries must tile [0, n)
+// contiguously in file order — any overlap, gap, or reordering is rejected —
+// and empty segments are allowed only as the single segment of an empty
+// graph, which bounds k by n. size is the total file length when known, or
+// -1 for streams.
+func parseCBINTable(n, m, k uint64, table []byte, size int64) ([]cbinSegMeta, error) {
+	segs := make([]cbinSegMeta, 0, k)
+	next := uint64(0)
+	off := uint64(cbinHeader) + k*cbinSegEntry
+	var msum uint64
+	for i := uint64(0); i < k; i++ {
+		e := table[i*cbinSegEntry:]
+		sm := cbinSegMeta{
+			first:   binary.LittleEndian.Uint64(e[0:8]),
+			count:   binary.LittleEndian.Uint64(e[8:16]),
+			dataLen: binary.LittleEndian.Uint64(e[16:24]),
+			m:       binary.LittleEndian.Uint64(e[24:32]),
+		}
+		if sm.first != next {
+			return nil, fmt.Errorf("%w: segment %d starts at vertex %d, expected %d (segments must tile [0,n) in order)", ErrBadCBIN, i, sm.first, next)
+		}
+		if sm.count > n-next {
+			return nil, fmt.Errorf("%w: segment %d covers %d vertices past the graph's %d", ErrBadCBIN, i, sm.count, n)
+		}
+		if sm.count == 0 && n != 0 {
+			return nil, fmt.Errorf("%w: segment %d is empty", ErrBadCBIN, i)
+		}
+		if sm.dataLen > maxCompressedBytes {
+			return nil, fmt.Errorf("%w: segment %d data length %d beyond the 4 GiB offset cap", ErrBadCBIN, i, sm.dataLen)
+		}
+		if sm.m > sm.dataLen {
+			return nil, fmt.Errorf("%w: segment %d: %d directed edges cannot fit in %d data bytes", ErrBadCBIN, i, sm.m, sm.dataLen)
+		}
+		next = sm.first + sm.count
+		msum += sm.m
+		sm.blobOff = off
+		sm.blobLen = 4*(sm.count+1) + 4*sm.count + sm.dataLen
+		sm.blobLenPadded = (sm.blobLen + 7) &^ 7
+		off += sm.blobLenPadded
+		if size >= 0 && off > uint64(size) {
+			return nil, fmt.Errorf("%w: segment %d extends past the file's %d bytes", ErrBadCBIN, i, size)
+		}
+		segs = append(segs, sm)
+	}
+	if next != n {
+		return nil, fmt.Errorf("%w: segments cover vertices [0,%d), graph has %d", ErrBadCBIN, next, n)
+	}
+	if msum != m {
+		return nil, fmt.Errorf("%w: segment edge counts sum to %d, header says %d", ErrBadCBIN, msum, m)
+	}
+	if size >= 0 && off != uint64(size) {
+		return nil, fmt.Errorf("%w: header implies %d bytes, file has %d", ErrBadCBIN, off, size)
+	}
+	return segs, nil
+}
+
+// checkIndex validates an offset/degree index shared by the mmap and
 // streaming loaders: the offsets must span the data monotonically, every
 // vertex's degree must fit in its byte span (each neighbor encodes as at
-// least one byte), and the degrees must sum to the header's edge count.
+// least one byte), and the degrees must sum to the declared edge count.
 // The scan is parallel and touches only the index arrays, never the edge
 // payload — a graph still opens without reading its adjacency. Corruption
 // inside the varint payload itself is not detectable without decoding and
 // surfaces as garbage neighbors at traversal time.
-func checkCBINIndex(c *CompressedGraph, dataLen uint64) error {
-	n := len(c.Degrees)
-	if c.Offsets[0] != 0 || uint64(c.Offsets[n]) != dataLen {
+func checkIndex(offsets, degrees []uint32, dataLen, m uint64) error {
+	n := len(degrees)
+	if offsets[0] != 0 || uint64(offsets[n]) != dataLen {
 		return fmt.Errorf("%w: offset index does not span the %d data bytes", ErrBadCBIN, dataLen)
 	}
 	var bad atomic.Bool
@@ -144,35 +302,40 @@ func checkCBINIndex(c *CompressedGraph, dataLen uint64) error {
 	parallel.ForGrained(n, 1<<14, func(lo, hi int) {
 		var local uint64
 		for v := lo; v < hi; v++ {
-			if c.Offsets[v+1] < c.Offsets[v] || uint64(c.Degrees[v]) > uint64(c.Offsets[v+1]-c.Offsets[v]) {
+			if offsets[v+1] < offsets[v] || uint64(degrees[v]) > uint64(offsets[v+1]-offsets[v]) {
 				bad.Store(true)
 				return
 			}
-			local += uint64(c.Degrees[v])
+			local += uint64(degrees[v])
 		}
 		degSum.Add(local)
 	})
 	if bad.Load() {
 		return fmt.Errorf("%w: offset/degree index is inconsistent", ErrBadCBIN)
 	}
-	if degSum.Load() != c.m {
-		return fmt.Errorf("%w: degree sum %d != header edge count %d", ErrBadCBIN, degSum.Load(), c.m)
+	if degSum.Load() != m {
+		return fmt.Errorf("%w: degree sum %d != declared edge count %d", ErrBadCBIN, degSum.Load(), m)
 	}
 	return nil
 }
 
-// ReadCBIN reads a .cbin graph from a stream into freshly allocated arrays.
-// LoadCBIN is preferred for files: it memory-maps instead of copying.
+// ReadCBIN reads a .cbin graph (either version) from a stream into freshly
+// allocated arrays. LoadCBIN is preferred for files: it memory-maps instead
+// of copying. Single-segment inputs (all v1 files, v2 with k=1) return a
+// *CompressedGraph; multi-segment v2 returns a *SegmentedGraph.
 //
 // Array storage grows incrementally as bytes actually arrive, so a
-// corrupted header's vertex count cannot force a giant up-front
+// corrupted header's vertex or segment count cannot force a giant up-front
 // allocation: a short stream fails with ErrBadCBIN after allocating at
 // most proportionally to its real length.
-func ReadCBIN(r io.Reader) (*CompressedGraph, error) {
+func ReadCBIN(r io.Reader) (Rep, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [cbinHeader]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: short header: %v", ErrBadCBIN, err)
+	}
+	if string(hdr[0:4]) == cbinMagic && binary.LittleEndian.Uint32(hdr[4:8]) == cbinVersion2 {
+		return readCBINv2(br, hdr[:])
 	}
 	n, m, dataLen, err := cbinDims(hdr[:], -1)
 	if err != nil {
@@ -190,11 +353,67 @@ func ReadCBIN(r io.Reader) (*CompressedGraph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: truncated data: %v", ErrBadCBIN, err)
 	}
-	c := &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: m}
-	if err := checkCBINIndex(c, dataLen); err != nil {
+	if err := checkIndex(offsets, degrees, dataLen, m); err != nil {
 		return nil, err
 	}
-	return c, nil
+	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: m}, nil
+}
+
+// readCBINv2 reads the segment table and blobs of a v2 stream whose header
+// has been consumed and validated for magic/version.
+func readCBINv2(br *bufio.Reader, hdr []byte) (Rep, error) {
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	m := binary.LittleEndian.Uint64(hdr[16:24])
+	k := binary.LittleEndian.Uint64(hdr[24:32])
+	if n > 1<<32-1 {
+		return nil, fmt.Errorf("%w: vertex count %d beyond the 32-bit vertex space", ErrBadCBIN, n)
+	}
+	if k == 0 || k > n+1 {
+		return nil, fmt.Errorf("%w: segment count %d for %d vertices", ErrBadCBIN, k, n)
+	}
+	table, err := readBytes(br, k*cbinSegEntry)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated segment table: %v", ErrBadCBIN, err)
+	}
+	metas, err := parseCBINTable(n, m, k, table, -1)
+	if err != nil {
+		return nil, err
+	}
+	s := &SegmentedGraph{
+		segs:   make([]segmentRef, k),
+		starts: make([]uint32, k+1),
+		n:      int(n),
+		m:      m,
+	}
+	for i, sm := range metas {
+		s.starts[i] = uint32(sm.first)
+		offsets, err := readU32s(br, sm.count+1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated offsets: %v", ErrBadCBIN, i, err)
+		}
+		degrees, err := readU32s(br, sm.count)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated degrees: %v", ErrBadCBIN, i, err)
+		}
+		data, err := readBytes(br, sm.dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated data: %v", ErrBadCBIN, i, err)
+		}
+		if pad := int(sm.blobLenPadded - sm.blobLen); pad > 0 {
+			if _, err := br.Discard(pad); err != nil {
+				return nil, fmt.Errorf("%w: segment %d: truncated padding: %v", ErrBadCBIN, i, err)
+			}
+		}
+		if err := checkIndex(offsets, degrees, sm.dataLen, sm.m); err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+		s.segs[i] = segmentRef{offsets: offsets, degrees: degrees, data: data, m: sm.m}
+	}
+	s.starts[k] = uint32(n)
+	if k == 1 {
+		return &CompressedGraph{Offsets: s.segs[0].offsets, Degrees: s.segs[0].degrees, Data: s.segs[0].data, m: m}, nil
+	}
+	return s, nil
 }
 
 // readU32s decodes count little-endian uint32 values in bounded chunks.
@@ -233,12 +452,17 @@ func readBytes(r io.Reader, count uint64) ([]byte, error) {
 }
 
 // LoadCBIN opens a .cbin file by memory-mapping it: the returned graph's
-// arrays alias the mapping, so the encoded adjacency — the dominant term —
-// is never read at load time and pages in on demand as it is traversed;
+// arrays alias the mapping(s), so the encoded adjacency — the dominant term
+// — is never read at load time and pages in on demand as it is traversed;
 // only the offset/degree index is scanned (in parallel) to validate the
-// file. Call Close to release the mapping. On platforms without mmap it
+// file. v2 files map each segment independently, so a graph larger than RAM
+// opens in O(segment table) and executes out of core. Call Close on the
+// returned graph to release the mapping(s). On platforms without mmap it
 // falls back to reading the file into memory.
-func LoadCBIN(path string) (*CompressedGraph, error) {
+//
+// Single-segment inputs (all v1 files, v2 with k=1) return a
+// *CompressedGraph; multi-segment v2 files return a *SegmentedGraph.
+func LoadCBIN(path string) (Rep, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -248,14 +472,17 @@ func LoadCBIN(path string) (*CompressedGraph, error) {
 	if err != nil {
 		return nil, err
 	}
+	var hdr [cbinHeader]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadCBIN, err)
+	}
+	if string(hdr[0:4]) == cbinMagic && binary.LittleEndian.Uint32(hdr[4:8]) == cbinVersion2 {
+		return loadCBINv2(f, hdr[:], st.Size())
+	}
 	mapped, err := mmapFile(f, st.Size())
 	if err != nil {
 		// No mmap on this platform (or an exotic file): fall back to a copy.
-		c, rerr := ReadCBIN(f)
-		if rerr != nil {
-			return nil, rerr
-		}
-		return c, nil
+		return ReadCBIN(f)
 	}
 	c, err := cbinFromMapping(mapped, st.Size())
 	if err != nil {
@@ -265,7 +492,84 @@ func LoadCBIN(path string) (*CompressedGraph, error) {
 	return c, nil
 }
 
-// cbinFromMapping casts a mapped .cbin image into a CompressedGraph whose
+// loadCBINv2 opens a v2 file, mapping each segment's blob independently.
+// A segment whose mapping fails (no mmap on this platform) is read into
+// memory instead, so mapped and heap-backed segments can coexist.
+func loadCBINv2(f *os.File, hdr []byte, size int64) (Rep, error) {
+	n := binary.LittleEndian.Uint64(hdr[8:16])
+	m := binary.LittleEndian.Uint64(hdr[16:24])
+	k := binary.LittleEndian.Uint64(hdr[24:32])
+	if n > 1<<32-1 {
+		return nil, fmt.Errorf("%w: vertex count %d beyond the 32-bit vertex space", ErrBadCBIN, n)
+	}
+	if k == 0 || uint64(cbinHeader)+k*cbinSegEntry > uint64(size) || k > n+1 {
+		return nil, fmt.Errorf("%w: segment count %d for %d vertices in a %d-byte file", ErrBadCBIN, k, n, size)
+	}
+	table := make([]byte, k*cbinSegEntry)
+	if _, err := f.ReadAt(table, cbinHeader); err != nil {
+		return nil, fmt.Errorf("%w: truncated segment table: %v", ErrBadCBIN, err)
+	}
+	metas, err := parseCBINTable(n, m, k, table, size)
+	if err != nil {
+		return nil, err
+	}
+	s := &SegmentedGraph{
+		segs:   make([]segmentRef, k),
+		starts: make([]uint32, k+1),
+		n:      int(n),
+		m:      m,
+		maps:   make([][]byte, k),
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+	for i, sm := range metas {
+		s.starts[i] = uint32(sm.first)
+		c := int(sm.count)
+		offEnd := 4 * (c + 1)
+		degEnd := offEnd + 4*c
+		if view, region, err := mmapRegion(f, int64(sm.blobOff), int(sm.blobLen)); err == nil {
+			s.segs[i] = segmentRef{
+				offsets: u32slice(view, 0, c+1),
+				degrees: u32slice(view, offEnd, c),
+				data:    view[degEnd : degEnd+int(sm.dataLen) : degEnd+int(sm.dataLen)],
+				m:       sm.m,
+			}
+			s.maps[i] = region
+			continue
+		}
+		sr := bufio.NewReaderSize(io.NewSectionReader(f, int64(sm.blobOff), int64(sm.blobLen)), 1<<20)
+		offsets, err := readU32s(sr, sm.count+1)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated offsets: %v", ErrBadCBIN, i, err)
+		}
+		degrees, err := readU32s(sr, sm.count)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated degrees: %v", ErrBadCBIN, i, err)
+		}
+		data, err := readBytes(sr, sm.dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("%w: segment %d: truncated data: %v", ErrBadCBIN, i, err)
+		}
+		s.segs[i] = segmentRef{offsets: offsets, degrees: degrees, data: data, m: sm.m}
+	}
+	s.starts[k] = uint32(n)
+	for i := range s.segs {
+		if err := checkIndex(s.segs[i].offsets, s.segs[i].degrees, metas[i].dataLen, metas[i].m); err != nil {
+			return nil, fmt.Errorf("segment %d: %w", i, err)
+		}
+	}
+	ok = true
+	if k == 1 {
+		return &CompressedGraph{Offsets: s.segs[0].offsets, Degrees: s.segs[0].degrees, Data: s.segs[0].data, m: m, mapped: s.maps[0]}, nil
+	}
+	return s, nil
+}
+
+// cbinFromMapping casts a mapped v1 .cbin image into a CompressedGraph whose
 // arrays alias the mapping.
 func cbinFromMapping(mapped []byte, size int64) (*CompressedGraph, error) {
 	n, m, dataLen, err := cbinDims(mapped, size)
@@ -281,17 +585,18 @@ func cbinFromMapping(mapped []byte, size int64) (*CompressedGraph, error) {
 		m:       m,
 		mapped:  mapped,
 	}
-	if err := checkCBINIndex(c, dataLen); err != nil {
+	if err := checkIndex(c.Offsets, c.Degrees, dataLen, c.m); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
 // u32slice reinterprets count little-endian uint32 values at m[off:] without
-// copying. The .cbin header is 32 bytes and mmap regions are page-aligned,
-// so the cast is always 4-aligned. Like the rest of the mmap fast path it
-// assumes a little-endian host (every supported target); the ReadCBIN
-// fallback is byte-order independent.
+// copying. The .cbin header, segment table, and blob padding keep every
+// array 4-aligned within its (page-aligned) mapping, so the cast is always
+// aligned. Like the rest of the mmap fast path it assumes a little-endian
+// host (every supported target); the ReadCBIN fallback is byte-order
+// independent.
 func u32slice(m []byte, off, count int) []uint32 {
 	if count == 0 {
 		return []uint32{}

@@ -9,19 +9,19 @@ import (
 	"testing"
 )
 
-// checkSameGraph fails unless c describes exactly g.
-func checkSameGraph(t *testing.T, name string, g *Graph, c *CompressedGraph) {
+// checkSameGraph fails unless r describes exactly g.
+func checkSameGraph(t *testing.T, name string, g *Graph, r Rep) {
 	t.Helper()
-	if c.NumVertices() != g.NumVertices() || c.NumDirectedEdges() != g.NumDirectedEdges() ||
-		c.NumEdges() != g.NumEdges() {
+	if r.NumVertices() != g.NumVertices() || r.NumDirectedEdges() != g.NumDirectedEdges() ||
+		r.NumEdges() != g.NumEdges() {
 		t.Fatalf("%s: size mismatch: n %d/%d, 2m %d/%d", name,
-			c.NumVertices(), g.NumVertices(), c.NumDirectedEdges(), g.NumDirectedEdges())
+			r.NumVertices(), g.NumVertices(), r.NumDirectedEdges(), g.NumDirectedEdges())
 	}
 	var buf []Vertex
 	for v := 0; v < g.NumVertices(); v++ {
 		want := g.Neighbors(Vertex(v))
-		buf = c.NeighborsInto(Vertex(v), buf)
-		if c.Degree(Vertex(v)) != len(want) || len(buf) != len(want) {
+		buf = r.NeighborsInto(Vertex(v), buf)
+		if r.Degree(Vertex(v)) != len(want) || len(buf) != len(want) {
 			t.Fatalf("%s: vertex %d decoded %d neighbors, want %d", name, v, len(buf), len(want))
 		}
 		for i := range want {
@@ -29,6 +29,22 @@ func checkSameGraph(t *testing.T, name string, g *Graph, c *CompressedGraph) {
 				t.Fatalf("%s: vertex %d neighbor %d = %d, want %d", name, v, i, buf[i], want[i])
 			}
 		}
+	}
+}
+
+// closeTwice closes r twice — the second call must be a clean no-op on every
+// backend, mapped or heap-backed.
+func closeTwice(t *testing.T, name string, r Rep) {
+	t.Helper()
+	c, ok := r.(interface{ Close() error })
+	if !ok {
+		t.Fatalf("%s: %T has no Close", name, r)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("%s: close: %v", name, err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("%s: double close: %v", name, err)
 	}
 }
 
@@ -48,13 +64,11 @@ func TestCBINRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: load: %v", name, err)
 		}
+		if _, ok := mapped.(*CompressedGraph); !ok {
+			t.Fatalf("%s: single-segment file loaded as %T, want *CompressedGraph", name, mapped)
+		}
 		checkSameGraph(t, name+"/mmap", g, mapped)
-		if err := mapped.Close(); err != nil {
-			t.Fatalf("%s: close: %v", name, err)
-		}
-		if err := mapped.Close(); err != nil {
-			t.Fatalf("%s: double close: %v", name, err)
-		}
+		closeTwice(t, name, mapped)
 
 		f, err := os.Open(path)
 		if err != nil {
@@ -66,9 +80,51 @@ func TestCBINRoundTrip(t *testing.T) {
 			t.Fatalf("%s: read: %v", name, err)
 		}
 		checkSameGraph(t, name+"/stream", g, streamed)
-		if err := streamed.Close(); err != nil { // no-op for non-mapped graphs
-			t.Fatalf("%s: stream close: %v", name, err)
+		closeTwice(t, name+"/stream", streamed) // no-op for non-mapped graphs
+	}
+}
+
+// TestCBINSegmentedRoundTrip saves multi-segment graphs and loads them back
+// through both paths, asserting the segmentation itself survives the file.
+func TestCBINSegmentedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range compressPanel() {
+		s, err := TrySegment(g, 64)
+		if err != nil {
+			t.Fatalf("%s: segment: %v", name, err)
 		}
+		path := filepath.Join(dir, name+".cbin")
+		if err := SaveCBIN(path, s); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+
+		mapped, err := LoadCBIN(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if s.NumSegments() > 1 {
+			sg, ok := mapped.(*SegmentedGraph)
+			if !ok {
+				t.Fatalf("%s: %d-segment file loaded as %T, want *SegmentedGraph", name, s.NumSegments(), mapped)
+			}
+			if sg.NumSegments() != s.NumSegments() {
+				t.Fatalf("%s: loaded %d segments, saved %d", name, sg.NumSegments(), s.NumSegments())
+			}
+		}
+		checkSameGraph(t, name+"/mmap", g, mapped)
+		closeTwice(t, name, mapped)
+
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := ReadCBIN(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		checkSameGraph(t, name+"/stream", g, streamed)
+		closeTwice(t, name+"/stream", streamed)
 	}
 }
 
@@ -96,12 +152,123 @@ func TestCBINCornerGraphs(t *testing.T) {
 			t.Fatalf("%s: load: %v", name, err)
 		}
 		checkSameGraph(t, name+"/load", g, back)
-		back.Close()
+		closeTwice(t, name, back)
+
+		// The same corners through the forced-segmented path: a 1-byte
+		// target makes every nonempty adjacency its own segment.
+		s, err := TrySegment(g, 1)
+		if err != nil {
+			t.Fatalf("%s: segment: %v", name, err)
+		}
+		checkSameGraph(t, name+"/segmented", g, s)
+		if err := SaveCBIN(path, s); err != nil {
+			t.Fatalf("%s: save segmented: %v", name, err)
+		}
+		back, err = LoadCBIN(path)
+		if err != nil {
+			t.Fatalf("%s: load segmented: %v", name, err)
+		}
+		checkSameGraph(t, name+"/load-segmented", g, back)
+		closeTwice(t, name+"/segmented", back)
 	}
 }
 
-// TestCBINRejectsCorruption corrupts a valid .cbin image in every header
-// field and checks that both loaders reject it with ErrBadCBIN.
+// fixtureV1Graph reconstructs the graph encoded in testdata/v1-fixture.cbin.
+// The fixture was written by the v1 writer before the v2 format existed and
+// is committed verbatim; this function must never change, or the fixture
+// comparison loses its meaning.
+func fixtureV1Graph() *Graph {
+	var edges []Edge
+	for i := 0; i < 400; i++ {
+		edges = append(edges, Edge{U: Vertex(i*37+11) % 200, V: Vertex(i*73+29) % 200})
+	}
+	for i := 0; i < 50; i++ {
+		edges = append(edges, Edge{U: 7, V: Vertex(i*91+3) % 200})
+	}
+	return Build(200, edges)
+}
+
+// TestCBINV1FixtureLoads proves on-disk compatibility: a committed .cbin
+// written by the v1 (pre-segmented) writer still loads through both the
+// mmap and streaming paths and decodes to the original graph.
+func TestCBINV1FixtureLoads(t *testing.T) {
+	path := filepath.Join("testdata", "v1-fixture.cbin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != cbinVersion1 {
+		t.Fatalf("fixture claims version %d, want the committed v1 file", v)
+	}
+	g := fixtureV1Graph()
+
+	mapped, err := LoadCBIN(path)
+	if err != nil {
+		t.Fatalf("load v1 fixture: %v", err)
+	}
+	if _, ok := mapped.(*CompressedGraph); !ok {
+		t.Fatalf("v1 fixture loaded as %T, want *CompressedGraph", mapped)
+	}
+	checkSameGraph(t, "v1-fixture/mmap", g, mapped)
+	closeTwice(t, "v1-fixture", mapped)
+
+	streamed, err := ReadCBIN(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("read v1 fixture: %v", err)
+	}
+	checkSameGraph(t, "v1-fixture/stream", g, streamed)
+}
+
+// TestCBINV1RoundTrip drives the legacy writer against the current readers
+// across the whole panel — broader v1 coverage than the single committed
+// fixture.
+func TestCBINV1RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for name, g := range compressPanel() {
+		c := Compress(g)
+		var buf bytes.Buffer
+		if err := writeCBINv1(&buf, c); err != nil {
+			t.Fatalf("%s: write v1: %v", name, err)
+		}
+		streamed, err := ReadCBIN(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read v1: %v", name, err)
+		}
+		checkSameGraph(t, name+"/v1-stream", g, streamed)
+
+		path := filepath.Join(dir, name+".cbin")
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := LoadCBIN(path)
+		if err != nil {
+			t.Fatalf("%s: load v1: %v", name, err)
+		}
+		checkSameGraph(t, name+"/v1-mmap", g, mapped)
+		closeTwice(t, name+"/v1", mapped)
+	}
+}
+
+// corruptCase runs one corruption mutation against both loaders and requires
+// ErrBadCBIN from each.
+func corruptCase(t *testing.T, valid []byte, name string, mutate func(b []byte) []byte) {
+	t.Helper()
+	b := mutate(append([]byte(nil), valid...))
+	if _, err := ReadCBIN(bytes.NewReader(b)); !errors.Is(err, ErrBadCBIN) {
+		t.Fatalf("%s: ReadCBIN err = %v, want ErrBadCBIN", name, err)
+	}
+	path := filepath.Join(t.TempDir(), name+".cbin")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCBIN(path); !errors.Is(err, ErrBadCBIN) {
+		t.Fatalf("%s: LoadCBIN err = %v, want ErrBadCBIN", name, err)
+	}
+}
+
+// TestCBINRejectsCorruption corrupts a valid single-segment v2 image in
+// every header, table, and index field and checks that both loaders reject
+// it with ErrBadCBIN.
 func TestCBINRejectsCorruption(t *testing.T) {
 	g := RMAT(9, 3000, 0.57, 0.19, 0.19, 8)
 	var buf bytes.Buffer
@@ -109,20 +276,14 @@ func TestCBINRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	valid := buf.Bytes()
-
 	corrupt := func(name string, mutate func(b []byte) []byte) {
-		b := mutate(append([]byte(nil), valid...))
-		if _, err := ReadCBIN(bytes.NewReader(b)); !errors.Is(err, ErrBadCBIN) {
-			t.Fatalf("%s: ReadCBIN err = %v, want ErrBadCBIN", name, err)
-		}
-		path := filepath.Join(t.TempDir(), name+".cbin")
-		if err := os.WriteFile(path, b, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := LoadCBIN(path); !errors.Is(err, ErrBadCBIN) {
-			t.Fatalf("%s: LoadCBIN err = %v, want ErrBadCBIN", name, err)
-		}
+		corruptCase(t, valid, name, mutate)
 	}
+
+	// Single-segment v2 layout: 32-byte header, one table entry at 32
+	// {first, count, dataLen, m}, blob (offsets, degrees, data) at 64.
+	const table = cbinHeader
+	const blob = cbinHeader + cbinSegEntry
 
 	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
 	corrupt("bad-version", func(b []byte) []byte {
@@ -135,28 +296,119 @@ func TestCBINRejectsCorruption(t *testing.T) {
 		binary.LittleEndian.PutUint64(b[8:16], 1<<60)
 		return b
 	})
+	corrupt("zero-segments", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:32], 0)
+		return b
+	})
+	corrupt("absurd-segment-count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:32], 1<<40)
+		return b
+	})
 	corrupt("edges-exceed-data", func(b []byte) []byte {
+		// Header edge count no segment can account for.
 		binary.LittleEndian.PutUint64(b[16:24], 1<<40)
 		return b
 	})
+	corrupt("segment-not-at-zero", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[table:], 3)
+		return b
+	})
+	corrupt("segment-count-short", func(b []byte) []byte {
+		// The lone segment covers fewer vertices than the header's n.
+		c := binary.LittleEndian.Uint64(b[table+8:])
+		binary.LittleEndian.PutUint64(b[table+8:], c-1)
+		return b
+	})
+	corrupt("segment-data-overflow", func(b []byte) []byte {
+		// Per-segment data length past the uint32 offset-index cap.
+		binary.LittleEndian.PutUint64(b[table+16:], 1<<33)
+		return b
+	})
 	corrupt("data-len-mismatch", func(b []byte) []byte {
-		binary.LittleEndian.PutUint64(b[24:32], binary.LittleEndian.Uint64(b[24:32])+8)
+		binary.LittleEndian.PutUint64(b[table+16:], binary.LittleEndian.Uint64(b[table+16:])+8)
+		return b
+	})
+	corrupt("segment-edges-exceed-data", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[table+24:], binary.LittleEndian.Uint64(b[table+16:])+1)
 		return b
 	})
 	corrupt("offset-span", func(b []byte) []byte {
 		// First offset must be 0; a nonzero value breaks the index span.
-		binary.LittleEndian.PutUint32(b[cbinHeader:], 7)
+		binary.LittleEndian.PutUint32(b[blob:], 7)
 		return b
 	})
 	corrupt("offset-monotonicity", func(b []byte) []byte {
 		// An interior offset past its successor breaks the monotonic index.
-		binary.LittleEndian.PutUint32(b[cbinHeader+4*100:], 1<<31)
+		binary.LittleEndian.PutUint32(b[blob+4*100:], 1<<31)
 		return b
 	})
 	corrupt("degree-exceeds-span", func(b []byte) []byte {
 		// A degree larger than its vertex's byte span cannot decode (every
 		// neighbor needs at least one byte); it also breaks the degree sum.
-		binary.LittleEndian.PutUint32(b[cbinHeader+4*(g.NumVertices()+1):], 1<<30)
+		binary.LittleEndian.PutUint32(b[blob+4*(g.NumVertices()+1):], 1<<30)
+		return b
+	})
+}
+
+// TestCBINRejectsSegmentTableCorruption corrupts a genuinely multi-segment
+// v2 image: truncated segment table, vertex-range overlap and gap between
+// segments, and a degree index broken inside a non-first segment.
+func TestCBINRejectsSegmentTableCorruption(t *testing.T) {
+	g := RMAT(9, 3000, 0.57, 0.19, 0.19, 8)
+	s, err := TrySegment(g, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSegments() < 3 {
+		t.Fatalf("panel graph split into %d segments, need >= 3 for the table matrix", s.NumSegments())
+	}
+	var buf bytes.Buffer
+	if err := WriteCBIN(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		corruptCase(t, valid, name, mutate)
+	}
+	entry := func(b []byte, i int) []byte { return b[cbinHeader+i*cbinSegEntry:] }
+
+	corrupt("truncated-table", func(b []byte) []byte {
+		// Cut mid-way through the second table entry.
+		return b[:cbinHeader+cbinSegEntry+16]
+	})
+	corrupt("segment-overlap", func(b []byte) []byte {
+		// Segment 1 re-covers the last vertex of segment 0.
+		e := entry(b, 1)
+		binary.LittleEndian.PutUint64(e[0:8], binary.LittleEndian.Uint64(e[0:8])-1)
+		return b
+	})
+	corrupt("segment-gap", func(b []byte) []byte {
+		// Segment 1 starts one vertex late, leaving a hole in [0, n).
+		e := entry(b, 1)
+		binary.LittleEndian.PutUint64(e[0:8], binary.LittleEndian.Uint64(e[0:8])+1)
+		return b
+	})
+	corrupt("segment-count-overlap", func(b []byte) []byte {
+		// Segment 0 claims one vertex more, colliding with segment 1's start.
+		e := entry(b, 0)
+		binary.LittleEndian.PutUint64(e[8:16], binary.LittleEndian.Uint64(e[8:16])+1)
+		return b
+	})
+	corrupt("mid-segment-data-overflow", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(entry(b, 1)[16:24], 1<<34)
+		return b
+	})
+	corrupt("mid-segment-degree-sum", func(b []byte) []byte {
+		// Break segment 1's degree array: its sum no longer matches the
+		// table's per-segment edge count.
+		e := entry(b, 1)
+		count := binary.LittleEndian.Uint64(e[8:16])
+		blobOff := uint64(cbinHeader) + uint64(s.NumSegments())*cbinSegEntry
+		c0 := binary.LittleEndian.Uint64(entry(b, 0)[8:16])
+		d0 := binary.LittleEndian.Uint64(entry(b, 0)[16:24])
+		blobOff += ((4*(c0+1) + 4*c0 + d0) + 7) &^ 7
+		degOff := blobOff + 4*(count+1)
+		binary.LittleEndian.PutUint32(b[degOff:], binary.LittleEndian.Uint32(b[degOff:])+1)
 		return b
 	})
 }

@@ -21,8 +21,8 @@ import (
 // re-materializing a flat CSR. The per-vertex byte-offset index makes
 // decoding random-access, and the uint32 offsets keep the index half the
 // size of the flat CSR's (the encoded adjacency is capped at 4 GiB per
-// graph — about 2 billion directed edges at typical byte-code rates; larger
-// inputs must be sharded).
+// segment — about 2 billion directed edges at typical byte-code rates;
+// TryCompress splits larger inputs into a SegmentedGraph automatically).
 type CompressedGraph struct {
 	Offsets []uint32 // byte offset of each vertex's encoded list; len n+1
 	Degrees []uint32 // degree of each vertex; len n
@@ -32,36 +32,65 @@ type CompressedGraph struct {
 	mapped []byte // whole mmap'd region when loaded via LoadCBIN; nil otherwise
 }
 
-// maxCompressedBytes is the encoded-adjacency cap implied by the uint32
-// byte-offset index.
+// maxCompressedBytes is the per-segment encoded-adjacency cap implied by
+// the uint32 byte-offset index.
 const maxCompressedBytes = 1<<32 - 1
 
 // Compress byte-encodes g in parallel: a first pass sizes every vertex's
 // encoded list, an exclusive scan places them, and a second pass encodes
 // into the placed slots. Adjacency lists must be sorted ascending, which
 // Build guarantees. It panics if the encoded adjacency would exceed the
-// 4 GiB offset-index cap; TryCompress reports that as an error instead and
-// is what file-facing paths should call.
+// 4 GiB single-segment offset-index cap; TryCompress auto-segments past the
+// cap instead and is what file-facing paths should call.
 func Compress(g *Graph) *CompressedGraph {
-	c, err := TryCompress(g)
+	c, err := tryCompress(g, maxCompressedBytes)
 	if err != nil {
 		panic(err.Error())
 	}
 	return c
 }
 
-// TryCompress is Compress with the offset-index cap reported as an error
-// instead of a panic, mirroring Build/TryBuild: inputs whose size is not
-// known in advance (files, conversions) get a one-line diagnostic, never a
-// crash.
-func TryCompress(g *Graph) (*CompressedGraph, error) {
-	return tryCompress(g, maxCompressedBytes)
+// TryCompress byte-encodes g into whichever compressed representation fits:
+// a single-segment CompressedGraph while the encoded adjacency stays within
+// the 4 GiB offset-index cap, and a multi-segment SegmentedGraph beyond it,
+// so inputs whose size is not known in advance (files, conversions) always
+// compress — the old "shard the input" error is gone. Both returns satisfy
+// Rep and run every registered algorithm.
+func TryCompress(g *Graph) (Rep, error) {
+	return tryCompressAuto(g, maxCompressedBytes, maxCompressedBytes)
 }
 
-// tryCompress implements compression against an explicit adjacency-size
-// cap (injectable so tests can exercise the overflow path without a 4 GiB
-// input).
+// tryCompressAuto compresses against an injectable single-segment cap and
+// per-segment byte target (tests exercise multi-segment splits and the
+// overflow path without multi-GiB inputs): one segment when the whole
+// encoding fits in capBytes, a segmented split at segBytes otherwise.
+func tryCompressAuto(g *Graph, capBytes, segBytes uint64) (Rep, error) {
+	sizes := encodedSizes(g)
+	total := parallel.ScanExclusive(sizes)
+	if total <= capBytes {
+		offsets, degrees, data := encodeRange(g, sizes, 0, g.NumVertices())
+		return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}, nil
+	}
+	return segmentBySizes(g, sizes, segBytes, capBytes)
+}
+
+// tryCompress implements single-segment compression against an explicit
+// adjacency-size cap — the injectable hook behind Compress and the
+// overflow-path tests. Unlike TryCompress it never segments: inputs beyond
+// the cap report the single-segment limit as an error.
 func tryCompress(g *Graph, capBytes uint64) (*CompressedGraph, error) {
+	sizes := encodedSizes(g)
+	total := parallel.ScanExclusive(sizes)
+	if total > capBytes {
+		return nil, fmt.Errorf("graph: compressed adjacency needs %d bytes, beyond the %d-byte single-segment offset-index cap", total, capBytes)
+	}
+	offsets, degrees, data := encodeRange(g, sizes, 0, g.NumVertices())
+	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}, nil
+}
+
+// encodedSizes runs the sizing pass: sizes[v] is the encoded byte length of
+// v's adjacency list, in a slice of length n+1 ready for ScanExclusive.
+func encodedSizes(g *Graph) []uint64 {
 	n := g.NumVertices()
 	sizes := make([]uint64, n+1)
 	parallel.ForGrained(n, 256, func(lo, hi int) {
@@ -82,27 +111,35 @@ func tryCompress(g *Graph, capBytes uint64) (*CompressedGraph, error) {
 			sizes[v] = sz
 		}
 	})
-	total := parallel.ScanExclusive(sizes)
-	if total > capBytes {
-		return nil, fmt.Errorf("graph: compressed adjacency needs %d bytes, beyond the %d-byte offset-index cap; shard the input", total, capBytes)
-	}
-	offsets := make([]uint32, n+1)
-	parallel.ForGrained(n+1, 4096, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			offsets[v] = uint32(sizes[v])
+	return sizes
+}
+
+// encodeRange runs the placement pass for the vertex range [lo, hi) given
+// the global exclusive scan of encoded sizes: offsets are relative to the
+// range's first byte (so they fit uint32 for any range within the cap),
+// degrees cover the range, and data holds its encoded adjacency. The whole
+// graph is the range [0, n) — single-segment compression and the segmented
+// builder share this pass.
+func encodeRange(g *Graph, prefix []uint64, lo, hi int) (offsets []uint32, degrees []uint32, data []byte) {
+	base := prefix[lo]
+	offsets = make([]uint32, hi-lo+1)
+	parallel.ForGrained(hi-lo+1, 4096, func(a, b int) {
+		for i := a; i < b; i++ {
+			offsets[i] = uint32(prefix[lo+i] - base)
 		}
 	})
-	data := make([]byte, total)
-	degrees := make([]uint32, n)
-	parallel.ForGrained(n, 256, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
+	data = make([]byte, prefix[hi]-base)
+	degrees = make([]uint32, hi-lo)
+	parallel.ForGrained(hi-lo, 256, func(a, b int) {
+		for i := a; i < b; i++ {
+			v := lo + i
 			nbrs := g.Neighbors(Vertex(v))
-			degrees[v] = uint32(len(nbrs))
-			pos := sizes[v]
+			degrees[i] = uint32(len(nbrs))
+			pos := prefix[v] - base
 			prev := int64(v)
-			for i, u := range nbrs {
+			for j, u := range nbrs {
 				d := int64(u) - prev
-				if i == 0 {
+				if j == 0 {
 					pos += uint64(putVarint(data[pos:], zigzag(d)))
 				} else {
 					pos += uint64(putVarint(data[pos:], uint64(d)))
@@ -111,7 +148,7 @@ func tryCompress(g *Graph, capBytes uint64) (*CompressedGraph, error) {
 			}
 		}
 	})
-	return &CompressedGraph{Offsets: offsets, Degrees: degrees, Data: data, m: uint64(len(g.Adj))}, nil
+	return offsets, degrees, data
 }
 
 // NumVertices returns the number of vertices.
@@ -173,11 +210,18 @@ func (c *CompressedGraph) NeighborsIntoLimit(v Vertex, buf []Vertex, limit int) 
 	return c.decodeInto(v, buf, count)
 }
 
-// decodeInto decodes the first count neighbors of v into buf. The loop is
-// written against a hoisted data slice with a single-byte fast path (the
-// bulk of power-law adjacencies) so no per-neighbor function call or
-// re-slice survives on the decode hot path.
+// decodeInto decodes the first count neighbors of v into buf.
 func (c *CompressedGraph) decodeInto(v Vertex, buf []Vertex, count int) []Vertex {
+	return decodeList(c.Data, int(c.Offsets[v]), v, count, buf)
+}
+
+// decodeList decodes the first count neighbors of v from its encoded list
+// starting at data[pos] into buf — the decode hot path shared by the
+// single-segment and segmented backends (the encoding is identical: only
+// where the bytes live differs). The loop is written against the hoisted
+// data slice with a single-byte fast path (the bulk of power-law
+// adjacencies) so no per-neighbor function call or re-slice survives.
+func decodeList(data []byte, pos int, v Vertex, count int, buf []Vertex) []Vertex {
 	if count <= 0 {
 		return buf[:0]
 	}
@@ -186,8 +230,6 @@ func (c *CompressedGraph) decodeInto(v Vertex, buf []Vertex, count int) []Vertex
 	} else {
 		buf = buf[:count]
 	}
-	data := c.Data
-	pos := int(c.Offsets[v])
 	var raw uint64
 	var shift uint
 	for {

@@ -13,4 +13,12 @@ func mmapFile(f *os.File, size int64) ([]byte, error) {
 	return nil, errors.New("graph: mmap unsupported on this platform")
 }
 
-func munmap(m []byte) error { return os.ErrInvalid }
+// mmapRegion likewise routes per-segment loads to the heap-read fallback.
+func mmapRegion(f *os.File, off int64, length int) (view, region []byte, err error) {
+	return nil, nil, errors.New("graph: mmap unsupported on this platform")
+}
+
+// munmap releases nothing on this platform: graphs loaded through the read
+// fallback are ordinary heap memory, so Close must be a no-op rather than
+// report a spurious error.
+func munmap(m []byte) error { return nil }

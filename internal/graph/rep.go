@@ -51,10 +51,11 @@ type Rep interface {
 	SizeBytes() int
 }
 
-// Compile-time checks that both first-class backends satisfy Rep.
+// Compile-time checks that every first-class backend satisfies Rep.
 var (
 	_ Rep = (*Graph)(nil)
 	_ Rep = (*CompressedGraph)(nil)
+	_ Rep = (*SegmentedGraph)(nil)
 )
 
 // NeighborsInto returns the adjacency list of v. The CSR representation

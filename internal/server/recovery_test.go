@@ -162,6 +162,59 @@ func TestRecoveryWithSnapshotAndTail(t *testing.T) {
 	checkAgainstOracle(t, s2, o, n, rng)
 }
 
+// TestRecoveryFromSegmentedSnapshot forces the snapshot writer onto the
+// multi-segment path (CONNECTIT_SNAPSHOT_SEGMENT_BYTES) and checks that a
+// crash after the snapshot recovers through the segmented .cbin v2 file:
+// the on-disk snapshot must genuinely hold several segments, and the booted
+// server must answer exactly like the oracle.
+func TestRecoveryFromSegmentedSnapshot(t *testing.T) {
+	const n = 300
+	t.Setenv("CONNECTIT_SNAPSHOT_SEGMENT_BYTES", "64")
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	o := newOracle(n)
+
+	s1, err := New(testStream(t, n), durableOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitRandom(t, s1, o, n, 60, 8, rng)
+	if err := s1.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	_, snapPath, ok := s1.log.LatestSnapshot()
+	if !ok {
+		t.Fatal("no snapshot recorded")
+	}
+	snap, err := graph.LoadCBIN(snapPath)
+	if err != nil {
+		t.Fatalf("LoadCBIN(snapshot): %v", err)
+	}
+	seg, isSeg := snap.(*graph.SegmentedGraph)
+	if !isSeg {
+		t.Fatalf("snapshot loaded as %T, want *graph.SegmentedGraph", snap)
+	}
+	if seg.NumSegments() < 3 {
+		t.Fatalf("snapshot has %d segments, want >= 3", seg.NumSegments())
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("closing snapshot mapping: %v", err)
+	}
+	submitRandom(t, s1, o, n, 20, 8, rng) // tail beyond the snapshot
+	crash(s1)
+
+	s2, err := New(testStream(t, n), durableOptions(dir))
+	if err != nil {
+		t.Fatalf("recovery from segmented snapshot: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s2.Close(ctx)
+	}()
+	checkAgainstOracle(t, s2, o, n, rng)
+}
+
 // TestGracefulClosePersistsEverything closes cleanly (final snapshot) and
 // verifies a restart recovers without replaying any tail records.
 func TestGracefulClosePersistsEverything(t *testing.T) {

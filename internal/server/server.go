@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -183,15 +184,16 @@ func (s *Server) recover(l *wal.Log) error {
 		if err != nil {
 			return fmt.Errorf("server: loading snapshot %s: %w", path, err)
 		}
+		closer, _ := c.(interface{ Close() error })
 		if c.NumVertices() != s.st.Len() {
-			c.Close()
+			closer.Close()
 			return fmt.Errorf("server: snapshot %s has %d vertices, stream has %d", path, c.NumVertices(), s.st.Len())
 		}
 		if err := s.feedSnapshot(c); err != nil {
-			c.Close()
+			closer.Close()
 			return err
 		}
-		c.Close()
+		closer.Close()
 		from = lsn
 	}
 	err := l.Replay(from, func(_ uint64, edges []graph.Edge) error {
@@ -205,8 +207,9 @@ func (s *Server) recover(l *wal.Log) error {
 }
 
 // feedSnapshot replays a star-forest snapshot graph into the stream,
-// batching the decode so epochs stay full.
-func (s *Server) feedSnapshot(c *graph.CompressedGraph) error {
+// batching the decode so epochs stay full. It iterates the Rep contract,
+// so single-segment and segmented snapshots feed identically.
+func (s *Server) feedSnapshot(c graph.Rep) error {
 	batch := make([]graph.Edge, 0, 8192)
 	var buf []graph.Vertex
 	n := c.NumVertices()
@@ -249,7 +252,14 @@ func (s *Server) Snapshot() error {
 // writeSnapshot encodes a connectivity labeling as a compressed star-forest
 // graph — an edge from each vertex to its component label reconstructs
 // exactly the labeling's connectivity — in the versioned .cbin format the
-// graph layer already knows how to save, mmap, and validate.
+// graph layer already knows how to save, mmap, and validate. TryCompress
+// auto-segments past the 4 GiB single-segment cap, so a server whose
+// accumulated forest outgrows one segment still snapshots and recovers.
+//
+// CONNECTIT_SNAPSHOT_SEGMENT_BYTES forces segmentation at a given
+// per-segment byte target regardless of size — the hook integration tests
+// and CI use to exercise the segmented snapshot/recovery path without
+// multi-GiB state.
 func writeSnapshot(path string, labels []uint32) error {
 	edges := make([]graph.Edge, 0, len(labels))
 	for v, l := range labels {
@@ -261,7 +271,16 @@ func writeSnapshot(path string, labels []uint32) error {
 	if err != nil {
 		return fmt.Errorf("server: building snapshot forest: %w", err)
 	}
-	c, err := graph.TryCompress(g)
+	var c graph.Rep
+	if env := os.Getenv("CONNECTIT_SNAPSHOT_SEGMENT_BYTES"); env != "" {
+		segBytes, perr := strconv.ParseUint(env, 10, 64)
+		if perr != nil {
+			return fmt.Errorf("server: CONNECTIT_SNAPSHOT_SEGMENT_BYTES=%q: %w", env, perr)
+		}
+		c, err = graph.TrySegment(g, segBytes)
+	} else {
+		c, err = graph.TryCompress(g)
+	}
 	if err != nil {
 		return fmt.Errorf("server: compressing snapshot: %w", err)
 	}

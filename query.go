@@ -10,8 +10,8 @@ import (
 // engine type answering path, component, histogram, and forest queries over
 // whatever produced the connectivity — a live Stream's spanning forest
 // (Stream.Query), a static forest computed by Algorithm 2 (Solver.Query over
-// a *Graph), or a bare labeling (Solver.Query over a *CompressedGraph, or
-// QueryLabels).
+// a *Graph), or a bare labeling (Solver.Query over a compressed or
+// segmented graph, or QueryLabels).
 //
 // Capability gating happens at construction, mirroring Compile's
 // fail-at-compile contract: a handle you hold answers every query its
@@ -64,9 +64,10 @@ func QueryLabels(labels []uint32) *Query {
 //     ComponentsOn + QueryLabels for a label-only view of those.
 //   - A *Graph yields a forest-backed handle: every query works, including
 //     PathBetween and SpanningForest (Algorithm 2).
-//   - A *CompressedGraph yields a label-backed handle (the compressed
-//     kernels compute labelings, not forests): counting and histogram
-//     queries work; PathBetween and SpanningForest return ErrNoForest.
+//   - A *CompressedGraph or *SegmentedGraph yields a label-backed handle
+//     (the compressed kernels compute labelings, not forests): counting and
+//     histogram queries work; PathBetween and SpanningForest return
+//     ErrNoForest.
 //
 // The handle owns a snapshot of the result and stays valid after further
 // Solver runs.
@@ -81,8 +82,12 @@ func (s *Solver) Query(g GraphRep) (*Query, error) {
 			return nil, err
 		}
 		return query.NewStatic(g.NumVertices(), forest), nil
-	case *CompressedGraph:
-		return QueryLabels(s.ComponentsCompressed(g)), nil
+	case *CompressedGraph, *SegmentedGraph:
+		labels, err := s.ComponentsOn(g)
+		if err != nil {
+			return nil, err
+		}
+		return QueryLabels(labels), nil
 	}
 	return nil, fmt.Errorf("%w: graph representation %T", ErrUnsupported, g)
 }

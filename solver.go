@@ -77,9 +77,9 @@ func (s *Solver) ComponentsCompressed(g *CompressedGraph) []uint32 {
 // ComponentsOn runs the compiled combination on whichever representation g
 // holds — the path for graphs chosen at load time (-format in the CLI, or
 // a LoadCBIN-mapped file). The dispatch is a single type switch per run;
-// the kernels executed are the same monomorphized code Components and
-// ComponentsCompressed run. Representations other than *Graph and
-// *CompressedGraph return ErrUnsupported.
+// the kernels executed are the same monomorphized code each backend's
+// dedicated entry point runs. Representations other than *Graph,
+// *CompressedGraph, and *SegmentedGraph return ErrUnsupported.
 func (s *Solver) ComponentsOn(g GraphRep) ([]uint32, error) { return s.c.ComponentsOn(g) }
 
 // SpanningForest computes a spanning forest of g. For combinations the
