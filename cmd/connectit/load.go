@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"time"
 
 	"connectit"
@@ -75,10 +76,35 @@ func runLoadTCP() error {
 		c.Close()
 		return err
 	}
+	st := c.Stats()
 	elapsed = maxDuration(elapsed, time.Nanosecond)
 	fmt.Printf("loaded %d edges in %v (%.2fM edges/s), last LSN %d\n",
 		*loadEdges, elapsed.Round(time.Millisecond), float64(*loadEdges)/elapsed.Seconds()/1e6, lsn)
+	fmt.Printf("client: %d frames acked, %d reconnects, %d retransmits, %d dial failures\n",
+		st.AckedFrames, st.Reconnects, st.Retransmits, st.DialFailures)
 	return c.Close()
+}
+
+// jsonRetryBudget bounds how long runLoadJSON keeps retrying one batch
+// against a backpressuring (429) or degraded (503) server before giving
+// up: transient stalls heal, a permanently stuck server still yields a
+// one-line error.
+const jsonRetryBudget = 2 * time.Minute
+
+// retryDelay turns a 429/503 response into a backoff: the server's
+// Retry-After header when it sends one (it knows its flush deadline and
+// probe period), otherwise an exponential fallback from the attempt count.
+func retryDelay(resp *http.Response, attempt int) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 && secs <= 3600 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := 50 * time.Millisecond << uint(attempt)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 func runLoadJSON() error {
@@ -86,6 +112,7 @@ func runLoadJSON() error {
 	url := *loadURL + "/v1/update"
 	fmt.Printf("loading %d edges over json %s (universe %d, batch %d)\n", *loadEdges, url, universe, *loadBatch)
 	var body bytes.Buffer
+	retries := 0
 	elapsed, err := loadBatches(universe, func(batch []connectit.Edge) error {
 		body.Reset()
 		pairs := make([][2]uint32, len(batch))
@@ -95,24 +122,42 @@ func runLoadJSON() error {
 		if err := json.NewEncoder(&body).Encode(map[string]any{"edges": pairs}); err != nil {
 			return err
 		}
-		resp, err := http.Post(url, "application/json", &body)
-		if err != nil {
-			return err
+		deadline := time.Now().Add(jsonRetryBudget)
+		for attempt := 0; ; attempt++ {
+			resp, err := http.Post(url, "application/json", bytes.NewReader(body.Bytes()))
+			if err != nil {
+				return err
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return nil
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				// Backpressure or degraded mode: both are the server asking
+				// for patience, not rejecting the batch. Honor its hint and
+				// resend the identical batch (unions are idempotent).
+				delay := retryDelay(resp, attempt)
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if time.Now().Add(delay).After(deadline) {
+					return fmt.Errorf("POST /v1/update: server still refusing after %v of retries (%s)", jsonRetryBudget, resp.Status)
+				}
+				retries++
+				time.Sleep(delay)
+			default:
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				resp.Body.Close()
+				return fmt.Errorf("POST /v1/update: %s: %s", resp.Status, bytes.TrimSpace(msg))
+			}
 		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			return fmt.Errorf("POST /v1/update: %s: %s", resp.Status, bytes.TrimSpace(msg))
-		}
-		io.Copy(io.Discard, resp.Body)
-		return nil
 	})
 	if err != nil {
 		return err
 	}
 	elapsed = maxDuration(elapsed, time.Nanosecond)
-	fmt.Printf("loaded %d edges in %v (%.2fM edges/s)\n",
-		*loadEdges, elapsed.Round(time.Millisecond), float64(*loadEdges)/elapsed.Seconds()/1e6)
+	fmt.Printf("loaded %d edges in %v (%.2fM edges/s, %d retried batches)\n",
+		*loadEdges, elapsed.Round(time.Millisecond), float64(*loadEdges)/elapsed.Seconds()/1e6, retries)
 	return nil
 }
 

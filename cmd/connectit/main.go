@@ -96,6 +96,10 @@ var (
 	flushInterval = flag.Duration("flush-interval", 2*time.Millisecond, "group-commit flush deadline for -serve, in [100µs, 10s]")
 	maxPending    = flag.Int("max-pending", 64, "backpressure bound for -serve: updates get 429 while more sealed epochs than this await apply")
 	walNoSync     = flag.Bool("wal-nosync", false, "skip the per-group fsync for -serve (risks the last flush interval on crash)")
+	authToken     = flag.String("auth-token", "", "bearer token required on mutating endpoints for -serve (default $CONNECTIT_AUTH_TOKEN; empty leaves writes open)")
+	faultSpec     = flag.String("faults", "", "fault-injection schedule for -serve chaos runs, e.g. \"wal.sync:at=3:err=EIO;conn.write:at=10:reset\" (default $CONNECTIT_FAULTS; empty injects nothing)")
+	probeInterval = flag.Duration("probe-interval", time.Second, "degraded-mode recovery probe period for -serve, in [10ms, 10m]")
+	degradedMode  = flag.String("degraded-policy", "fail-writes", "what a wedged WAL does to -serve: fail-writes (reads keep serving, writes 503, probe retries recovery) or crash (exit for supervisor restart)")
 
 	loadAddr  = flag.String("load", "", "drive a server's binary TCP ingest listener at this address with generated edges and report edges/sec")
 	loadURL   = flag.String("load-http", "", "drive POST /v1/update at this base URL with JSON batches instead (the comparison path)")
@@ -206,6 +210,14 @@ func validateFlags() error {
 			if err := probeWritableDir(*walDir); err != nil {
 				return fmt.Errorf("-wal-dir %q is not writable: %v", *walDir, err)
 			}
+		}
+		if *probeInterval < 10*time.Millisecond || *probeInterval > 10*time.Minute {
+			return fmt.Errorf("-probe-interval %v out of range [10ms, 10m]", *probeInterval)
+		}
+		switch *degradedMode {
+		case "fail-writes", "crash":
+		default:
+			return fmt.Errorf("unknown -degraded-policy %q (want fail-writes|crash)", *degradedMode)
 		}
 	}
 	switch *format {
@@ -436,9 +448,25 @@ func runServe() error {
 	if *walDir != "" {
 		durable = "wal " + *walDir
 	}
+	// Secrets and chaos schedules also travel via the environment, so a
+	// supervisor can set them without putting a token on the command line.
+	token := *authToken
+	if token == "" {
+		token = os.Getenv("CONNECTIT_AUTH_TOKEN")
+	}
+	faults := *faultSpec
+	if faults == "" {
+		faults = os.Getenv("CONNECTIT_FAULTS")
+	}
 	fmt.Printf("serving on %s: n=%d, algo %s;%s, %s\n", *addr, *n, *samplingName, *algo, durable)
 	if *ingestAddr != "" {
 		fmt.Printf("binary ingest on %s\n", *ingestAddr)
+	}
+	if token != "" {
+		fmt.Printf("mutating endpoints require a bearer token\n")
+	}
+	if faults != "" {
+		fmt.Printf("fault injection armed: %s\n", faults)
 	}
 	return connectit.Serve(ctx, connectit.ServerOptions{
 		Addr:        *addr,
@@ -455,6 +483,10 @@ func runServe() error {
 		FlushInterval:    *flushInterval,
 		MaxPendingEpochs: *maxPending,
 		NoSync:           *walNoSync,
+		AuthToken:        token,
+		FaultSpec:        faults,
+		ProbeInterval:    *probeInterval,
+		DegradedPolicy:   connectit.DegradedPolicy(*degradedMode),
 	})
 }
 

@@ -12,19 +12,22 @@ import (
 func withServeFlags(t *testing.T, overrides func(), fn func() error) error {
 	t.Helper()
 	old := struct {
-		serve   bool
-		addr    string
-		wal     string
-		snap    time.Duration
-		flush   time.Duration
-		pending int
-		stream  bool
-		forest  bool
-		convert string
-	}{*serve, *addr, *walDir, *snapInterval, *flushInterval, *maxPending, *stream, *forest, *convert}
+		serve    bool
+		addr     string
+		wal      string
+		snap     time.Duration
+		flush    time.Duration
+		pending  int
+		stream   bool
+		forest   bool
+		convert  string
+		probe    time.Duration
+		degraded string
+	}{*serve, *addr, *walDir, *snapInterval, *flushInterval, *maxPending, *stream, *forest, *convert, *probeInterval, *degradedMode}
 	t.Cleanup(func() {
 		*serve, *addr, *walDir, *snapInterval, *flushInterval, *maxPending, *stream, *forest, *convert =
 			old.serve, old.addr, old.wal, old.snap, old.flush, old.pending, old.stream, old.forest, old.convert
+		*probeInterval, *degradedMode = old.probe, old.degraded
 	})
 	*serve = true
 	if overrides != nil {
@@ -53,6 +56,10 @@ func TestValidateServeFlags(t *testing.T) {
 		{"serve and forest", func() { *forest = true }, "mutually exclusive"},
 		{"serve and convert", func() { *convert = "x.cbin" }, "mutually exclusive"},
 		{"unwritable wal dir", func() { *walDir = "/proc/definitely/not/writable" }, "-wal-dir"},
+		{"degraded policy crash ok", func() { *degradedMode = "crash" }, ""},
+		{"probe too small", func() { *probeInterval = time.Millisecond }, "-probe-interval"},
+		{"probe too large", func() { *probeInterval = time.Hour }, "-probe-interval"},
+		{"bad degraded policy", func() { *degradedMode = "shrug" }, "-degraded-policy"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,171 +3,192 @@ package connectit
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"connectit/internal/wire"
 )
+
+// errClientClosed reports use of an IngestClient after Close.
+var errClientClosed = errors.New("connectit: ingest client closed")
+
+// RetryPolicy shapes the IngestClient's reconnect behavior: capped
+// exponential backoff with jitter, bounded by a consecutive-attempt budget
+// that resets whenever the server acks progress. The zero value means
+// defaults; MaxAttempts < 0 disables reconnection entirely (the first
+// transport failure is terminal, the pre-self-healing behavior).
+type RetryPolicy struct {
+	// MaxAttempts is the number of consecutive connection attempts —
+	// dial failures, transport breaks, busy rejections — tolerated
+	// without any ack progress before the client gives up with a
+	// terminal error. 0 means the default (8); < 0 disables retry.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first reconnect (default
+	// 50ms); each subsequent attempt multiplies it by Multiplier
+	// (default 2) up to MaxDelay (default 5s).
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter spreads each delay uniformly within ±Jitter fraction
+	// (default 0.2) so a fleet of clients doesn't reconnect in
+	// lockstep.
+	Jitter float64
+	// Seed fixes the jitter RNG so chaos runs are reproducible. 0 means
+	// the deterministic default seed (1) — reproducibility is the point
+	// of the fault harness, so randomness is opt-in via a nonzero seed.
+	Seed int64
+}
+
+// DialIngestOptions configures DialIngestWith. The zero value is
+// DialIngest's default: a 64-frame pipeline window, 5s dials, 30s ack
+// waits, 10s writes, and the default RetryPolicy.
+type DialIngestOptions struct {
+	// Window is the pipeline depth: frames sent but not yet acked before
+	// Send blocks (default 64). The unacked window is retained in memory
+	// for retransmission after a reconnect; 1 gives lock-step
+	// frame-per-ack operation with deterministic LSN assignment.
+	Window int
+	// DialTimeout bounds each connection attempt including the hello
+	// exchange (default 5s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds how long an ack for an outstanding frame may
+	// take before the connection is declared dead (default 30s —
+	// generous against group-commit latency, tight against a hung
+	// server).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	Retry        RetryPolicy
+}
+
+func (o DialIngestOptions) withDefaults() DialIngestOptions {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Retry.MaxAttempts == 0 {
+		o.Retry.MaxAttempts = 8
+	}
+	if o.Retry.BaseDelay <= 0 {
+		o.Retry.BaseDelay = 50 * time.Millisecond
+	}
+	if o.Retry.MaxDelay <= 0 {
+		o.Retry.MaxDelay = 5 * time.Second
+	}
+	if o.Retry.Multiplier < 1 {
+		o.Retry.Multiplier = 2
+	}
+	if o.Retry.Jitter < 0 || o.Retry.Jitter > 1 {
+		o.Retry.Jitter = 0.2
+	}
+	if o.Retry.Seed == 0 {
+		o.Retry.Seed = 1
+	}
+	return o
+}
+
+// IngestClientStats is a snapshot of the client's lifetime counters.
+type IngestClientStats struct {
+	Sends        uint64 // frames handed to Send
+	AckedFrames  uint64 // frames the server has acknowledged
+	Retransmits  uint64 // frames rewritten after a reconnect
+	Reconnects   uint64 // successful re-establishments after the first connect
+	DialFailures uint64 // failed connection attempts
+	LastLSN      uint64 // highest acked LSN
+	Outstanding  int    // frames currently in the unacked window
+}
+
+// pendingFrame is one unacked frame retained for retransmission: the
+// encoded wire bytes (length prefix included) verbatim.
+type pendingFrame struct {
+	buf   []byte
+	edges int
+}
 
 // IngestClient is the producer side of the binary TCP ingest protocol
 // (DESIGN.md §13): edge batches are delta-varint coded into length-prefixed
 // frames and pipelined over one persistent connection, with a background
 // reader absorbing the server's batched LSN acks. Send blocks only when the
 // pipeline window is full, so a single client saturates the server's group
-// commit without per-batch round trips. Not safe for concurrent use; run
-// one client per producer goroutine.
+// commit without per-batch round trips.
+//
+// The client is self-healing: a dropped connection, a reset, or a
+// retryable busy rejection (the server degraded or shutting down) triggers
+// reconnection with capped exponential backoff, after which every unacked
+// frame in the pipeline window is retransmitted on the new connection.
+// Union operations are idempotent, so a frame the server committed but
+// whose ack was lost is harmless to replay; acked LSNs stay monotone.
+// Only a protocol-level rejection (AckErr) or an exhausted retry budget is
+// terminal. Not safe for concurrent use; run one client per producer
+// goroutine.
 type IngestClient struct {
+	addr string
+	opt  DialIngestOptions
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	rng  *rand.Rand
+
 	conn net.Conn
 	bw   *bufio.Writer
+	gen  uint64 // connection generation; stale readers detect themselves
 	n    uint64 // vertex universe advertised by the server hello
 
-	mu          sync.Mutex
-	cond        *sync.Cond
-	outstanding int    // frames sent but not yet acked
-	lastLSN     uint64 // highest LSN acked
-	err         error  // terminal: AckErr message or transport failure
+	pending []pendingFrame // FIFO of sent-but-unacked frames
+	lastLSN uint64         // highest LSN acked
+	err     error          // terminal: AckErr, retry budget exhausted, or retries disabled
 
-	window  int
-	scratch []byte
-	done    chan struct{}
+	connUp       bool
+	reconnecting bool  // one goroutine at a time drives the redial
+	attempts     int   // consecutive attempts since last ack progress
+	cause        error // most recent transport/busy failure, for terminal wrapping
+	closed       bool
+
+	stats IngestClientStats
 }
 
 // DialIngest connects to a server's binary ingest listener (Options
-// IngestAddr / the -ingest-addr flag), performs the hello exchange, and
+// IngestAddr / the -ingest-addr flag) with default DialIngestOptions and
 // returns a client ready to Send.
 func DialIngest(addr string) (*IngestClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialIngestWith(addr, DialIngestOptions{})
+}
+
+// DialIngestWith is DialIngest with explicit options. The initial connect
+// runs through the same retry loop as reconnection, so a server still
+// coming up is tolerated within the retry budget.
+func DialIngestWith(addr string, opt DialIngestOptions) (*IngestClient, error) {
+	opt = opt.withDefaults()
+	c := &IngestClient{addr: addr, opt: opt}
+	c.cond = sync.NewCond(&c.mu)
+	c.rng = rand.New(rand.NewSource(opt.Retry.Seed))
+	c.mu.Lock()
+	err := c.ensureConnLocked()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	if _, err := conn.Write([]byte(wire.Magic)); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("connectit: ingest hello: %w", err)
-	}
-	var hello [12]byte
-	if _, err := io.ReadFull(conn, hello[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("connectit: ingest hello: %w", err)
-	}
-	if string(hello[:4]) != wire.Magic {
-		conn.Close()
-		return nil, fmt.Errorf("connectit: ingest hello: bad magic %q", hello[:4])
-	}
-	c := &IngestClient{
-		conn:   conn,
-		bw:     bufio.NewWriterSize(conn, 64<<10),
-		n:      binary.LittleEndian.Uint64(hello[4:]),
-		window: 64,
-		done:   make(chan struct{}),
-	}
-	c.cond = sync.NewCond(&c.mu)
-	go c.readAcks()
 	return c, nil
 }
 
 // NumVertices returns the vertex universe size the server advertised.
-func (c *IngestClient) NumVertices() int { return int(c.n) }
-
-// readAcks drains server acks, advancing the pipeline window. An AckErr or
-// transport error is terminal: it is surfaced by every later Send/Flush.
-func (c *IngestClient) readAcks() {
-	defer close(c.done)
-	br := bufio.NewReader(c.conn)
-	for {
-		status, err := br.ReadByte()
-		if err != nil {
-			c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
-			return
-		}
-		switch status {
-		case wire.AckOK:
-			var body [wire.AckSize - 1]byte
-			if _, err := io.ReadFull(br, body[:]); err != nil {
-				c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
-				return
-			}
-			lsn, frames := wire.ParseAckOK(body[:])
-			c.mu.Lock()
-			c.lastLSN = lsn
-			c.outstanding -= int(frames)
-			c.cond.Broadcast()
-			c.mu.Unlock()
-		case wire.AckErr:
-			var msgLen [4]byte
-			if _, err := io.ReadFull(br, msgLen[:]); err != nil {
-				c.fail(fmt.Errorf("connectit: ingest ack stream: %w", err))
-				return
-			}
-			msg := make([]byte, binary.LittleEndian.Uint32(msgLen[:]))
-			io.ReadFull(br, msg)
-			c.fail(fmt.Errorf("connectit: server rejected ingest: %s", msg))
-			return
-		default:
-			c.fail(fmt.Errorf("connectit: ingest ack stream: unknown status 0x%02x", status))
-			return
-		}
-	}
-}
-
-func (c *IngestClient) fail(err error) {
-	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
-	}
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-// Send frames one edge batch into the pipeline. It returns once the frame
-// is written (or buffered); durability is confirmed asynchronously by the
-// ack stream — call Flush for a barrier. Send blocks when the number of
-// unacked frames reaches the pipeline window, which is what paces a fast
-// producer to the server's group-commit throughput.
-func (c *IngestClient) Send(edges []Edge) error {
-	c.mu.Lock()
-	for c.err == nil && c.outstanding >= c.window {
-		c.mu.Unlock()
-		if err := c.bw.Flush(); err != nil {
-			c.fail(err)
-		}
-		c.mu.Lock()
-		for c.err == nil && c.outstanding >= c.window {
-			c.cond.Wait()
-		}
-	}
-	if c.err != nil {
-		defer c.mu.Unlock()
-		return c.err
-	}
-	c.outstanding++
-	c.mu.Unlock()
-	c.scratch = wire.AppendFrame(c.scratch[:0], edges)
-	_, err := c.bw.Write(c.scratch)
-	if err != nil {
-		c.fail(err)
-		return err
-	}
-	return nil
-}
-
-// Flush pushes every buffered frame to the server and blocks until all of
-// them are acked, returning the highest committed LSN. A zero LSN with a
-// nil error means nothing has been sent on a non-durable server.
-func (c *IngestClient) Flush() (uint64, error) {
-	if err := c.bw.Flush(); err != nil {
-		c.fail(err)
-	}
+func (c *IngestClient) NumVertices() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for c.err == nil && c.outstanding > 0 {
-		c.cond.Wait()
-	}
-	if c.err != nil {
-		return c.lastLSN, c.err
-	}
-	return c.lastLSN, nil
+	return int(c.n)
 }
 
 // LastLSN returns the highest LSN the server has acked so far.
@@ -177,12 +198,381 @@ func (c *IngestClient) LastLSN() uint64 {
 	return c.lastLSN
 }
 
+// Stats returns a snapshot of the client's counters.
+func (c *IngestClient) Stats() IngestClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.LastLSN = c.lastLSN
+	s.Outstanding = len(c.pending)
+	return s
+}
+
+// Send frames one edge batch into the pipeline. It returns once the frame
+// is queued in the unacked window and written (or buffered); durability is
+// confirmed asynchronously by the ack stream — call Flush for a barrier.
+// Send blocks when the window is full, which is what paces a fast producer
+// to the server's group-commit throughput. A connection failure during
+// Send is not an error: the frame stays in the window and is retransmitted
+// after reconnect. Send fails only once the client is terminally dead.
+func (c *IngestClient) Send(edges []Edge) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.err != nil {
+			return c.err
+		}
+		if c.closed {
+			return errClientClosed
+		}
+		if !c.connUp {
+			if err := c.ensureConnLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(c.pending) < c.opt.Window {
+			break
+		}
+		// Window full: push buffered frames out so acks can make progress,
+		// then wait for the reader (or a break) to wake us.
+		c.flushWriterLocked()
+		if !c.connUp {
+			continue
+		}
+		c.cond.Wait()
+	}
+	frame := pendingFrame{buf: wire.AppendFrame(nil, edges), edges: len(edges)}
+	c.pending = append(c.pending, frame)
+	c.stats.Sends++
+	// A write failure marks the connection broken; the frame is already in
+	// the window, so the next Send/Flush reconnects and retransmits it.
+	c.writeLocked(frame.buf)
+	return nil
+}
+
+// Flush pushes every buffered frame to the server and blocks until the
+// whole unacked window drains, reconnecting and retransmitting through
+// failures, and returns the highest committed LSN. A zero LSN with a nil
+// error means nothing has been sent on a non-durable server.
+func (c *IngestClient) Flush() (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.err != nil {
+			return c.lastLSN, c.err
+		}
+		if len(c.pending) == 0 {
+			return c.lastLSN, nil
+		}
+		if c.closed {
+			return c.lastLSN, errClientClosed
+		}
+		if !c.connUp {
+			if err := c.ensureConnLocked(); err != nil {
+				return c.lastLSN, err
+			}
+			continue
+		}
+		c.flushWriterLocked()
+		if !c.connUp {
+			continue
+		}
+		c.cond.Wait()
+	}
+}
+
 // Close flushes and waits for outstanding acks, then tears the connection
-// down. The first error — a rejected frame, a transport failure, or the
-// flush itself — is returned.
+// down. The first terminal error is returned; a clean drain returns nil.
 func (c *IngestClient) Close() error {
 	_, err := c.Flush()
-	c.conn.Close()
-	<-c.done
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.connUp = false
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	if errors.Is(err, errClientClosed) {
+		return nil
+	}
 	return err
+}
+
+// ensureConnLocked establishes a connection if none is up, driving the
+// backoff/redial/retransmit loop. Called with c.mu held; releases it
+// around sleeps and dials. Returns nil once a connection is up, or the
+// terminal error once the retry budget is spent.
+func (c *IngestClient) ensureConnLocked() error {
+	for !c.connUp {
+		if c.err != nil {
+			return c.err
+		}
+		if c.closed {
+			return errClientClosed
+		}
+		if c.reconnecting {
+			// Another goroutine owns the redial; wait for its outcome.
+			c.cond.Wait()
+			continue
+		}
+		if c.opt.Retry.MaxAttempts < 0 {
+			// Retry disabled: one shot at the initial dial, and any break
+			// after a connection was up is terminal.
+			if c.gen > 0 || c.attempts >= 1 {
+				c.failLocked(fmt.Errorf("connectit: ingest connection failed (retry disabled): %w", c.cause))
+				return c.err
+			}
+		} else if c.attempts >= c.opt.Retry.MaxAttempts {
+			c.failLocked(fmt.Errorf("connectit: ingest giving up after %d attempts: %w", c.attempts, c.cause))
+			return c.err
+		}
+		delay := c.backoffLocked()
+		c.attempts++
+		c.reconnecting = true
+		c.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		conn, n, err := dialHello(c.addr, c.opt.DialTimeout)
+		c.mu.Lock()
+		c.reconnecting = false
+		c.cond.Broadcast()
+		if c.closed {
+			if err == nil {
+				conn.Close()
+			}
+			return errClientClosed
+		}
+		if err != nil {
+			c.stats.DialFailures++
+			c.cause = err
+			continue
+		}
+		if c.gen > 0 && n != c.n {
+			conn.Close()
+			c.failLocked(fmt.Errorf("connectit: ingest reconnect: server universe changed from %d to %d vertices", c.n, n))
+			return c.err
+		}
+		c.n = n
+		c.gen++
+		c.conn = conn
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+		c.connUp = true
+		if c.gen > 1 {
+			c.stats.Reconnects++
+			c.stats.Retransmits += uint64(len(c.pending))
+		}
+		// Retransmit the unacked window in order on the fresh connection.
+		// Idempotent unions make replaying a committed-but-unacked frame
+		// harmless; a write failure here just re-enters the loop.
+		for _, p := range c.pending {
+			if err := c.writeLocked(p.buf); err != nil {
+				break
+			}
+		}
+		if c.connUp {
+			c.flushWriterLocked()
+		}
+		if c.connUp {
+			go c.readAcks(c.gen, conn)
+		}
+	}
+	return nil
+}
+
+// backoffLocked computes the jittered delay before the next attempt:
+// nothing before the very first try of a fresh episode, then BaseDelay
+// growing by Multiplier per attempt, capped at MaxDelay.
+func (c *IngestClient) backoffLocked() time.Duration {
+	if c.attempts == 0 {
+		return 0
+	}
+	d := float64(c.opt.Retry.BaseDelay)
+	for i := 1; i < c.attempts; i++ {
+		d *= c.opt.Retry.Multiplier
+		if d >= float64(c.opt.Retry.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(c.opt.Retry.MaxDelay) {
+		d = float64(c.opt.Retry.MaxDelay)
+	}
+	if j := c.opt.Retry.Jitter; j > 0 {
+		d *= 1 + j*(2*c.rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// dialHello dials the ingest listener and runs the CEW1 hello exchange,
+// returning the connection and the advertised universe size. The timeout
+// covers the dial and both hello legs.
+func dialHello(addr string, timeout time.Duration) (net.Conn, uint64, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(wire.Magic)); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("connectit: ingest hello: %w", err)
+	}
+	var hello [12]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("connectit: ingest hello: %w", err)
+	}
+	if string(hello[:4]) != wire.Magic {
+		conn.Close()
+		return nil, 0, fmt.Errorf("connectit: ingest hello: bad magic %q", hello[:4])
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, binary.LittleEndian.Uint64(hello[4:]), nil
+}
+
+// writeLocked writes one frame to the live connection's buffered writer
+// under the write deadline, marking the connection broken on failure.
+func (c *IngestClient) writeLocked(buf []byte) error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+	if _, err := c.bw.Write(buf); err != nil {
+		c.breakConnLocked(c.gen, err)
+		return err
+	}
+	return nil
+}
+
+// flushWriterLocked pushes the buffered writer to the socket, marking the
+// connection broken on failure. No-op when the connection is down.
+func (c *IngestClient) flushWriterLocked() {
+	if !c.connUp {
+		return
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+	if err := c.bw.Flush(); err != nil {
+		c.breakConnLocked(c.gen, err)
+	}
+}
+
+// breakConnLocked records a retryable connection failure for generation
+// gen: the conn closes, waiters wake, and the next Send/Flush drives the
+// reconnect. Stale generations (an old reader outliving its conn) are
+// ignored.
+func (c *IngestClient) breakConnLocked(gen uint64, err error) {
+	if c.closed || gen != c.gen || !c.connUp {
+		return
+	}
+	c.cause = err
+	c.connUp = false
+	c.conn.Close()
+	c.cond.Broadcast()
+}
+
+// failLocked fixes the terminal error; every later call fails with it.
+func (c *IngestClient) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+}
+
+// readAcks drains server acks for one connection generation, advancing the
+// pipeline window. AckBusy and transport errors are retryable (the
+// connection breaks and the window retransmits after reconnect); AckErr
+// and protocol violations are terminal.
+func (c *IngestClient) readAcks(gen uint64, conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		c.mu.Lock()
+		if c.closed || c.err != nil || gen != c.gen || !c.connUp {
+			c.mu.Unlock()
+			return
+		}
+		waiting := len(c.pending) > 0
+		c.mu.Unlock()
+		// An idle connection owes us nothing — poll with a short deadline
+		// and re-check, so an idle client doesn't declare a healthy server
+		// dead. With frames outstanding the full ReadTimeout applies.
+		if waiting {
+			conn.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout))
+		} else {
+			conn.SetReadDeadline(time.Now().Add(time.Second))
+		}
+		status, err := br.ReadByte()
+		if err != nil {
+			if !waiting && isTimeout(err) {
+				continue
+			}
+			c.mu.Lock()
+			c.breakConnLocked(gen, fmt.Errorf("connectit: ingest ack stream: %w", err))
+			c.mu.Unlock()
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(c.opt.ReadTimeout))
+		switch status {
+		case wire.AckOK:
+			var body [wire.AckSize - 1]byte
+			if _, err := io.ReadFull(br, body[:]); err != nil {
+				c.mu.Lock()
+				c.breakConnLocked(gen, fmt.Errorf("connectit: ingest ack stream: %w", err))
+				c.mu.Unlock()
+				return
+			}
+			lsn, frames := wire.ParseAckOK(body[:])
+			c.mu.Lock()
+			if c.closed || gen != c.gen {
+				c.mu.Unlock()
+				return
+			}
+			if int(frames) > len(c.pending) {
+				c.failLocked(fmt.Errorf("connectit: ingest ack stream: server acked %d frames with %d outstanding", frames, len(c.pending)))
+				c.mu.Unlock()
+				return
+			}
+			if lsn < c.lastLSN {
+				c.failLocked(fmt.Errorf("connectit: ingest ack stream: LSN went backwards (%d after %d)", lsn, c.lastLSN))
+				c.mu.Unlock()
+				return
+			}
+			c.pending = c.pending[frames:]
+			c.lastLSN = lsn
+			c.stats.AckedFrames += uint64(frames)
+			c.attempts = 0 // progress: the retry budget renews
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case wire.AckBusy, wire.AckErr:
+			var msgLen [4]byte
+			if _, err := io.ReadFull(br, msgLen[:]); err != nil {
+				c.mu.Lock()
+				c.breakConnLocked(gen, fmt.Errorf("connectit: ingest ack stream: %w", err))
+				c.mu.Unlock()
+				return
+			}
+			msg := make([]byte, binary.LittleEndian.Uint32(msgLen[:]))
+			io.ReadFull(br, msg)
+			c.mu.Lock()
+			if status == wire.AckBusy {
+				// Retryable: the server is degraded or closing and will drop
+				// the connection. Back off, reconnect, retransmit.
+				c.breakConnLocked(gen, fmt.Errorf("connectit: server busy: %s", msg))
+			} else {
+				c.failLocked(fmt.Errorf("connectit: server rejected ingest: %s", msg))
+			}
+			c.mu.Unlock()
+			return
+		default:
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("connectit: ingest ack stream: unknown status 0x%02x", status))
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"net"
+	"os"
+	"time"
+)
+
+// Conn operation keys. The wrapper consults the schedule once per Read
+// and once per Write call — for the ingest protocol's length-prefixed
+// frames that is close to once per frame on the write side.
+const (
+	OpConnRead  = "conn.read"
+	OpConnWrite = "conn.write"
+)
+
+// sleep is a seam for tests; production code always sleeps for real.
+var sleep = time.Sleep
+
+// WrapConn wraps c so reads and writes consult sched. A nil schedule, or
+// one with no conn.* rules armed, returns c unchanged so the hot path
+// pays nothing. Injected resets hard-close the underlying connection
+// (SetLinger(0) when it is a *net.TCPConn), surfacing ECONNRESET to the
+// peer exactly like a crashed process would.
+func WrapConn(c net.Conn, sched *Schedule) net.Conn {
+	if sched == nil || !sched.HasOp("conn.") {
+		return c
+	}
+	return &faultConn{Conn: c, s: sched}
+}
+
+type faultConn struct {
+	net.Conn
+	s *Schedule
+}
+
+// reset aborts the connection. For TCP, linger 0 turns Close into RST so
+// the peer observes ECONNRESET rather than a clean EOF.
+func (c *faultConn) reset() {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}
+
+func (c *faultConn) apply(op string, p []byte, io func([]byte) (int, error)) (int, error) {
+	act := c.s.Next(op)
+	if act == nil {
+		return io(p)
+	}
+	if act.Delay > 0 {
+		sleep(act.Delay)
+	}
+	n := 0
+	if act.Err == nil && !act.Reset {
+		return io(p)
+	}
+	if act.Short > 0 && len(p) > 0 {
+		short := act.Short
+		if short > len(p) {
+			short = len(p)
+		}
+		var err error
+		n, err = io(p[:short])
+		if err != nil {
+			return n, err
+		}
+	}
+	if act.Reset {
+		c.reset()
+		return n, &net.OpError{Op: op, Net: "tcp", Err: errClosed}
+	}
+	return n, &net.OpError{Op: op, Net: "tcp", Err: act.Err}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	return c.apply(OpConnRead, p, c.Conn.Read)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	return c.apply(OpConnWrite, p, c.Conn.Write)
+}
+
+var errClosed = os.ErrClosed

@@ -58,6 +58,11 @@ type batcher struct {
 	maxBatch int
 	capEdges int // admission cap per group; maxGroupEdges outside tests
 
+	// onErr, when set, observes every failed flush (after the group's error
+	// is fixed, before waiters wake). The server hooks it to flip into
+	// degraded mode the moment a WAL append wedges.
+	onErr func(error)
+
 	mu     sync.Mutex
 	cur    *group
 	closed bool
@@ -170,6 +175,11 @@ func (b *batcher) flush() {
 	}
 	if g.err == nil {
 		g.err = b.st.UpdateBatch(g.edges)
+	}
+	if g.err != nil && b.onErr != nil {
+		// Before waking waiters: a Submit caller that sees the error can
+		// then also see the state transition it caused.
+		b.onErr(g.err)
 	}
 	close(g.done)
 }

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 
+	"connectit/internal/fault"
 	"connectit/internal/graph"
 	"connectit/internal/wire"
 )
@@ -59,6 +60,9 @@ func (il *ingestListener) acceptLoop() {
 			conn.Close()
 			return
 		}
+		// Chaos runs wrap every accepted connection with the fault schedule;
+		// WrapConn is the identity when no conn.* rules are armed.
+		conn = fault.WrapConn(conn, il.s.faults)
 		il.conns[conn] = struct{}{}
 		il.mu.Unlock()
 		il.wg.Add(1)
@@ -156,6 +160,15 @@ func (il *ingestListener) serveConn(conn net.Conn) {
 				break
 			}
 		}
+		// Degraded or closing: answer the burst with a retryable AckBusy
+		// instead of committing (the wedged log would fail the group
+		// anyway). The connection closes; a self-healing client backs off,
+		// reconnects, and retransmits its unacked window — idempotent
+		// unions make the retransmission harmless.
+		if st := il.s.State(); st != StateServing {
+			conn.Write(wire.AppendAckBusy(ack[:0], "server "+st.String()+"; retry"))
+			return
+		}
 		// An all-empty burst (zero-edge blocks are valid wire) skips the
 		// group commit: Submit would have nothing to flush, and the frames
 		// still need acking so the client's pipeline window advances. The
@@ -163,7 +176,14 @@ func (il *ingestListener) serveConn(conn net.Conn) {
 		if len(batch) > 0 {
 			lsn, err := il.s.bat.Submit(batch)
 			if err != nil {
-				conn.Write(wire.AppendAckErr(ack[:0], err.Error()))
+				// A commit that failed because the server left serving mid-
+				// flight (WAL wedge, shutdown) is the same retryable story;
+				// only a failure with the server still healthy is terminal.
+				if il.s.State() != StateServing {
+					conn.Write(wire.AppendAckBusy(ack[:0], err.Error()))
+				} else {
+					conn.Write(wire.AppendAckErr(ack[:0], err.Error()))
+				}
 				return
 			}
 			lastLSN = lsn

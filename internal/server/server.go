@@ -14,6 +14,7 @@ package server
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,8 +25,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"connectit/internal/fault"
 	"connectit/internal/graph"
 	"connectit/internal/ingest"
 	"connectit/internal/parallel"
@@ -65,6 +68,35 @@ type Options struct {
 	SegmentBytes int
 	// NoSync skips per-append fsync in the WAL (wal.Options).
 	NoSync bool
+
+	// ProbeInterval is the degraded-mode recovery probe period: how often a
+	// wedged WAL is re-tried (and the Retry-After hint on refused writes).
+	// Default 1s.
+	ProbeInterval time.Duration
+	// DegradedPolicy selects the response to a WAL wedge: DegradeFailWrites
+	// (default) serves reads and 503s writes while a background probe
+	// retries recovery; DegradeCrash exits the process for an external
+	// supervisor to restart.
+	DegradedPolicy DegradedPolicy
+	// AuthToken, when non-empty, locks the mutating endpoints: POST
+	// /v1/update requires "Authorization: Bearer <token>". Reads, health,
+	// and metrics stay open.
+	AuthToken string
+	// FaultSpec arms a deterministic fault-injection schedule
+	// (fault.ParseSchedule grammar) over the WAL's filesystem operations
+	// and the TCP ingest connections. Empty — the production value — arms
+	// nothing and costs nothing. Chaos tests and CI set it to prove the
+	// durability and degraded-mode contracts.
+	FaultSpec string
+
+	// ReadHeaderTimeout, ReadTimeout, and IdleTimeout bound the HTTP
+	// server's exposure to slow or stalled clients (slowloris); zero
+	// selects the defaults (10s, 2m, 2m), negative disables one.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	// MaxHeaderBytes bounds a request's header section. Default 1 MiB.
+	MaxHeaderBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -82,6 +114,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SnapshotInterval == 0 {
 		o.SnapshotInterval = 5 * time.Minute
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.DegradedPolicy == "" {
+		o.DegradedPolicy = DegradeFailWrites
+	}
+	if o.ReadHeaderTimeout == 0 {
+		o.ReadHeaderTimeout = 10 * time.Second
+	}
+	if o.ReadTimeout == 0 {
+		o.ReadTimeout = 2 * time.Minute
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 2 * time.Minute
+	}
+	if o.MaxHeaderBytes == 0 {
+		o.MaxHeaderBytes = 1 << 20
 	}
 	return o
 }
@@ -108,8 +158,18 @@ type Server struct {
 	// the 429 path deterministically.
 	pending func() int
 
-	accepted     *Counter
-	backpressure *Counter
+	// state is the serving state machine (state.go): serving, degraded
+	// (WAL wedged; reads only), or closing.
+	state atomic.Int32
+	// faults is the parsed Options.FaultSpec schedule, shared by the WAL
+	// seam and the TCP conn wrapper so a spec's wal.* and conn.* rules
+	// interleave deterministically; nil in production.
+	faults *fault.Schedule
+
+	accepted      *Counter
+	backpressure  *Counter
+	degradedTotal *Counter
+	unauthorized  *Counter
 
 	// connectit_ingest_frames_total by transport: one JSON request, one
 	// binary HTTP body, or one TCP frame each count as a frame.
@@ -124,6 +184,8 @@ type Server struct {
 
 	stopSnap  chan struct{}
 	snapDone  chan struct{}
+	stopProbe chan struct{}
+	probeDone chan struct{}
 	closed    chan struct{}
 	closeOnce sync.Once
 }
@@ -135,14 +197,16 @@ type Server struct {
 func New(st *ingest.Stream, opt Options) (*Server, error) {
 	opt = opt.withDefaults()
 	s := &Server{
-		st:       st,
-		opt:      opt,
-		reg:      NewRegistry(),
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
-		stopSnap: make(chan struct{}),
-		snapDone: make(chan struct{}),
-		closed:   make(chan struct{}),
+		st:        st,
+		opt:       opt,
+		reg:       NewRegistry(),
+		mux:       http.NewServeMux(),
+		started:   time.Now(),
+		stopSnap:  make(chan struct{}),
+		snapDone:  make(chan struct{}),
+		stopProbe: make(chan struct{}),
+		probeDone: make(chan struct{}),
+		closed:    make(chan struct{}),
 	}
 	s.pending = st.PendingEpochs
 	if q, err := st.Query(); err != nil {
@@ -150,9 +214,20 @@ func New(st *ingest.Stream, opt Options) (*Server, error) {
 	} else {
 		s.q = q
 	}
+	if opt.FaultSpec != "" {
+		sched, err := fault.ParseSchedule(opt.FaultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.faults = sched
+	}
 
 	if opt.WALDir != "" {
-		l, err := wal.Open(opt.WALDir, wal.Options{SegmentBytes: opt.SegmentBytes, NoSync: opt.NoSync})
+		l, err := wal.Open(opt.WALDir, wal.Options{
+			SegmentBytes: opt.SegmentBytes,
+			NoSync:       opt.NoSync,
+			FS:           fault.NewFS(nil, s.faults),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -163,6 +238,15 @@ func New(st *ingest.Stream, opt Options) (*Server, error) {
 		s.log = l
 	}
 	s.bat = newBatcher(st, s.log, opt.MaxBatch, opt.FlushInterval)
+	if s.log != nil {
+		// A flush whose WAL append wedged the log flips the server into
+		// degraded mode right away; the probe loop owns the way back.
+		s.bat.onErr = func(error) {
+			if werr := s.log.Wedged(); werr != nil {
+				s.enterDegraded(werr)
+			}
+		}
+	}
 	s.registerMetrics()
 	s.routes()
 
@@ -170,6 +254,11 @@ func New(st *ingest.Stream, opt Options) (*Server, error) {
 		go s.snapshotLoop()
 	} else {
 		close(s.snapDone)
+	}
+	if s.log != nil {
+		go s.probeLoop()
+	} else {
+		close(s.probeDone)
 	}
 	return s, nil
 }
@@ -317,7 +406,22 @@ func (s *Server) Start() error {
 		return err
 	}
 	s.ln = ln
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	// Bounded exposure to slow clients: header and whole-request read
+	// deadlines, idle keep-alive reaping, and a header-size cap. A negative
+	// option disables the corresponding limit.
+	clamp := func(d time.Duration) time.Duration {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: clamp(s.opt.ReadHeaderTimeout),
+		ReadTimeout:       clamp(s.opt.ReadTimeout),
+		IdleTimeout:       clamp(s.opt.IdleTimeout),
+		MaxHeaderBytes:    s.opt.MaxHeaderBytes,
+	}
 	go s.httpSrv.Serve(ln)
 	if s.opt.IngestAddr != "" {
 		il, err := newIngestListener(s, s.opt.IngestAddr)
@@ -357,7 +461,10 @@ func (s *Server) Close(ctx context.Context) error {
 	// sync.Once rather than a select/default on s.closed: two concurrent
 	// Closes could both take the default branch and double-close the channel.
 	s.closeOnce.Do(func() {
+		s.setClosing()
 		close(s.closed)
+		close(s.stopProbe)
+		<-s.probeDone
 		if s.httpSrv != nil {
 			if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
 				first = err
@@ -388,9 +495,23 @@ func (s *Server) Close(ctx context.Context) error {
 // union and a backpressured group commit on slow disks.
 var latencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 10}
 
+// authorized checks the shared-token gate on mutating endpoints: with no
+// token configured every request passes; otherwise the request must carry
+// "Authorization: Bearer <token>". Constant-time compare — the token is a
+// credential.
+func (s *Server) authorized(r *http.Request) bool {
+	if s.opt.AuthToken == "" {
+		return true
+	}
+	got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(got), []byte(s.opt.AuthToken)) == 1
+}
+
 func (s *Server) routes() {
 	s.accepted = s.reg.Counter("connectit_updates_accepted_total", "", "Edges acknowledged by POST /v1/update (durable when the WAL is enabled).")
 	s.backpressure = s.reg.Counter("connectit_backpressure_total", "", "Update requests rejected with 429 because the apply pipeline was too far behind.")
+	s.degradedTotal = s.reg.Counter("connectit_degraded_total", "", "Transitions into degraded mode (WAL wedged; reads serving, writes refused).")
+	s.unauthorized = s.reg.Counter("connectit_http_unauthorized_total", "", "Mutating requests rejected with 401 by the shared-token gate.")
 	const framesHelp = "Accepted ingest frames by transport: one JSON request, one binary HTTP body, or one TCP wire frame each."
 	s.framesJSON = s.reg.Counter("connectit_ingest_frames_total", `{proto="json"}`, framesHelp)
 	s.framesBinary = s.reg.Counter("connectit_ingest_frames_total", `{proto="binary"}`, framesHelp)
@@ -503,6 +624,20 @@ func readAllInto(r io.Reader, buf []byte) ([]byte, error) {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.authorized(r) {
+		s.unauthorized.Inc()
+		w.Header().Set("WWW-Authenticate", `Bearer realm="connectit"`)
+		httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+		return
+	}
+	if st := s.State(); st != StateServing {
+		// Degraded (WAL wedged) or closing: refuse the write up front with
+		// an honest retry hint instead of burning a group commit that the
+		// wedged log would fail anyway. Reads never pass through here.
+		w.Header().Set("Retry-After", s.degradedRetryAfter())
+		httpError(w, http.StatusServiceUnavailable, "writes suspended: server "+st.String())
 		return
 	}
 	if p := s.pending(); p > s.opt.MaxPendingEpochs {
@@ -772,14 +907,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports the serving state as plain text: "ok" (200),
+// "degraded" (200 — reads still serve, so a liveness-routing LB must not
+// kill the process; the body and the state gauge carry the distinction),
+// or "closing" (503).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	select {
-	case <-s.closed:
-		httpError(w, http.StatusServiceUnavailable, "shutting down")
-	default:
-		w.Header().Set("Content-Type", "text/plain")
-		fmt.Fprintln(w, "ok")
+	st := s.State()
+	w.Header().Set("Content-Type", "text/plain")
+	if st == StateClosing {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	fmt.Fprintln(w, st.String())
 }
 
 func parseVertex(s string, n int) (uint32, error) {
@@ -811,6 +949,7 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("connectit_stream_dedup_skipped_total", "", "Batches applied unsorted by the dedup estimator.", stream(func(st ingest.Stats) uint64 { return st.DedupSkipped }))
 	s.reg.GaugeFunc("connectit_stream_pending_epochs", "", "Sealed epochs not yet fully applied (backpressure signal).", func() float64 { return float64(s.st.PendingEpochs()) })
 	s.reg.GaugeFunc("connectit_stream_vertices", "", "Vertex universe size.", func() float64 { return float64(s.st.Len()) })
+	s.reg.GaugeFunc("connectit_server_state", "", "Serving state: 0 serving, 1 degraded (reads only), 2 closing.", func() float64 { return float64(s.state.Load()) })
 
 	if s.q != nil {
 		s.reg.GaugeFunc("connectit_query_forest_edges", "", "Spanning-forest edges captured by the stream (witness log length).", func() float64 { return float64(s.st.ForestLen()) })
@@ -843,5 +982,7 @@ func (s *Server) registerMetrics() {
 		s.reg.CounterFunc("connectit_wal_written_bytes", "", "Payload bytes actually stored after wire-block compression (raw/written is the WAL compression ratio).", walStat(func(ws wal.Stats) uint64 { return ws.WrittenBytes }))
 		s.reg.CounterFunc("connectit_wal_syncs_total", "", "WAL fsyncs.", walStat(func(ws wal.Stats) uint64 { return ws.Syncs }))
 		s.reg.CounterFunc("connectit_wal_snapshots_total", "", "Snapshots committed since boot.", walStat(func(ws wal.Stats) uint64 { return ws.Snapshots }))
+		s.reg.CounterFunc("connectit_wal_wedges_total", "", "Append failures that wedged the log (each starts a degraded episode).", walStat(func(ws wal.Stats) uint64 { return ws.Wedges }))
+		s.reg.CounterFunc("connectit_wal_recoveries_total", "", "Successful wedge recoveries (log rotated to a fresh segment and resumed).", walStat(func(ws wal.Stats) uint64 { return ws.Recoveries }))
 	}
 }

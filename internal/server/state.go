@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// State is the server's serving state (DESIGN.md §15). Transitions:
+//
+//	StateServing --(WAL append failure wedges the log)--> StateDegraded
+//	StateDegraded --(probe TryRecover succeeds)---------> StateServing
+//	any ----------(Close)-------------------------------> StateClosing
+//
+// Degraded is a write-side condition only: the in-memory structure is
+// intact (the wedged batch was never fed), so wait-free reads keep
+// answering correctly; mutating endpoints refuse with honest retry hints
+// until the background probe re-opens the log.
+type State int32
+
+const (
+	StateServing State = iota
+	StateDegraded
+	StateClosing
+)
+
+// String returns the /healthz body for the state.
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateClosing:
+		return "closing"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// DegradedPolicy selects what a WAL wedge does to the server.
+type DegradedPolicy string
+
+const (
+	// DegradeFailWrites (the default) keeps the process alive: writes 503,
+	// reads serve, and a background probe retries WAL recovery.
+	DegradeFailWrites DegradedPolicy = "fail-writes"
+	// DegradeCrash exits the process on the first wedge — the right policy
+	// under an external supervisor that restarts onto healthy storage,
+	// where replay-on-boot is the recovery path.
+	DegradeCrash DegradedPolicy = "crash"
+)
+
+// crashExit is the DegradeCrash action; a variable so tests can observe
+// the crash decision without dying.
+var crashExit = func(cause error) {
+	fmt.Fprintf(os.Stderr, "connectit: WAL wedged and DegradedPolicy=crash: %v\n", cause)
+	os.Exit(1)
+}
+
+// State returns the server's current serving state.
+func (s *Server) State() State { return State(s.state.Load()) }
+
+// setClosing marks the server closing; terminal, never left.
+func (s *Server) setClosing() { s.state.Store(int32(StateClosing)) }
+
+// enterDegraded moves serving → degraded after a WAL wedge. Idempotent
+// under concurrent append failures (CAS), and a no-op once closing.
+func (s *Server) enterDegraded(cause error) {
+	if s.opt.DegradedPolicy == DegradeCrash {
+		crashExit(cause)
+		return // only reachable with a test crashExit
+	}
+	if s.state.CompareAndSwap(int32(StateServing), int32(StateDegraded)) {
+		s.degradedTotal.Inc()
+		fmt.Fprintf(os.Stderr, "connectit: entering degraded mode (reads serve, writes 503): %v\n", cause)
+	}
+}
+
+// promote moves degraded → serving once the WAL accepts writes again.
+func (s *Server) promote() {
+	if s.state.CompareAndSwap(int32(StateDegraded), int32(StateServing)) {
+		fmt.Fprintf(os.Stderr, "connectit: WAL recovered; resuming writes\n")
+	}
+}
+
+// probeLoop is the degraded-mode doctor: every ProbeInterval it checks the
+// log and, when wedged, attempts TryRecover — trim the torn tail, rotate
+// to a fresh segment — promoting back to serving on success. It also
+// catches a wedge the batcher callback raced past (belt and braces: the
+// state machine converges on the log's actual health, whichever side
+// observed the failure first).
+func (s *Server) probeLoop() {
+	defer close(s.probeDone)
+	t := time.NewTicker(s.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			switch s.State() {
+			case StateDegraded:
+				if err := s.log.TryRecover(); err == nil {
+					s.promote()
+				}
+			case StateServing:
+				if s.log.Wedged() != nil {
+					s.enterDegraded(s.log.Wedged())
+				}
+			case StateClosing:
+				return
+			}
+		case <-s.stopProbe:
+			return
+		}
+	}
+}
+
+// degradedRetryAfter is the Retry-After hint while degraded: the next
+// probe is the earliest anything can change, rounded up to the header's
+// whole-second granularity.
+func (s *Server) degradedRetryAfter() string {
+	secs := int64((s.opt.ProbeInterval + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

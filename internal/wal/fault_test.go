@@ -1,0 +1,324 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"connectit/internal/fault"
+	"connectit/internal/graph"
+)
+
+// edge batches used across the fault tests.
+func batch(base uint32) []graph.Edge {
+	return []graph.Edge{{U: base, V: base + 1}, {U: base + 2, V: base + 3}}
+}
+
+// replayAll reopens dir with a clean filesystem and returns the LSNs that
+// replay, failing the test on any corruption.
+func replayAll(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l.Close()
+	var lsns []uint64
+	err = l.Replay(0, func(lsn uint64, edges []graph.Edge) error {
+		lsns = append(lsns, lsn)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return lsns
+}
+
+func wantLSNs(t *testing.T, got []uint64, want ...uint64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed LSNs %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replayed LSNs %v, want %v", got, want)
+		}
+	}
+}
+
+// A failed fsync must wedge the log fail-stop, keep every previously acked
+// record, and clear via TryRecover so appends resume on a fresh segment.
+func TestWedgeOnSyncFailureAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.NewSchedule(1).FailAt("wal.sync", 2, fault.Action{Err: syscall.EIO})
+	l, err := Open(dir, Options{FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := l.Append(batch(10)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append 2: %v, want wedge by EIO", err)
+	}
+	if l.Wedged() == nil {
+		t.Fatal("log should be wedged")
+	}
+	// Fail-stop: later appends refuse without touching the disk.
+	if _, err := l.Append(batch(20)); err == nil || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("append while wedged: %v, want wedged error", err)
+	}
+	st := l.Stats()
+	if st.Wedges != 1 || st.Appends != 1 {
+		t.Fatalf("stats after wedge: %+v", st)
+	}
+
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	if l.Wedged() != nil {
+		t.Fatal("log should be healthy after recovery")
+	}
+	lsn, err := l.Append(batch(10))
+	if err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if lsn != 1 {
+		t.Fatalf("post-recovery LSN = %d, want 1 (failed append must not consume an LSN)", lsn)
+	}
+	if st := l.Stats(); st.Recoveries != 1 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs(t, replayAll(t, dir), 0, 1)
+}
+
+// ENOSPC while rotating to a new segment (the open of the segment file
+// fails) wedges; recovery rotates successfully once space returns.
+func TestENOSPCMidRotate(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentBytes below one record forces a rotation per append; the
+	// second append's rotate performs the second wal.open.
+	sched := fault.NewSchedule(1).FailAt("wal.open", 2, fault.Action{Err: syscall.ENOSPC})
+	l, err := Open(dir, Options{SegmentBytes: 1, FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if _, err := l.Append(batch(10)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append 2: %v, want ENOSPC wedge", err)
+	}
+	if l.Wedged() == nil {
+		t.Fatal("rotate failure must wedge")
+	}
+	// The acked record survives a reopen even while wedged.
+	wantLSNs(t, replayAll(t, dir), 0)
+
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	if lsn, err := l.Append(batch(10)); err != nil || lsn != 1 {
+		t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantLSNs(t, replayAll(t, dir), 0, 1)
+}
+
+// A short write that tears a v2 record mid-payload must leave exactly the
+// acked prefix after reopen — the torn record is trimmed, not replayed and
+// not corruption.
+func TestShortWriteInV2Payload(t *testing.T) {
+	dir := t.TempDir()
+	// Writes: #1 segment header, #2 record 0, #3 record 1, #4 record 2
+	// (torn: header plus three payload bytes land, then ENOSPC).
+	sched := fault.NewSchedule(1).FailAt("wal.write", 4, fault.Action{Err: syscall.ENOSPC, Short: recHeader + 3})
+	l, err := Open(dir, Options{NoSync: true, FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 2; i++ {
+		if _, err := l.Append(batch(10 * i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := l.Append(batch(100)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn append: %v, want ENOSPC", err)
+	}
+	// Simulate a crash before any cleanup: reopen from the files as the
+	// wedge left them. (wedge already trimmed best-effort, but the reopen
+	// contract must hold regardless.)
+	wantLSNs(t, replayAll(t, dir), 0, 1)
+
+	// And the wedged instance itself recovers in place.
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("TryRecover: %v", err)
+	}
+	if lsn, err := l.Append(batch(100)); err != nil || lsn != 2 {
+		t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+	}
+	l.Close()
+	wantLSNs(t, replayAll(t, dir), 0, 1, 2)
+}
+
+// A wedge must trim the torn bytes off the segment immediately, so even a
+// kill -9 between the wedge and any recovery leaves no torn tail on disk:
+// the segment ends at exactly the acked prefix. A same-content healthy log
+// provides the expected byte size.
+func TestShortWriteTrimsToAckedPrefix(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.NewSchedule(1).
+		FailAt("wal.write", 3, fault.Action{Err: syscall.ENOSPC, Short: recHeader + 5})
+	l, err := Open(dir, Options{NoSync: true, FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(10)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want torn append, got %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	st, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeDir := filepath.Join(dir, "probe")
+	l2, err := Open(probeDir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append(batch(0)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	probe, err := filepath.Glob(filepath.Join(probeDir, "*.wal"))
+	if err != nil || len(probe) != 1 {
+		t.Fatalf("probe segments: %v %v", probe, err)
+	}
+	pst, err := os.Stat(probe[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != pst.Size() {
+		t.Fatalf("wedged segment is %d bytes, want the one-record size %d (partial bytes not trimmed)", st.Size(), pst.Size())
+	}
+	l.Close()
+	wantLSNs(t, replayAll(t, dir), 0)
+}
+
+// A failed fsync while installing a snapshot must abort the install: no
+// snapshot becomes visible, no segment is pruned, and the log keeps
+// appending — snapshot failure is retryable, never wedging.
+func TestSnapshotInstallFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	// NoSync appends never fsync, so the first wal.sync op is the
+	// snapshot tmp file's install sync.
+	sched := fault.NewSchedule(1).FailAt("wal.sync", 1, fault.Action{Err: syscall.EIO})
+	l, err := Open(dir, Options{NoSync: true, FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 3; i++ {
+		if _, err := l.Append(batch(10 * i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = l.CommitSnapshot(3, func(path string) error {
+		return os.WriteFile(path, []byte("snapshot-bytes"), 0o644)
+	})
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("CommitSnapshot: %v, want EIO", err)
+	}
+	if _, _, ok := l.LatestSnapshot(); ok {
+		t.Fatal("failed snapshot must not be installed")
+	}
+	if names, _ := filepath.Glob(filepath.Join(dir, "snap-*")); len(names) != 0 {
+		t.Fatalf("failed snapshot left files: %v", names)
+	}
+	if st := l.Stats(); st.Snapshots != 0 || st.Segments != 1 {
+		t.Fatalf("stats after failed snapshot: %+v", st)
+	}
+	// The log is unharmed: appends continue, and a retry installs.
+	if _, err := l.Append(batch(50)); err != nil {
+		t.Fatalf("append after failed snapshot: %v", err)
+	}
+	err = l.CommitSnapshot(4, func(path string) error {
+		return os.WriteFile(path, []byte("snapshot-bytes"), 0o644)
+	})
+	if err != nil {
+		t.Fatalf("snapshot retry: %v", err)
+	}
+	if lsn, _, ok := l.LatestSnapshot(); !ok || lsn != 4 {
+		t.Fatalf("retry snapshot: lsn=%d ok=%v", lsn, ok)
+	}
+	l.Close()
+}
+
+// A rename failure during snapshot install likewise aborts cleanly.
+func TestSnapshotInstallRenameFailure(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.NewSchedule(1).FailAt("wal.rename", 1, fault.Action{Err: syscall.EACCES})
+	l, err := Open(dir, Options{NoSync: true, FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(0)); err != nil {
+		t.Fatal(err)
+	}
+	err = l.CommitSnapshot(1, func(path string) error {
+		return os.WriteFile(path, []byte("x"), 0o644)
+	})
+	if !errors.Is(err, syscall.EACCES) {
+		t.Fatalf("CommitSnapshot: %v, want EACCES", err)
+	}
+	if _, _, ok := l.LatestSnapshot(); ok {
+		t.Fatal("failed snapshot must not be installed")
+	}
+	if names, _ := filepath.Glob(filepath.Join(dir, "snap-*")); len(names) != 0 {
+		t.Fatalf("failed snapshot left files: %v", names)
+	}
+	l.Close()
+}
+
+// TryRecover that itself fails (the recovery truncate hits the same bad
+// disk) leaves the log wedged; a later attempt succeeds.
+func TestRecoveryFailureStaysWedged(t *testing.T) {
+	dir := t.TempDir()
+	sched := fault.NewSchedule(1).
+		FailAt("wal.sync", 1, fault.Action{Err: syscall.EIO}).
+		FailAt("wal.truncate", 1, fault.Action{Err: syscall.EIO})
+	l, err := Open(dir, Options{FS: fault.NewFS(nil, sched)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(0)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append: %v, want EIO wedge", err)
+	}
+	if err := l.TryRecover(); err == nil {
+		t.Fatal("TryRecover should fail while the truncate fault is armed")
+	}
+	if l.Wedged() == nil {
+		t.Fatal("log must stay wedged after failed recovery")
+	}
+	if err := l.TryRecover(); err != nil {
+		t.Fatalf("second TryRecover: %v", err)
+	}
+	if lsn, err := l.Append(batch(0)); err != nil || lsn != 0 {
+		t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+	}
+	l.Close()
+	wantLSNs(t, replayAll(t, dir), 0)
+}

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 
+	"connectit/internal/fault"
 	"connectit/internal/graph"
 	"connectit/internal/wire"
 )
@@ -34,7 +34,7 @@ func (l *Log) Replay(from uint64, fn func(lsn uint64, edges []graph.Edge) error)
 			continue
 		}
 		last := i == len(segs)-1
-		_, _, _, _, err := scanSegment(s.path, last, func(lsn uint64, version uint32, payload []byte) error {
+		_, _, _, _, err := scanSegment(l.fs, s.path, last, func(lsn uint64, version uint32, payload []byte) error {
 			if lsn < from {
 				return nil
 			}
@@ -96,8 +96,8 @@ func decodeRawEdges(payload []byte, buf []graph.Edge) []graph.Edge {
 // not a parseable wire block is ErrCorrupt even in the final segment — a
 // torn write cannot checksum garbage correctly, so that damage has no
 // crash explanation.
-func scanSegment(path string, repairTail bool, fn func(lsn uint64, version uint32, payload []byte) error) (first, count uint64, validEnd int64, version uint32, err error) {
-	data, err := os.ReadFile(path)
+func scanSegment(fsys fault.FS, path string, repairTail bool, fn func(lsn uint64, version uint32, payload []byte) error) (first, count uint64, validEnd int64, version uint32, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, 0, 0, fmt.Errorf("wal: %w", err)
 	}

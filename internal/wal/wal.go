@@ -53,6 +53,7 @@ import (
 	"strings"
 	"sync"
 
+	"connectit/internal/fault"
 	"connectit/internal/graph"
 	"connectit/internal/wire"
 )
@@ -89,11 +90,18 @@ type Options struct {
 	// survive process crashes but not host crashes; tests and bulk loads
 	// use it.
 	NoSync bool
+	// FS is the filesystem seam every file operation routes through. Nil
+	// selects the real filesystem (fault.OS); tests and chaos runs install
+	// a fault-injecting wrapper (fault.NewFS) to fail exact operations.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = fault.OS
 	}
 	return o
 }
@@ -120,6 +128,9 @@ type Stats struct {
 	Segments int
 	// Snapshots counts snapshots committed by this process.
 	Snapshots uint64
+	// Wedges counts append failures that wedged the log; Recoveries counts
+	// successful TryRecover calls that un-wedged it.
+	Wedges, Recoveries uint64
 }
 
 // segment is one on-disk log file: records [first, first+count), payloads
@@ -136,11 +147,12 @@ type segment struct {
 type Log struct {
 	dir string
 	opt Options
+	fs  fault.FS
 
 	mu       sync.Mutex
-	f        *os.File // current append segment; nil until first Append
-	segOff   int64    // valid bytes in the current segment
-	lsn      uint64   // next record LSN
+	f        fault.File // current append segment; nil until first Append
+	segOff   int64      // valid bytes in the current segment
+	lsn      uint64     // next record LSN
 	segs     []segment
 	snapLSN  uint64
 	snapPath string
@@ -156,11 +168,12 @@ type Log struct {
 // the log to append after the last valid record. Damage a torn write cannot
 // explain returns ErrCorrupt.
 func Open(dir string, opt Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	l := &Log{dir: dir, opt: opt.withDefaults()}
+	l.fs = l.opt.FS
+	if err := l.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opt: opt.withDefaults()}
-	entries, err := os.ReadDir(dir)
+	entries, err := l.fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -169,7 +182,7 @@ func Open(dir string, opt Options) (*Log, error) {
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 			// A snapshot that crashed before its rename; never referenced.
-			os.Remove(filepath.Join(dir, name))
+			l.fs.Remove(filepath.Join(dir, name))
 		case strings.HasSuffix(name, ".wal"):
 			var first uint64
 			if _, err := fmt.Sscanf(name, "%016x.wal", &first); err != nil {
@@ -194,17 +207,17 @@ func Open(dir string, opt Options) (*Log, error) {
 	for i := range l.segs {
 		s := &l.segs[i]
 		last := i == len(l.segs)-1
-		first, count, validEnd, version, err := scanSegment(s.path, last, nil)
+		first, count, validEnd, version, err := scanSegment(l.fs, s.path, last, nil)
 		if last && errors.Is(err, errTornHeader) {
 			// Torn rotation: nothing in a headerless segment was ever
 			// acknowledged. Discard it; the previous segment (validated
 			// above, so valid end to end) carries the tail.
-			if rerr := os.Remove(s.path); rerr != nil {
+			if rerr := l.fs.Remove(s.path); rerr != nil {
 				return nil, fmt.Errorf("wal: removing torn segment %s: %w", s.path, rerr)
 			}
 			l.segs = l.segs[:i]
 			if i > 0 {
-				st, serr := os.Stat(l.segs[i-1].path)
+				st, serr := l.fs.Stat(l.segs[i-1].path)
 				if serr != nil {
 					return nil, fmt.Errorf("wal: %w", serr)
 				}
@@ -224,8 +237,8 @@ func Open(dir string, opt Options) (*Log, error) {
 		s.count = count
 		s.version = version
 		if last {
-			if st, err := os.Stat(s.path); err == nil && st.Size() > validEnd {
-				if err := os.Truncate(s.path, validEnd); err != nil {
+			if st, err := l.fs.Stat(s.path); err == nil && st.Size() > validEnd {
+				if err := l.fs.Truncate(s.path, validEnd); err != nil {
 					return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", s.path, err)
 				}
 			}
@@ -248,7 +261,7 @@ func Open(dir string, opt Options) (*Log, error) {
 		// record formats within one file, so the first post-upgrade Append
 		// rotates to a fresh v2 segment instead.
 		if l.segOff < int64(l.opt.SegmentBytes) && l.segs[n-1].version == segVersion {
-			f, err := os.OpenFile(l.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+			f, err := l.fs.OpenFile(l.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
@@ -310,8 +323,12 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
 	l.buf = b
 	if l.f == nil || (l.segOff+int64(len(b)) > int64(l.opt.SegmentBytes) && l.segOff > segHeader) {
+		// A failed rotation wedges just like a failed write: the disk is
+		// refusing the operations the durability contract depends on, and
+		// retrying blind on the next Append would only mask it from the
+		// degraded-mode machinery watching Wedged().
 		if err := l.rotate(); err != nil {
-			return 0, err
+			return 0, l.wedge(err)
 		}
 	}
 	if _, err := l.f.Write(b); err != nil {
@@ -345,10 +362,59 @@ func (l *Log) Append(edges []graph.Edge) (uint64, error) {
 // with l.mu held; returns the wedged error for the failing Append.
 func (l *Log) wedge(cause error) error {
 	l.wedged = fmt.Errorf("wal: log wedged by append failure: %w", cause)
+	l.stats.Wedges++
 	if l.f != nil {
 		l.f.Truncate(l.segOff)
 	}
 	return l.wedged
+}
+
+// Wedged reports the append failure that wedged the log, or nil when the
+// log is healthy. The serving layer polls it to drive degraded mode.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
+// TryRecover attempts to clear a wedged log so appends can resume: the
+// wedged segment is trimmed to its valid prefix and the log rotates to a
+// fresh segment, proving the filesystem accepts writes again. On success
+// the wedge clears and the next Append continues the LSN sequence —
+// nothing acknowledged was lost, because a wedged log never acknowledged
+// anything past the valid prefix. On failure the log stays wedged and
+// TryRecover can be called again. A healthy log returns nil immediately.
+func (l *Log) TryRecover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.wedged == nil {
+		return nil
+	}
+	// Re-trim by path before anything else: wedge's own trim ran on the
+	// descriptor that had just failed, so it cannot be trusted to have
+	// stuck. If partial bytes survived here, rotating would strand them in
+	// a soon-to-be non-final segment, which the next Open would have to
+	// call corruption rather than a repairable torn tail.
+	if l.f != nil {
+		path := l.segs[len(l.segs)-1].path
+		if err := l.fs.Truncate(path, l.segOff); err != nil {
+			return fmt.Errorf("wal: recovery truncate: %w", err)
+		}
+		if err := syncFile(l.fs, path); err != nil {
+			return fmt.Errorf("wal: recovery: %w", err)
+		}
+		l.f.Close() // the fd that failed; its error no longer matters
+		l.f = nil
+	}
+	if err := l.rotate(); err != nil {
+		return err
+	}
+	l.wedged = nil
+	l.stats.Recoveries++
+	return nil
 }
 
 // rotate seals the current segment (if any) and opens a fresh one whose
@@ -364,7 +430,7 @@ func (l *Log) rotate() error {
 		l.f = nil
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("%016x.wal", l.lsn))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -464,15 +530,15 @@ func (l *Log) CommitSnapshot(lsn uint64, write func(path string) error) error {
 	final := filepath.Join(dir, fmt.Sprintf("snap-%016x.cbin", lsn))
 	tmp := final + ".tmp"
 	if err := write(tmp); err != nil {
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return err
 	}
-	if err := syncFile(tmp); err != nil {
-		os.Remove(tmp)
+	if err := syncFile(l.fs, tmp); err != nil {
+		l.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := l.fs.Rename(tmp, final); err != nil {
+		l.fs.Remove(tmp)
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
@@ -488,7 +554,7 @@ func (l *Log) CommitSnapshot(lsn uint64, write func(path string) error) error {
 	l.hasSnap, l.snapLSN, l.snapPath = true, lsn, final
 	l.stats.Snapshots++
 	if oldSnap != "" {
-		os.Remove(oldSnap)
+		l.fs.Remove(oldSnap)
 	}
 	// Drop segments every record of which the snapshot covers, keeping the
 	// open append segment alive regardless.
@@ -496,7 +562,7 @@ func (l *Log) CommitSnapshot(lsn uint64, write func(path string) error) error {
 	for i, s := range l.segs {
 		isCurrent := l.f != nil && i == len(l.segs)-1
 		if !isCurrent && s.first+s.count <= lsn {
-			os.Remove(s.path)
+			l.fs.Remove(s.path)
 			continue
 		}
 		live = append(live, s)
@@ -505,8 +571,8 @@ func (l *Log) CommitSnapshot(lsn uint64, write func(path string) error) error {
 	return nil
 }
 
-func syncFile(path string) error {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+func syncFile(fsys fault.FS, path string) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

@@ -52,13 +52,19 @@ const (
 	// body): a corrupted length prefix must never drive a huge allocation.
 	MaxFrameBytes = 1 << 26
 
-	// AckOK and AckErr lead a server→client ack. AckOK is followed by the
-	// committed LSN (8B LE) and the number of just-acked frames (4B LE) —
-	// acks are batched, covering every frame since the previous ack. AckErr
-	// is followed by a message length (4B LE) and the message; the server
-	// closes the connection after sending it.
-	AckOK  = 0x00
-	AckErr = 0x01
+	// AckOK, AckErr, and AckBusy lead a server→client ack. AckOK is followed
+	// by the committed LSN (8B LE) and the number of just-acked frames (4B
+	// LE) — acks are batched, covering every frame since the previous ack.
+	// AckErr and AckBusy are both followed by a message length (4B LE) and
+	// the message, and the server closes the connection after sending them;
+	// they differ in contract: AckErr is terminal (the session's frames were
+	// rejected — protocol or validation failure), while AckBusy is retryable
+	// (the server is degraded or shutting down; nothing about the frames was
+	// wrong, and a reconnecting client should retransmit its unacked window
+	// after backoff — safe because unions are idempotent).
+	AckOK   = 0x00
+	AckErr  = 0x01
+	AckBusy = 0x02
 
 	// AckSize is the wire size of an AckOK message.
 	AckSize = 1 + 8 + 4
@@ -241,6 +247,15 @@ func AppendAckOK(dst []byte, lsn uint64, frames uint32) []byte {
 // AppendAckErr appends a terminal error ack carrying msg.
 func AppendAckErr(dst []byte, msg string) []byte {
 	dst = append(dst, AckErr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(msg)))
+	return append(dst, msg...)
+}
+
+// AppendAckBusy appends a retryable busy ack carrying msg: the connection
+// is about to close, but the client may reconnect, retransmit its unacked
+// frames, and continue.
+func AppendAckBusy(dst []byte, msg string) []byte {
+	dst = append(dst, AckBusy)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(msg)))
 	return append(dst, msg...)
 }

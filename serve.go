@@ -50,7 +50,47 @@ type ServerOptions struct {
 	// NoSync skips the per-group fsync, trading the durability of the last
 	// flush interval for throughput on slow disks.
 	NoSync bool
+	// AuthToken, when non-empty, gates every mutating HTTP endpoint behind
+	// `Authorization: Bearer <token>`; reads, health, and metrics stay
+	// open. Mismatches are answered 401 and counted in
+	// connectit_http_unauthorized_total.
+	AuthToken string
+	// DegradedPolicy selects what a wedged WAL does to the service:
+	// DegradeFailWrites (default) keeps reads serving while writes 503 and
+	// a background probe retries recovery; DegradeCrash exits the process
+	// for supervisor-managed restarts.
+	DegradedPolicy DegradedPolicy
+	// ProbeInterval is the degraded-mode recovery probe period (default
+	// 1s); it also sets the Retry-After hint on refused writes.
+	ProbeInterval time.Duration
+	// FaultSpec arms the deterministic fault-injection harness
+	// (internal/fault), e.g. "wal.sync:at=3:err=EIO;conn.write:after=10:p=0.1:reset".
+	// Empty (the default, and the only sane production setting) injects
+	// nothing.
+	FaultSpec string
+	// ReadHeaderTimeout, ReadTimeout, and IdleTimeout harden the HTTP
+	// listener (defaults 10s, 2m, 2m; negative disables one).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	// MaxHeaderBytes caps a request's header section (default 1 MiB).
+	MaxHeaderBytes int
 }
+
+// DegradedPolicy selects the service's response to a wedged WAL; see
+// ServerOptions.DegradedPolicy.
+type DegradedPolicy = server.DegradedPolicy
+
+const (
+	// DegradeFailWrites keeps the process alive on a WAL wedge: writes
+	// 503 with Retry-After, wait-free reads keep serving, and a
+	// background probe retries recovery.
+	DegradeFailWrites = server.DegradeFailWrites
+	// DegradeCrash exits the process on the first wedge, for deployments
+	// where a supervisor restart onto healthy storage is the recovery
+	// path.
+	DegradeCrash = server.DegradeCrash
+)
 
 // NewServer compiles the configuration, opens a Stream over
 // opts.NumVertices vertices, recovers durable state from opts.WALDir when
@@ -70,15 +110,23 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		return nil, err
 	}
 	srv, err := server.New(st, server.Options{
-		Addr:             opts.Addr,
-		IngestAddr:       opts.IngestAddr,
-		WALDir:           opts.WALDir,
-		FlushInterval:    opts.FlushInterval,
-		MaxBatch:         opts.MaxBatch,
-		MaxPendingEpochs: opts.MaxPendingEpochs,
-		SnapshotInterval: opts.SnapshotInterval,
-		SegmentBytes:     opts.SegmentBytes,
-		NoSync:           opts.NoSync,
+		Addr:              opts.Addr,
+		IngestAddr:        opts.IngestAddr,
+		WALDir:            opts.WALDir,
+		FlushInterval:     opts.FlushInterval,
+		MaxBatch:          opts.MaxBatch,
+		MaxPendingEpochs:  opts.MaxPendingEpochs,
+		SnapshotInterval:  opts.SnapshotInterval,
+		SegmentBytes:      opts.SegmentBytes,
+		NoSync:            opts.NoSync,
+		AuthToken:         opts.AuthToken,
+		DegradedPolicy:    opts.DegradedPolicy,
+		ProbeInterval:     opts.ProbeInterval,
+		FaultSpec:         opts.FaultSpec,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+		MaxHeaderBytes:    opts.MaxHeaderBytes,
 	})
 	if err != nil {
 		st.Close()
